@@ -1,0 +1,76 @@
+//! Micro-benchmarks for the Hungarian assignment and EMD_k — the O(nk²)
+//! term in Theorem 3.4's running time ("use the Hungarian method to find
+//! the min-cost matching between X_B and S_B").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_emd::{assign, emd, emd_k};
+use rsr_metric::{Metric, Point};
+use std::hint::black_box;
+
+fn random_points(n: usize, seed: u64) -> Vec<Point> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|_| Point::new(vec![rng.gen_range(0..1000), rng.gen_range(0..1000)]))
+        .collect()
+}
+
+fn bench_square_assignment(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hungarian_square");
+    for &n in &[32usize, 128, 256] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut rng = StdRng::seed_from_u64(7);
+            let costs: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.gen_range(0..1000) as f64).collect())
+                .collect();
+            b.iter(|| assign(n, n, |i, j| black_box(costs[i][j])));
+        });
+    }
+    group.finish();
+}
+
+fn bench_rectangular_repair_matching(c: &mut Criterion) {
+    // Bob's repair: |X_B| = 2k rows against n columns.
+    let mut group = c.benchmark_group("hungarian_repair_2k_x_n");
+    for &(k, n) in &[(4usize, 256usize), (16, 1024)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("k{k}_n{n}")),
+            &(k, n),
+            |b, &(k, n)| {
+                let xs = random_points(2 * k, 8);
+                let ys = random_points(n, 9);
+                b.iter(|| {
+                    assign(2 * k, n, |i, j| {
+                        Metric::L1.distance(black_box(&xs[i]), &ys[j])
+                    })
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_emd_and_emdk(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd");
+    group.sample_size(20);
+    for &n in &[64usize, 128] {
+        let x = random_points(n, 10);
+        let y = random_points(n, 11);
+        group.bench_with_input(BenchmarkId::new("exact", n), &n, |b, _| {
+            b.iter(|| emd(Metric::L1, black_box(&x), &y));
+        });
+        group.bench_with_input(BenchmarkId::new("emd_k4", n), &n, |b, _| {
+            b.iter(|| emd_k(Metric::L1, black_box(&x), &y, 4));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_square_assignment,
+    bench_rectangular_repair_matching,
+    bench_emd_and_emdk
+);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Micro-benchmarks for standard IBLT operations: insert throughput and
+//! decode cost at several loads (Theorem 2.6's O(m) decode claim).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_iblt::Iblt;
+use std::hint::black_box;
+
+fn bench_insert(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iblt_insert");
+    for &m in &[1_000usize, 10_000] {
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, &m| {
+            let mut rng = StdRng::seed_from_u64(1);
+            let keys: Vec<u64> = (0..m / 2).map(|_| rng.gen()).collect();
+            b.iter(|| {
+                let mut t = Iblt::new(m, 3, 7);
+                for &k in &keys {
+                    t.insert(black_box(k));
+                }
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("iblt_decode");
+    for &load in &[0.25f64, 0.5, 0.75] {
+        let m = 10_000usize;
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("load_{load}")),
+            &load,
+            |b, &load| {
+                let mut rng = StdRng::seed_from_u64(2);
+                let keys: Vec<u64> = (0..(m as f64 * load) as usize).map(|_| rng.gen()).collect();
+                let mut t = Iblt::new(m, 3, 8);
+                for &k in &keys {
+                    t.insert(k);
+                }
+                b.iter(|| black_box(t.clone()).decode());
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! End-to-end protocol benchmarks: Algorithm 1 encode/decode and the Gap
+//! protocol, backing the paper's running-time claims (Theorem 3.4's
+//! encode O(t·n·k/(D1·log(1/p))) and decode O(dnk + nk²); Theorem 4.2's
+//! O(t·n·log n / log(1/p2)) key construction).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use rsr_core::gap_protocol::{GapConfig, GapProtocol};
+use rsr_hash::lsh::LshParams;
+use rsr_hash::BitSamplingFamily;
+use rsr_metric::MetricSpace;
+use rsr_workloads::{planted_emd_sparse, sensor_pairs};
+use std::hint::black_box;
+
+fn bench_emd_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("emd_protocol");
+    group.sample_size(10);
+    for &n in &[100usize, 200] {
+        let d = 64;
+        let k = 4;
+        let space = MetricSpace::hamming(d);
+        let w = planted_emd_sparse(space, n, k, 1, n / 10, 21);
+        let cfg = EmdProtocolConfig::for_space(&space, n, k);
+        let proto = EmdProtocol::new(space, cfg, 22);
+        group.bench_with_input(BenchmarkId::new("alice_encode", n), &n, |b, _| {
+            b.iter(|| proto.alice_encode(black_box(&w.alice)));
+        });
+        let msg = proto.alice_encode(&w.alice);
+        group.bench_with_input(BenchmarkId::new("bob_decode", n), &n, |b, _| {
+            b.iter(|| proto.bob_decode(black_box(&msg), &w.bob));
+        });
+    }
+    group.finish();
+}
+
+fn bench_gap_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gap_protocol");
+    group.sample_size(10);
+    for &n in &[100usize, 200] {
+        let d = 256;
+        let k = 3;
+        let space = MetricSpace::hamming(d);
+        let (r1, r2) = (2.0, (d / 3) as f64);
+        let w = sensor_pairs(space, n, k, r1, r2, 23);
+        let fam = BitSamplingFamily::new(d, d as f64);
+        let params = LshParams::new(r1, r2, 1.0 - r1 / d as f64, 1.0 - r2 / d as f64);
+        let cfg = GapConfig::for_params(params, n, k);
+        let proto = GapProtocol::new(space, &fam, cfg, 24);
+        group.bench_with_input(BenchmarkId::new("full_run", n), &n, |b, _| {
+            b.iter(|| proto.run(black_box(&w.alice), &w.bob));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_emd_protocol, bench_gap_protocol);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! Micro-benchmarks for the Robust IBLT: insert/delete of key–value pairs
+//! and the breadth-first peel, including the noisy-cancellation path that
+//! exercises the error-propagation machinery.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_iblt::riblt::RibltConfig;
+use rsr_iblt::Riblt;
+use rsr_metric::Point;
+use std::hint::black_box;
+
+fn config(k: usize, dim: usize) -> RibltConfig {
+    RibltConfig::for_pairs(k, 3, dim, 1_000_000, 11)
+}
+
+fn bench_insert_delete(c: &mut Criterion) {
+    let mut group = c.benchmark_group("riblt_insert_delete");
+    for &dim in &[2usize, 16, 64] {
+        group.bench_with_input(BenchmarkId::from_parameter(dim), &dim, |b, &dim| {
+            let mut rng = StdRng::seed_from_u64(3);
+            let pts: Vec<Point> = (0..1000)
+                .map(|_| Point::new((0..dim).map(|_| rng.gen_range(0..1000)).collect()))
+                .collect();
+            b.iter(|| {
+                let mut t = Riblt::new(config(16, dim));
+                for (i, p) in pts.iter().enumerate() {
+                    t.insert(i as u64, black_box(p));
+                }
+                for (i, p) in pts.iter().enumerate() {
+                    t.delete(i as u64, p);
+                }
+                t
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_peel(c: &mut Criterion) {
+    let mut group = c.benchmark_group("riblt_peel");
+    // Survivor-only peel vs peel over heavy cancelled-noise residue.
+    for &(label, cancelled) in &[("clean", 0usize), ("noisy_1000", 1000)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(label),
+            &cancelled,
+            |b, &cancelled| {
+                let mut rng = StdRng::seed_from_u64(4);
+                let k = 16;
+                let mut t = Riblt::new(config(k, 4));
+                for i in 0..cancelled {
+                    let v = Point::new((0..4).map(|_| rng.gen_range(0..1000)).collect());
+                    let mut w = v.clone();
+                    w.coords_mut()[0] += 1;
+                    t.insert(i as u64, &v);
+                    t.delete(i as u64, &w);
+                }
+                for i in 0..2 * k {
+                    let v = Point::new((0..4).map(|_| rng.gen_range(0..1000)).collect());
+                    t.insert(1_000_000 + i as u64, &v);
+                }
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(5);
+                    black_box(t.clone()).decode(&mut rng)
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_insert_delete, bench_peel);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Regenerates the `ablation_dsbf` ablation table (see DESIGN.md / EXPERIMENTS.md).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::ablation_dsbf::run(rsr_bench::quick_flag()));
+}

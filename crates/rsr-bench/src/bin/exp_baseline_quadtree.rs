@@ -1,0 +1,6 @@
+//! Regenerates the `baseline_quadtree` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::baseline_quadtree::run(rsr_bench::quick_flag()));
+}

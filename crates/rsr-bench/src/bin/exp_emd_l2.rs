@@ -1,0 +1,6 @@
+//! Regenerates the `emd_l2` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::emd_l2::run(rsr_bench::quick_flag()));
+}

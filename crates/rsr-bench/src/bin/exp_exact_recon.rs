@@ -1,0 +1,6 @@
+//! Regenerates the `exact_recon` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::exact_recon::run(rsr_bench::quick_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `gap` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::gap::run(rsr_bench::quick_flag()));
+}

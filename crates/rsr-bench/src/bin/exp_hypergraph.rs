@@ -1,0 +1,6 @@
+//! Regenerates the `hypergraph` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::hypergraph::run(rsr_bench::quick_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `iblt_threshold` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::iblt_threshold::run(rsr_bench::quick_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `lower_bound` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::lower_bound::run(rsr_bench::quick_flag()));
+}

@@ -1,0 +1,6 @@
+//! Regenerates the `mlsh_collision` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!("{}", rsr_bench::experiments::mlsh_collision::run(rsr_bench::quick_flag()));
+}

@@ -1,0 +1,78 @@
+//! T4 — Corollary 3.6: the interval-scaled EMD protocol on `([Δ]^d, ℓ2)`.
+//!
+//! Claims measured: communication `O(k·d·log(nΔ)·log(D2/D1))`; success
+//! ≥ 5/8; quality `≤ O(log n)·EMD_k`; the winning interval tracks the
+//! instance's actual EMD_k scale.
+
+use crate::table::{f, Table};
+use rsr_core::ScaledEmdProtocol;
+use rsr_emd::{emd, emd_k};
+use rsr_metric::MetricSpace;
+use rsr_workloads::{planted_emd_sparse, stats};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let trials = if quick { 4 } else { 12 };
+    let mut table = Table::new(&[
+        "n",
+        "Δ",
+        "k",
+        "intervals",
+        "comm bits",
+        "success",
+        "median ratio",
+        "median i*-interval",
+    ]);
+    let configs: &[(usize, i64, usize)] = if quick {
+        &[(100, 1024, 3)]
+    } else {
+        &[(100, 1024, 3), (200, 1024, 3), (100, 4096, 3), (100, 1024, 6)]
+    };
+    for &(n, delta, k) in configs {
+        let space = MetricSpace::l2(delta, 2);
+        let mut bits = 0u64;
+        let mut ratios = Vec::new();
+        let mut intervals = Vec::new();
+        let mut success = 0usize;
+        let mut num_intervals = 0usize;
+        for t in 0..trials {
+            let w = planted_emd_sparse(space, n, k, 1, n / 10, 0x5000 + t as u64);
+            let proto = ScaledEmdProtocol::new(space, n, k, 0x6000 + t as u64);
+            num_intervals = proto.num_intervals();
+            let msg = proto.alice_encode(&w.alice);
+            bits = msg.wire_bits();
+            let Ok(out) = proto.bob_decode(&msg, &w.bob) else {
+                continue;
+            };
+            success += 1;
+            let floor = emd_k(space.metric(), &w.alice, &w.bob, k).max(1.0);
+            ratios.push(emd(space.metric(), &w.alice, &out.inner.reconciled) / floor);
+            intervals.push(out.interval as f64);
+        }
+        table.row(vec![
+            n.to_string(),
+            delta.to_string(),
+            k.to_string(),
+            num_intervals.to_string(),
+            bits.to_string(),
+            f(success as f64 / trials as f64),
+            f(stats::quantile(&ratios, 0.5)),
+            f(stats::quantile(&intervals, 0.5)),
+        ]);
+    }
+    format!(
+        "## T4 — scaled EMD protocol on ℓ2 (Corollary 3.6)\n\n\
+         Workload: n points in [Δ]², n/10 with ±1 coordinate noise, k \
+         outliers/side; {trials} seeds per row. Expected: success ≥ 5/8 \
+         and median approximation ratio ≪ ln n (≈ 4.6–5.3 here).\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_renders() {
+        assert!(super::run(true).contains("## T4"));
+    }
+}

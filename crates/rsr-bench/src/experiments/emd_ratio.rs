@@ -1,0 +1,72 @@
+//! T5 — the approximation ratio grows like log n, not like d.
+//!
+//! The paper's headline improvement over Chen et al.: their factor is
+//! O(d), ours O(log n). We sweep n at two very different dimensions; the
+//! measured ratio must track n (slowly) and stay flat in d.
+
+use crate::table::{f, Table};
+use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use rsr_emd::{emd, emd_k};
+use rsr_metric::MetricSpace;
+use rsr_workloads::{planted_emd_sparse, stats};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let trials = if quick { 4 } else { 10 };
+    let k = 3;
+    let ns: &[usize] = if quick { &[50, 100] } else { &[50, 100, 200, 400] };
+    let ds: &[usize] = &[32, 128];
+    let mut table = Table::new(&["n", "d", "median ratio", "p90 ratio", "ln n"]);
+    let mut by_dim: Vec<(usize, Vec<f64>)> = Vec::new();
+    for &d in ds {
+        let mut dim_ratios = Vec::new();
+        for &n in ns {
+            let space = MetricSpace::hamming(d);
+            let mut ratios = Vec::new();
+            for t in 0..trials {
+                let w = planted_emd_sparse(space, n, k, 1, n / 10, 0x7000 + t as u64);
+                let cfg = EmdProtocolConfig::for_space(&space, n, k);
+                let proto = EmdProtocol::new(space, cfg, 0x8000 + t as u64);
+                let Ok(out) = proto.run(&w.alice, &w.bob) else {
+                    continue;
+                };
+                let floor = emd_k(space.metric(), &w.alice, &w.bob, k).max(1.0);
+                ratios.push(emd(space.metric(), &w.alice, &out.reconciled) / floor);
+            }
+            let median = stats::quantile(&ratios, 0.5);
+            dim_ratios.push(median);
+            table.row(vec![
+                n.to_string(),
+                d.to_string(),
+                f(median),
+                f(stats::quantile(&ratios, 0.9)),
+                f((n as f64).ln()),
+            ]);
+        }
+        by_dim.push((d, dim_ratios));
+    }
+    // Flatness across d: compare the per-n medians at d = 32 vs 128.
+    let flat = by_dim[0]
+        .1
+        .iter()
+        .zip(&by_dim[1].1)
+        .map(|(a, b)| b / a.max(0.1))
+        .collect::<Vec<_>>();
+    format!(
+        "## T5 — approximation ratio vs n and d (Theorem 3.4)\n\n\
+         {trials} seeds per point, k = {k}, sparse noise. Expected: the \
+         median ratio stays below ln n at every point and does *not* grow \
+         when d quadruples (d-ratio column ≈ 1, vs 4 for an O(d) method).\n\n{}\n\
+         per-n ratio (d=128)/(d=32): {:?}\n",
+        table.render(),
+        flat.iter().map(|x| f(*x)).collect::<Vec<_>>()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_renders() {
+        assert!(super::run(true).contains("## T5"));
+    }
+}

@@ -1,0 +1,80 @@
+//! T12 — exact set reconciliation (the `EMD_k = 0` fallback of §3):
+//! communication proportional to the difference bound, success below it,
+//! clean failure above it.
+
+use crate::table::{f, Table};
+use rsr_core::set_recon::exact_reconcile;
+use rsr_metric::{MetricSpace, Point};
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let n = if quick { 2_000 } else { 20_000 };
+    let space = MetricSpace::l1(1_000_000, 2);
+    let shared: Vec<Point> = (0..n as i64)
+        .map(|i| Point::new(vec![i % 1000, i / 1000 + 7]))
+        .collect();
+    let mut table = Table::new(&[
+        "set size",
+        "true diff",
+        "bound D",
+        "result",
+        "bits",
+        "bits / D",
+    ]);
+    // Note: the RIBLT keeps decoding well past its nominal bound — the
+    // peeling threshold (≈ 0.81·m items) is far above the 4k sizing — so
+    // the hard-failure row plants a difference beyond even that capacity.
+    for &(diff, bound) in &[(2usize, 4usize), (8, 16), (32, 64), (300, 16)] {
+        let mut alice = shared.clone();
+        let mut bob = shared.clone();
+        for j in 0..diff as i64 {
+            alice.push(Point::new(vec![900_000 + j, 1]));
+            bob.push(Point::new(vec![800_000 + j, 2]));
+        }
+        match exact_reconcile(&space, &alice, &bob, bound, 0x12) {
+            Ok(out) => {
+                let mut got = out.alice_set;
+                got.sort();
+                alice.sort();
+                let exact = got == alice;
+                table.row(vec![
+                    n.to_string(),
+                    (2 * diff).to_string(),
+                    bound.to_string(),
+                    if exact { "exact".into() } else { "WRONG".into() },
+                    out.transcript.total_bits().to_string(),
+                    f(out.transcript.total_bits() as f64 / bound as f64),
+                ]);
+            }
+            Err(_) => {
+                table.row(vec![
+                    n.to_string(),
+                    (2 * diff).to_string(),
+                    bound.to_string(),
+                    "failure reported".into(),
+                    "-".into(),
+                    "-".into(),
+                ]);
+            }
+        }
+    }
+    format!(
+        "## T12 — exact reconciliation fallback (§3, EMD_k = 0 case)\n\n\
+         {n} shared records, planted whole-record differences. Expected: \
+         exact recovery whenever the true difference fits the bound D, \
+         bits ∝ D, and an explicit failure (never silent corruption) when \
+         the difference exceeds D.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exactness_and_clean_failure() {
+        let report = super::run(true);
+        assert!(report.contains("## T12"));
+        assert!(!report.contains("WRONG"));
+        assert!(report.contains("failure reported"));
+    }
+}

@@ -1,0 +1,91 @@
+//! T7 — Theorem 4.2 / Corollary 4.3: the Gap Guarantee protocol.
+//!
+//! Claims measured: 4 rounds; every far point recovered; guarantee
+//! satisfied with probability ≥ 1 − 1/n; communication beating the naive
+//! n·d transfer for large d; the far-point term ≈ k·log|U|.
+
+use crate::table::{f, Table};
+use rsr_core::gap_protocol::{verify_gap_guarantee, GapConfig, GapProtocol};
+use rsr_hash::lsh::LshParams;
+use rsr_hash::BitSamplingFamily;
+use rsr_metric::MetricSpace;
+use rsr_workloads::sensor_pairs;
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let trials = if quick { 3 } else { 10 };
+    let mut table = Table::new(&[
+        "n",
+        "d",
+        "k",
+        "total bits",
+        "naive n·d",
+        "far recovered",
+        "guarantee ok",
+        "round4 bits / k·d",
+    ]);
+    let configs: &[(usize, usize, usize)] = if quick {
+        &[(50, 256, 3)]
+    } else {
+        &[(50, 256, 3), (100, 256, 3), (200, 256, 3), (100, 512, 3), (100, 1024, 3), (100, 256, 6)]
+    };
+    for &(n, d, k) in configs {
+        let space = MetricSpace::hamming(d);
+        let (r1, r2) = (2.0, (d / 3) as f64);
+        let fam = BitSamplingFamily::new(d, d as f64);
+        let params = LshParams::new(r1, r2, 1.0 - r1 / d as f64, 1.0 - r2 / d as f64);
+        let mut bits = 0u64;
+        let mut round4 = 0u64;
+        let mut far_recovered = 0usize;
+        let mut far_total = 0usize;
+        let mut guarantee_ok = 0usize;
+        let mut runs = 0usize;
+        for t in 0..trials {
+            let w = sensor_pairs(space, n, k, r1, r2, 0xb000 + t as u64);
+            let cfg = GapConfig::for_params(params, n, k);
+            let proto = GapProtocol::new(space, &fam, cfg, 0xc000 + t as u64);
+            let Ok(out) = proto.run(&w.alice, &w.bob) else {
+                continue;
+            };
+            runs += 1;
+            bits = out.transcript.total_bits();
+            round4 = out.transcript.entries().last().unwrap().1;
+            far_total += w.alice_far.len();
+            far_recovered += w
+                .alice_far
+                .iter()
+                .filter(|p| out.transmitted.contains(p))
+                .count();
+            if verify_gap_guarantee(&space, &w.alice, &out.reconciled, r2) {
+                guarantee_ok += 1;
+            }
+        }
+        table.row(vec![
+            n.to_string(),
+            d.to_string(),
+            k.to_string(),
+            bits.to_string(),
+            (n * d).to_string(),
+            format!("{far_recovered}/{far_total}"),
+            format!("{guarantee_ok}/{runs}"),
+            f(round4 as f64 / (k * d) as f64),
+        ]);
+    }
+    format!(
+        "## T7 — Gap Guarantee protocol on Hamming space (Thm 4.2 / Cor 4.3)\n\n\
+         r1 = 2, r2 = d/3, {trials} seeds per row. Expected: all far \
+         points recovered, guarantee satisfied in every run, total bits \
+         below naive n·d for large d, and round-4 bits ≈ k·d (the k·log|U| \
+         term; slightly above 1 when close points are false-positive \
+         transmitted).\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn report_renders() {
+        assert!(super::run(true).contains("## T7"));
+    }
+}

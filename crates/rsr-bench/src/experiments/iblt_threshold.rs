@@ -1,0 +1,63 @@
+//! T1 — Theorem 2.6: IBLT decode success vs load.
+//!
+//! "There exists a constant 0 < c < 1 so that an IBLT with m cells and at
+//! most cm keys will successfully extract all key-value pairs with
+//! probability at least 1 − O(1/poly(m))." The constant is the 2-core
+//! threshold of random q-uniform hypergraphs: c*₃ ≈ 0.818, c*₄ ≈ 0.772,
+//! c*₅ ≈ 0.702. The table shows the success probability collapsing from
+//! ≈1 to ≈0 across each threshold.
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_iblt::Iblt;
+
+/// Known asymptotic peeling thresholds (Molloy / \[26\]).
+pub const THRESHOLDS: [(usize, f64); 3] = [(3, 0.818), (4, 0.772), (5, 0.702)];
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let m = if quick { 300 } else { 1200 };
+    let trials = if quick { 20 } else { 100 };
+    let loads = [0.60, 0.70, 0.75, 0.80, 0.85, 0.90, 0.95];
+    let mut table = Table::new(&["q", "load c", "success rate", "threshold c*_q"]);
+    let mut rng = StdRng::seed_from_u64(0x71);
+    for &(q, threshold) in &THRESHOLDS {
+        for &load in &loads {
+            let items = (load * m as f64) as usize;
+            let mut ok = 0;
+            for t in 0..trials {
+                let mut iblt = Iblt::new(m, q, 0x1000 + t as u64 * 31 + q as u64);
+                for _ in 0..items {
+                    iblt.insert(rng.gen());
+                }
+                if iblt.decode().complete {
+                    ok += 1;
+                }
+            }
+            table.row(vec![
+                q.to_string(),
+                f(load),
+                f(ok as f64 / trials as f64),
+                f(threshold),
+            ]);
+        }
+    }
+    format!(
+        "## T1 — IBLT decode threshold (Theorem 2.6)\n\n\
+         m = {m} cells, {trials} trials per point. Expected: success ≈ 1 \
+         below the q-core threshold c*_q, ≈ 0 above.\n\n{}",
+        table.render()
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn runs_and_shows_phase_transition() {
+        let report = super::run(true);
+        assert!(report.contains("## T1"));
+        // Sanity: the table has 3 q-values × 7 loads rows.
+        assert_eq!(report.matches("\n| 3").count() + report.matches("\n| 4").count() + report.matches("\n| 5").count(), 21);
+    }
+}

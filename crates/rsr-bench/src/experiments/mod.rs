@@ -1,0 +1,41 @@
+//! One module per experiment in DESIGN.md's index.
+
+pub mod ablation_dsbf;
+pub mod ablation_peel;
+pub mod baseline_quadtree;
+pub mod emd_hamming;
+pub mod emd_l2;
+pub mod emd_ratio;
+pub mod exact_recon;
+pub mod gap;
+pub mod gap_lowdim;
+pub mod hypergraph;
+pub mod iblt_threshold;
+pub mod lower_bound;
+pub mod mlsh_collision;
+pub mod riblt_error;
+pub mod setsofsets;
+
+/// An experiment entry: `(id, name, runner)`.
+pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
+
+/// Every experiment, in index order.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        ("T1", "iblt_threshold", iblt_threshold::run as fn(bool) -> String),
+        ("T2", "mlsh_collision", mlsh_collision::run),
+        ("F1", "riblt_error", riblt_error::run),
+        ("T3", "emd_hamming", emd_hamming::run),
+        ("T4", "emd_l2", emd_l2::run),
+        ("T5", "emd_ratio", emd_ratio::run),
+        ("T6", "baseline_quadtree", baseline_quadtree::run),
+        ("T7", "gap", gap::run),
+        ("T8", "gap_lowdim", gap_lowdim::run),
+        ("T9", "lower_bound", lower_bound::run),
+        ("T10", "setsofsets", setsofsets::run),
+        ("T11", "hypergraph", hypergraph::run),
+        ("T12", "exact_recon", exact_recon::run),
+        ("A1/A2", "ablation_peel", ablation_peel::run),
+        ("A3", "ablation_dsbf", ablation_dsbf::run),
+    ]
+}

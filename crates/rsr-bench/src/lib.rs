@@ -1,0 +1,21 @@
+//! Experiment harness for the paper's quantitative claims.
+//!
+//! Each module under [`experiments`] regenerates one table or figure from
+//! DESIGN.md's experiment index (T1–T12, F1). Every experiment is a pure
+//! function `run(quick: bool) -> String` returning a markdown section, so
+//! the same code backs the per-experiment binaries (`cargo run --release
+//! -p rsr-bench --bin exp_<name>`), the `run_all` binary that regenerates
+//! EXPERIMENTS.md's measured numbers, and the smoke tests.
+//!
+//! `quick` mode shrinks trial counts so the whole suite stays in CI
+//! budgets; the full mode is what EXPERIMENTS.md reports.
+
+pub mod experiments;
+pub mod table;
+
+pub use table::Table;
+
+/// Parses the conventional `--quick` flag from process args.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,112 @@
+//! Minimal markdown table builder for experiment reports.
+
+use std::fmt::Write as _;
+
+/// A markdown table with a fixed header.
+#[derive(Clone, Debug)]
+pub struct Table {
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new(headers: &[&str]) -> Self {
+        Table {
+            headers: headers.iter().map(|s| s.to_string()).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the header arity).
+    pub fn row(&mut self, cells: Vec<String>) -> &mut Self {
+        assert_eq!(cells.len(), self.headers.len(), "row arity mismatch");
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True if no rows were added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table as github-flavoured markdown.
+    pub fn render(&self) -> String {
+        let ncols = self.headers.len();
+        let mut widths: Vec<usize> = self.headers.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::from("|");
+            for (cell, w) in cells.iter().zip(widths) {
+                let _ = write!(line, " {cell:<w$} |");
+            }
+            line
+        };
+        out.push_str(&fmt_row(&self.headers, &widths));
+        out.push('\n');
+        let mut sep = String::from("|");
+        for w in &widths {
+            let _ = write!(sep, "{}|", "-".repeat(w + 2));
+        }
+        out.push_str(&sep);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        let _ = ncols;
+        out
+    }
+}
+
+/// Formats a float tersely (3 significant-ish digits).
+pub fn f(x: f64) -> String {
+    if x == 0.0 {
+        "0".into()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else {
+        format!("{x:.4}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_markdown() {
+        let mut t = Table::new(&["a", "bb"]);
+        t.row(vec!["1".into(), "2".into()]);
+        let s = t.render();
+        assert!(s.contains("| a | bb |"));
+        assert!(s.contains("| 1 | 2  |"));
+        assert!(s.lines().count() == 3);
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(f(0.0), "0");
+        assert_eq!(f(1234.6), "1235");
+        assert_eq!(f(2.71828), "2.72");
+        assert_eq!(f(0.01234), "0.0123");
+    }
+
+    #[test]
+    #[should_panic]
+    fn arity_mismatch_panics() {
+        Table::new(&["a"]).row(vec!["1".into(), "2".into()]);
+    }
+}

@@ -1,0 +1,442 @@
+//! Algorithm 1: the EMD-model protocol.
+//!
+//! One round, Alice → Bob. Alice builds `t = ⌈log2(D2/D1)⌉ + 1` Robust
+//! IBLTs `T_1, …, T_t`. She draws `s = ⌈k/(8·D1·ln(1/p))⌉` MLSH functions
+//! `g_1, …, g_s` and a pairwise-independent `h` with `Θ(log n)`-bit range
+//! (all via public coins). Into `T_i` she inserts, for each point `a`, the
+//! pair with key `h(g_1(a), …, g_{s_i}(a))` (prefix length
+//! `s_i = 2^{i−1}·s·D1/D2`) and value `a`. Bob deletes his points the same
+//! way, finds `i*` — the largest level that decodes to at most `2k` pairs
+//! per party — and repairs: he matches the decoded survivors from his side
+//! (`X_B`) against `S_B` via the Hungarian method, removes the matched
+//! subset `Y_B`, and adds Alice's decoded survivors `X_A`.
+//!
+//! Guarantee (Theorem 3.4): with the stated probabilities,
+//! `EMD(S_A, S'_B) ≤ O(α^{-1}·log n)·EMD_k(S_A, S_B)` using
+//! `O(k·d·log(Δn)·log(D2/D1))` bits.
+
+use crate::mlsh_select::{select_mlsh, AnyMlsh};
+use crate::transcript::Transcript;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsr_hash::keys::MultiScaleKeyer;
+use rsr_hash::MlshFamily;
+use rsr_iblt::riblt::RibltConfig;
+use rsr_iblt::Riblt;
+use rsr_metric::{MetricSpace, Point};
+use std::fmt;
+
+/// Tunable parameters of Algorithm 1.
+#[derive(Clone, Copy, Debug)]
+pub struct EmdProtocolConfig {
+    /// Difference budget `k` (the protocol targets `EMD_k`).
+    pub k: usize,
+    /// Lower bound `D1 ≤ EMD_k(S_A, S_B)` (default 1; "it is sensible to
+    /// assume D1 ≥ 1" since the zero case is exact reconciliation).
+    pub d1: f64,
+    /// Upper bound `D2 ≥ EMD_k(S_A, S_B)` (default `n·diameter`).
+    pub d2: f64,
+    /// Hash functions per RIBLT (`q ≥ 3`).
+    pub q: usize,
+    /// Output width of the key hash `h` (`Θ(log n)` bits).
+    pub key_bits: u32,
+    /// Cap on the number of drawn MLSH functions `s` (guards runaway
+    /// parameter choices on huge `D2/D1` ratios; the scaled wrapper keeps
+    /// `s` tiny by construction).
+    pub max_s: usize,
+}
+
+impl EmdProtocolConfig {
+    /// The no-prior-knowledge defaults of §3: `D1 = 1`,
+    /// `D2 = n·d·Δ`-style (we use `n·diameter(space)`), `q = 3`,
+    /// `key_bits = Θ(log n)`.
+    pub fn for_space(space: &MetricSpace, n: usize, k: usize) -> Self {
+        let n = n.max(2);
+        let d2 = (n as f64) * space.diameter().max(1.0);
+        let log_n = (n as f64).log2().ceil() as u32;
+        EmdProtocolConfig {
+            k: k.max(1),
+            d1: 1.0,
+            d2,
+            q: 3,
+            key_bits: (2 * log_n + 8).clamp(16, 61),
+            max_s: 1 << 22,
+        }
+    }
+
+    /// Number of levels `t = ⌈log2(D2/D1)⌉ + 1`.
+    pub fn num_levels(&self) -> usize {
+        ((self.d2 / self.d1).log2().ceil().max(0.0) as usize) + 1
+    }
+}
+
+/// Alice's one-round message: `t` Robust IBLTs.
+#[derive(Clone, Debug)]
+pub struct EmdMessage {
+    tables: Vec<Riblt>,
+    n: usize,
+}
+
+impl EmdMessage {
+    /// Total wire size in bits (the protocol's entire communication).
+    pub fn wire_bits(&self) -> u64 {
+        self.tables.iter().map(|t| t.wire_bits(self.n)).sum()
+    }
+
+    /// Number of levels (RIBLTs).
+    pub fn num_levels(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Bob's result.
+#[derive(Clone, Debug)]
+pub struct EmdOutcome {
+    /// Bob's reconciled set `S'_B` (same size as his input).
+    pub reconciled: Vec<Point>,
+    /// The level `i* ∈ 1..=t` that decoded (largest decodable).
+    pub i_star: usize,
+    /// Decoded survivor counts `(|X_A|, |X_B|)`.
+    pub decoded: (usize, usize),
+    /// Communication transcript of the run.
+    pub transcript: Transcript,
+}
+
+/// Failure: no level decoded within the `2k`-per-side budget
+/// (Algorithm 1: "If no T_i successfully decodes Bob reports failure".)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct EmdFailure;
+
+impl fmt::Display for EmdFailure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "no RIBLT level decoded within the 2k budget")
+    }
+}
+
+impl std::error::Error for EmdFailure {}
+
+/// The Algorithm 1 protocol object. Both parties construct it with the
+/// same seed (public coins) so all hash functions agree.
+pub struct EmdProtocol {
+    space: MetricSpace,
+    config: EmdProtocolConfig,
+    keyer: MultiScaleKeyer<AnyMlsh>,
+    /// Prefix length `s_i` per level (non-decreasing).
+    prefix_lens: Vec<usize>,
+    seed: u64,
+}
+
+impl EmdProtocol {
+    /// Creates the protocol for a space and configuration.
+    pub fn new(space: MetricSpace, config: EmdProtocolConfig, seed: u64) -> Self {
+        assert!(config.q >= 3, "Algorithm 1 requires q ≥ 3");
+        assert!(config.d1 >= 1.0 && config.d2 >= config.d1);
+        let family = select_mlsh(&space, config.k, config.d2);
+        let p = family.mlsh_params().p;
+        let ln_inv_p = -(p.ln());
+        assert!(ln_inv_p > 0.0);
+        // s = ⌈k / (8·D1·ln(1/p))⌉, at least 1 per level schedule.
+        let s = ((config.k as f64 / (8.0 * config.d1 * ln_inv_p)).ceil() as usize)
+            .clamp(1, config.max_s);
+        let t = config.num_levels();
+        let prefix_lens: Vec<usize> = (1..=t)
+            .map(|i| {
+                let raw =
+                    (2f64.powi(i as i32 - 1) * s as f64 * config.d1 / config.d2).ceil() as usize;
+                raw.clamp(1, s)
+            })
+            .collect();
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xa11c_e0de);
+        let keyer = MultiScaleKeyer::sample(&family, s, config.key_bits, &mut rng);
+        EmdProtocol {
+            space,
+            config,
+            keyer,
+            prefix_lens,
+            seed,
+        }
+    }
+
+    /// The metric space the protocol runs over.
+    pub fn space(&self) -> &MetricSpace {
+        &self.space
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &EmdProtocolConfig {
+        &self.config
+    }
+
+    /// The per-level key prefix lengths `s_1 ≤ … ≤ s_t`.
+    pub fn prefix_lens(&self) -> &[usize] {
+        &self.prefix_lens
+    }
+
+    /// Number of MLSH draws `s`.
+    pub fn num_hash_draws(&self) -> usize {
+        self.keyer.num_functions()
+    }
+
+    fn level_config(&self, level: usize) -> RibltConfig {
+        RibltConfig::for_pairs(
+            self.config.k,
+            self.config.q,
+            self.space.dim(),
+            self.space.delta(),
+            self.seed ^ ((level as u64 + 1) << 24),
+        )
+    }
+
+    /// Per-point keys at every level (one O(s) pass per point).
+    fn keys_of(&self, p: &Point) -> Vec<u64> {
+        self.keyer.level_keys(p, &self.prefix_lens)
+    }
+
+    /// Alice's side: build and "send" the `t` RIBLTs.
+    pub fn alice_encode(&self, alice: &[Point]) -> EmdMessage {
+        let t = self.prefix_lens.len();
+        let mut tables: Vec<Riblt> = (0..t).map(|i| Riblt::new(self.level_config(i))).collect();
+        for p in alice {
+            debug_assert!(self.space.universe().contains(p), "point outside universe");
+            let keys = self.keys_of(p);
+            for (table, &key) in tables.iter_mut().zip(&keys) {
+                table.insert(key, p);
+            }
+        }
+        EmdMessage {
+            tables,
+            n: alice.len(),
+        }
+    }
+
+    /// Bob's side: delete his pairs, find the largest decodable level, and
+    /// repair his set.
+    pub fn bob_decode(&self, msg: &EmdMessage, bob: &[Point]) -> Result<EmdOutcome, EmdFailure> {
+        let budget = 2 * self.config.k;
+        let bob_keys: Vec<Vec<u64>> = bob.iter().map(|p| self.keys_of(p)).collect();
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xb0bd_ec0d);
+        for level in (0..msg.tables.len()).rev() {
+            let mut table = msg.tables[level].clone();
+            for (p, keys) in bob.iter().zip(&bob_keys) {
+                table.delete(keys[level], p);
+            }
+            let d = table.decode(&mut rng);
+            if !d.complete || d.inserted.len() > budget || d.deleted.len() > budget {
+                continue;
+            }
+            let x_a: Vec<Point> = d.inserted.iter().map(|p| p.value.clone()).collect();
+            let x_b: Vec<Point> = d.deleted.iter().map(|p| p.value.clone()).collect();
+            let reconciled = rsr_emd::replace_matched(self.space.metric(), bob, &x_b, &x_a);
+            let mut transcript = Transcript::new();
+            transcript.record("alice→bob: RIBLTs", msg.wire_bits());
+            return Ok(EmdOutcome {
+                reconciled,
+                i_star: level + 1,
+                decoded: (x_a.len(), x_b.len()),
+                transcript,
+            });
+        }
+        Err(EmdFailure)
+    }
+
+    /// Convenience: run the whole one-round protocol.
+    pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<EmdOutcome, EmdFailure> {
+        let msg = self.alice_encode(alice);
+        self.bob_decode(&msg, bob)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rsr_emd::{emd, emd_k};
+    use rsr_metric::Metric;
+
+    /// Noisy-cluster workload on the binary cube: `n − k` shared points
+    /// with ≤ 1 bit of noise, `k` arbitrary outliers per side.
+    fn hamming_workload(
+        n: usize,
+        k: usize,
+        dim: usize,
+        seed: u64,
+    ) -> (MetricSpace, Vec<Point>, Vec<Point>) {
+        let space = MetricSpace::hamming(dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alice = Vec::with_capacity(n);
+        let mut bob = Vec::with_capacity(n);
+        for _ in 0..n - k {
+            let base: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+            let mut noisy = base.clone();
+            let flip = rng.gen_range(0..dim);
+            noisy[flip] = !noisy[flip];
+            alice.push(Point::from_bits(&base));
+            bob.push(Point::from_bits(&noisy));
+        }
+        for _ in 0..k {
+            alice.push(Point::from_bits(
+                &(0..dim).map(|_| rng.gen()).collect::<Vec<bool>>(),
+            ));
+            bob.push(Point::from_bits(
+                &(0..dim).map(|_| rng.gen()).collect::<Vec<bool>>(),
+            ));
+        }
+        (space, alice, bob)
+    }
+
+    #[test]
+    fn identical_sets_round_trip() {
+        let space = MetricSpace::hamming(32);
+        let mut rng = StdRng::seed_from_u64(80);
+        let pts: Vec<Point> = (0..50)
+            .map(|_| Point::from_bits(&(0..32).map(|_| rng.gen()).collect::<Vec<bool>>()))
+            .collect();
+        let cfg = EmdProtocolConfig::for_space(&space, 50, 2);
+        let proto = EmdProtocol::new(space, cfg, 81);
+        let out = proto.run(&pts, &pts).expect("identical sets must decode");
+        assert_eq!(out.reconciled.len(), 50);
+        // Everything cancels at the finest level.
+        assert_eq!(out.i_star, cfg.num_levels());
+        assert_eq!(out.decoded, (0, 0));
+        assert_eq!(emd(Metric::Hamming, &out.reconciled, &pts), 0.0);
+    }
+
+    #[test]
+    fn prefix_lens_nondecreasing_and_bounded() {
+        let space = MetricSpace::hamming(64);
+        let cfg = EmdProtocolConfig::for_space(&space, 100, 4);
+        let proto = EmdProtocol::new(space, cfg, 7);
+        let lens = proto.prefix_lens();
+        assert_eq!(lens.len(), cfg.num_levels());
+        assert!(lens.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*lens.last().unwrap() <= proto.num_hash_draws());
+        assert!(lens[0] >= 1);
+    }
+
+    #[test]
+    fn emd_improves_over_no_protocol() {
+        // Outlier-dominated workload: shared points identical, k far
+        // outliers per side. Theorem 3.4 only promises an O(log n)·EMD_k
+        // bound, so improvement is guaranteed only when the pre-protocol
+        // EMD is far above EMD_k — which is exactly this shape.
+        let space = MetricSpace::hamming(48);
+        let mut rng = StdRng::seed_from_u64(82);
+        let mut alice: Vec<Point> = (0..57)
+            .map(|_| Point::from_bits(&(0..48).map(|_| rng.gen()).collect::<Vec<bool>>()))
+            .collect();
+        let mut bob = alice.clone();
+        for _ in 0..3 {
+            alice.push(Point::from_bits(
+                &(0..48).map(|_| rng.gen()).collect::<Vec<bool>>(),
+            ));
+            bob.push(Point::from_bits(
+                &(0..48).map(|_| rng.gen()).collect::<Vec<bool>>(),
+            ));
+        }
+        let cfg = EmdProtocolConfig::for_space(&space, 60, 3);
+        let proto = EmdProtocol::new(space, cfg, 83);
+        let out = proto.run(&alice, &bob).expect("decodable");
+        let before = emd(Metric::Hamming, &alice, &bob);
+        let after = emd(Metric::Hamming, &alice, &out.reconciled);
+        assert!(
+            after < before / 2.0,
+            "protocol did not improve EMD: {after} vs {before}"
+        );
+    }
+
+    #[test]
+    fn approximation_within_log_factor() {
+        // Single-trial smoke version of experiment T5: the ratio
+        // EMD(S_A, S'_B)/EMD_k should be modest (the guarantee is
+        // O(log n) with constant probability; we allow generous slack
+        // and retry over seeds to keep the test deterministic-ish).
+        let mut successes = 0;
+        let trials = 5;
+        for t in 0..trials {
+            let (space, alice, bob) = hamming_workload(40, 2, 32, 90 + t);
+            let cfg = EmdProtocolConfig::for_space(&space, 40, 2);
+            let proto = EmdProtocol::new(space, cfg, 91 + t);
+            let Ok(out) = proto.run(&alice, &bob) else {
+                continue;
+            };
+            let base = emd_k(Metric::Hamming, &alice, &bob, 2).max(1.0);
+            let achieved = emd(Metric::Hamming, &alice, &out.reconciled);
+            if achieved <= 40.0 * (40f64).ln() * base {
+                successes += 1;
+            }
+        }
+        assert!(successes >= 3, "only {successes}/{trials} within bound");
+    }
+
+    #[test]
+    fn communication_is_accounted() {
+        let (space, alice, bob) = hamming_workload(30, 2, 32, 84);
+        let cfg = EmdProtocolConfig::for_space(&space, 30, 2);
+        let proto = EmdProtocol::new(space, cfg, 85);
+        let msg = proto.alice_encode(&alice);
+        let out = proto.bob_decode(&msg, &bob).unwrap();
+        assert_eq!(out.transcript.total_bits(), msg.wire_bits());
+        assert!(msg.wire_bits() > 0);
+        assert_eq!(msg.num_levels(), cfg.num_levels());
+    }
+
+    #[test]
+    fn communication_scales_with_k_not_n() {
+        let space = MetricSpace::hamming(32);
+        let bits = |n: usize, k: usize| {
+            let cfg = EmdProtocolConfig::for_space(&space, n, k);
+            let proto = EmdProtocol::new(space, cfg, 86);
+            let pts: Vec<Point> = (0..n as i64)
+                .map(|i| {
+                    Point::from_bits(&(0..32).map(|j| (i >> (j % 16)) & 1 == 1).collect::<Vec<_>>())
+                })
+                .collect();
+            proto.alice_encode(&pts).wire_bits() as f64
+        };
+        // Doubling k roughly doubles communication; doubling n only adds
+        // log factors.
+        let b_base = bits(100, 2);
+        let b_2k = bits(100, 4);
+        let b_2n = bits(200, 2);
+        assert!(b_2k / b_base > 1.5, "k scaling too weak: {}", b_2k / b_base);
+        assert!(b_2n / b_base < 1.5, "n scaling too strong: {}", b_2n / b_base);
+    }
+
+    #[test]
+    fn reconciled_points_live_in_universe() {
+        let (space, alice, bob) = hamming_workload(40, 2, 24, 87);
+        let cfg = EmdProtocolConfig::for_space(&space, 40, 2);
+        let proto = EmdProtocol::new(space, cfg, 88);
+        let out = proto.run(&alice, &bob).unwrap();
+        for p in &out.reconciled {
+            assert!(space.universe().contains(p), "escaped universe: {p:?}");
+        }
+    }
+
+    #[test]
+    fn l2_space_runs_end_to_end() {
+        let space = MetricSpace::l2(256, 2);
+        let mut rng = StdRng::seed_from_u64(89);
+        let alice: Vec<Point> = (0..30)
+            .map(|_| Point::new(vec![rng.gen_range(0..256), rng.gen_range(0..256)]))
+            .collect();
+        let bob: Vec<Point> = alice
+            .iter()
+            .map(|p| {
+                Point::new(
+                    p.coords()
+                        .iter()
+                        .map(|&c| (c + rng.gen_range(-1..=1)).clamp(0, 255))
+                        .collect(),
+                )
+            })
+            .collect();
+        let cfg = EmdProtocolConfig::for_space(&space, 30, 2);
+        let proto = EmdProtocol::new(space, cfg, 90);
+        // May fail with protocol probability; just require it doesn't panic
+        // and that success yields a sane set.
+        if let Ok(out) = proto.run(&alice, &bob) {
+            assert_eq!(out.reconciled.len(), 30);
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! Theorem 4.5: the low-dimension Gap protocol on one-sided grid LSH.
+//!
+//! For `([Δ]^d, ℓ_p)` the one-sided grid family (`p2 = 0`, Appendix E.1)
+//! lets the protocol run with batch size `m = 1` — no replication is
+//! needed to suppress far collisions because far points *never* collide.
+//! The key length shrinks to `h = Θ(log n / log(1/ρ̂))` with
+//! `ρ̂ = r1·d/r2`, and the far rule becomes "far iff no entry matches"
+//! (`close_threshold = 1`). This saves roughly a `log(r2/r1)` factor over
+//! Theorem 4.2 in constant dimension.
+
+use crate::gap_protocol::GapConfig;
+use rsr_hash::OneSidedGridFamily;
+use rsr_metric::MetricSpace;
+use rsr_setsofsets::estimate_fp_cells;
+
+/// Derives the Theorem 4.5 configuration and family for a low-dimensional
+/// `ℓ_p` space. Requires `ρ̂ = r1·d/r2 < 1` (the theorem's regime).
+pub fn low_dim_gap_config(
+    space: &MetricSpace,
+    n: usize,
+    k: usize,
+    r1: f64,
+    r2: f64,
+) -> (OneSidedGridFamily, GapConfig) {
+    let n = n.max(2);
+    let p = space.metric().p_exponent();
+    let family = OneSidedGridFamily::new(space.dim(), p, r1, r2);
+    let rho_hat = family.rho_hat();
+    assert!(
+        rho_hat < 1.0,
+        "Theorem 4.5 requires ρ̂ = r1·d/r2 = {rho_hat} < 1"
+    );
+    // h = Θ(log n / log(1/ρ̂)): each close pair misses all h entries with
+    // probability ≤ ρ̂^h = 1/poly(n).
+    let h = ((2.0 * (n as f64).ln() / (1.0 / rho_hat).ln()).ceil() as usize).max(4);
+    let log_n = (n as f64).log2().ceil() as u32;
+    // Expected differing keys: a close pair's entry differs w.p. ≤ ρ̂.
+    let p_key_equal = (1.0 - rho_hat).powi(h as i32);
+    let expected_diffs = 2 * (k + ((n as f64) * (1.0 - p_key_equal)).ceil() as usize) + 4;
+    let config = GapConfig {
+        r1,
+        r2,
+        k,
+        h,
+        m: 1,
+        entry_bits: (2 * log_n + 6).clamp(16, 61),
+        close_threshold: 1,
+        fp_cells: estimate_fp_cells(expected_diffs),
+    };
+    (family, config)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gap_protocol::{verify_gap_guarantee, GapProtocol};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rsr_metric::Point;
+
+    fn l1_workload(
+        n: usize,
+        k: usize,
+        delta: i64,
+        r1: i64,
+        r2: f64,
+        seed: u64,
+    ) -> (MetricSpace, Vec<Point>, Vec<Point>) {
+        let dim = 2;
+        let space = MetricSpace::l1(delta, dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alice = Vec::new();
+        let mut bob = Vec::new();
+        for _ in 0..n - k {
+            let base: Vec<i64> = (0..dim).map(|_| rng.gen_range(0..delta)).collect();
+            let noisy: Vec<i64> = base
+                .iter()
+                .map(|&c| (c + rng.gen_range(-r1 / 2..=r1 / 2)).clamp(0, delta - 1))
+                .collect();
+            alice.push(Point::new(base));
+            bob.push(Point::new(noisy));
+        }
+        for i in 0..k {
+            // Far outliers: Alice's in one corner region, Bob's points far.
+            alice.push(Point::new(vec![
+                delta - 1 - i as i64,
+                delta - 1,
+            ]));
+            bob.push(Point::new(vec![i as i64, 0]));
+        }
+        let _ = r2;
+        (space, alice, bob)
+    }
+
+    #[test]
+    fn config_has_one_sided_shape() {
+        let space = MetricSpace::l1(1024, 2);
+        let (fam, cfg) = low_dim_gap_config(&space, 100, 3, 2.0, 64.0);
+        assert_eq!(cfg.m, 1);
+        assert_eq!(cfg.close_threshold, 1);
+        assert!(fam.rho_hat() < 1.0);
+        assert!(cfg.h >= 4);
+    }
+
+    #[test]
+    fn shorter_keys_than_general_protocol() {
+        // With a healthy gap, Theorem 4.5's h is below Theorem 4.2's.
+        let space = MetricSpace::l1(4096, 2);
+        let (_, cfg) = low_dim_gap_config(&space, 1000, 3, 1.0, 512.0);
+        let general_h = ((1000f64).log2().ceil() as usize * 4).max(16);
+        assert!(
+            cfg.h < general_h,
+            "low-dim h = {} not below general h = {general_h}",
+            cfg.h
+        );
+    }
+
+    #[test]
+    fn gap_guarantee_holds_l1() {
+        let (space, alice, bob) = l1_workload(50, 2, 1024, 4, 256.0, 110);
+        let (fam, cfg) = low_dim_gap_config(&space, 50, 2, 4.0, 256.0);
+        let proto = GapProtocol::new(space, &fam, cfg, 111);
+        let out = proto.run(&alice, &bob).expect("low-dim protocol succeeds");
+        assert!(verify_gap_guarantee(&space, &alice, &out.reconciled, 256.0));
+    }
+
+    #[test]
+    fn far_points_recovered_l2() {
+        let space = MetricSpace::l2(1024, 2);
+        let mut rng = StdRng::seed_from_u64(112);
+        let shared: Vec<Point> = (0..40)
+            .map(|_| Point::new(vec![rng.gen_range(0..1024), rng.gen_range(0..1024)]))
+            .collect();
+        let mut alice = shared.clone();
+        alice.push(Point::new(vec![1000, 1000]));
+        let mut bob = shared;
+        bob.push(Point::new(vec![5, 5]));
+        let (fam, cfg) = low_dim_gap_config(&space, 41, 1, 2.0, 300.0);
+        let proto = GapProtocol::new(space, &fam, cfg, 113);
+        let out = proto.run(&alice, &bob).unwrap();
+        assert!(verify_gap_guarantee(&space, &alice, &out.reconciled, 300.0));
+    }
+
+    #[test]
+    #[should_panic]
+    fn rho_hat_at_least_one_rejected() {
+        let space = MetricSpace::l1(100, 8);
+        // r1·d/r2 = 2·8/4 = 4 ≥ 1.
+        low_dim_gap_config(&space, 10, 1, 2.0, 4.0);
+    }
+}

@@ -1,0 +1,360 @@
+//! The Gap Guarantee protocol of §4.1 (Theorem 4.2).
+//!
+//! Four rounds. Each party builds, for every point, a **key**: a vector of
+//! `h = Θ(log n)` entries, each entry a pairwise hash of a batch of
+//! `m = ⌈log_{p2}(1/2)⌉` LSH values. Far points (distance > r2) get keys
+//! that agree in few entries; close points (distance ≤ r1) agree in most.
+//! Rounds 1–3 run the sets-of-sets reconciliation substrate so Alice
+//! recovers the multiset of Bob's keys; in round 4 she transmits every
+//! element whose key differs in sufficiently many entries
+//! (`> h·(1/2 − ε/6)` mismatches, i.e. fewer than `h·(1/2 + ε/6)`
+//! matches) from every one of Bob's keys. Bob finishes with
+//! `S'_B = S_B ∪ T_A`, which contains a point within `r2` of every point
+//! of `S_A` with probability ≥ 1 − 1/n.
+
+use crate::transcript::Transcript;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rsr_hash::keys::{BatchKeyer, GapKey};
+use rsr_hash::LshFamily;
+use rsr_metric::{MetricSpace, Point};
+use rsr_setsofsets::{estimate_fp_cells, reconcile, SosConfig, SosError};
+use std::fmt;
+
+/// Parameters of the Gap protocol (derive with [`GapConfig::for_params`]).
+#[derive(Clone, Copy, Debug)]
+pub struct GapConfig {
+    /// Near radius `r1`.
+    pub r1: f64,
+    /// Far radius `r2`.
+    pub r2: f64,
+    /// Bound `k` on far points per side.
+    pub k: usize,
+    /// Entries per key, `h = Θ(log n)`.
+    pub h: usize,
+    /// LSH values per entry, `m = ⌈log_{p2}(1/2)⌉`.
+    pub m: usize,
+    /// Bits per key entry (`Θ(log n)`).
+    pub entry_bits: u32,
+    /// Minimum entry matches for a key to count as *close* to one of
+    /// Bob's. Theorem 4.2 uses `⌈h(1/2 + ε/6)⌉`; Theorem 4.5 uses 1.
+    pub close_threshold: usize,
+    /// Cells for the sets-of-sets fingerprint IBLT.
+    pub fp_cells: usize,
+}
+
+impl GapConfig {
+    /// Derives the Theorem 4.2 parameters from the LSH family's
+    /// `(r1, r2, p1, p2)` guarantee and the instance size.
+    ///
+    /// Requires `ρ = log p1 / log p2 ≤ 1 − ε` for some `ε > 0`, which
+    /// holds whenever `p1 > p2`.
+    pub fn for_params(params: rsr_hash::lsh::LshParams, n: usize, k: usize) -> Self {
+        let n = n.max(2);
+        let rho = params.rho();
+        let epsilon = (1.0 - rho).max(0.05);
+        // m = ⌈log_{p2}(1/2)⌉ so a far pair matches a batch w.p. ≤ 1/2.
+        let m = if params.p2 <= 0.5 {
+            1
+        } else {
+            ((0.5f64).ln() / params.p2.ln()).ceil() as usize
+        };
+        let h = ((n as f64).log2().ceil() as usize * 4).max(16);
+        let close_threshold = ((h as f64) * (0.5 + epsilon / 6.0)).ceil() as usize;
+        let log_n = (n as f64).log2().ceil() as u32;
+        // Expected number of differing keys: k far per side plus close
+        // pairs whose mh LSH draws did not all agree.
+        let p_key_equal = params.p1.powf((m * h) as f64);
+        let expected_diffs = 2 * (k + ((n as f64) * (1.0 - p_key_equal)).ceil() as usize) + 4;
+        GapConfig {
+            r1: params.r1,
+            r2: params.r2,
+            k,
+            h,
+            m,
+            entry_bits: (2 * log_n + 6).clamp(16, 61),
+            close_threshold: close_threshold.min(h),
+            fp_cells: estimate_fp_cells(expected_diffs),
+        }
+    }
+}
+
+/// Errors of the Gap protocol.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum GapError {
+    /// The sets-of-sets substrate failed (difference exceeded sizing).
+    SetsOfSets(SosError),
+}
+
+impl fmt::Display for GapError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GapError::SetsOfSets(e) => write!(f, "sets-of-sets reconciliation failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for GapError {}
+
+impl From<SosError> for GapError {
+    fn from(e: SosError) -> Self {
+        GapError::SetsOfSets(e)
+    }
+}
+
+/// Result of a Gap protocol run.
+#[derive(Clone, Debug)]
+pub struct GapOutcome {
+    /// Bob's final set `S'_B = S_B ∪ T_A`.
+    pub reconciled: Vec<Point>,
+    /// The transmitted far points `T_A ⊆ S_A`.
+    pub transmitted: Vec<Point>,
+    /// Number of Alice keys classified far.
+    pub far_keys: usize,
+    /// Communication transcript (4 messages).
+    pub transcript: Transcript,
+}
+
+/// The Gap Guarantee protocol, generic over the LSH family.
+pub struct GapProtocol<F: LshFamily> {
+    space: MetricSpace,
+    config: GapConfig,
+    keyer: BatchKeyer<F>,
+}
+
+impl<F: LshFamily> GapProtocol<F> {
+    /// Creates the protocol; both parties use the same family, config and
+    /// seed (public coins).
+    pub fn new(space: MetricSpace, family: &F, config: GapConfig, seed: u64) -> Self {
+        assert!(config.r1 < config.r2);
+        assert!(config.h >= 1 && config.m >= 1);
+        assert!(config.close_threshold >= 1 && config.close_threshold <= config.h);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6a90_0001);
+        let keyer = BatchKeyer::sample(family, config.h, config.m, config.entry_bits, &mut rng);
+        GapProtocol {
+            space,
+            config,
+            keyer,
+        }
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GapConfig {
+        &self.config
+    }
+
+    /// The key of a point (exposed for experiments).
+    pub fn key_of(&self, p: &Point) -> GapKey {
+        self.keyer.key(p)
+    }
+
+    /// Runs the full four-round protocol.
+    ///
+    /// The message flow is Bob → Alice → Bob → Alice (rounds 1–3, the
+    /// sets-of-sets substrate) then Alice → Bob (round 4, far elements).
+    pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<GapOutcome, GapError> {
+        let alice_keys: Vec<GapKey> = alice.iter().map(|p| self.keyer.key(p)).collect();
+        let bob_keys: Vec<GapKey> = bob.iter().map(|p| self.keyer.key(p)).collect();
+
+        // Rounds 1–3: Alice recovers Bob's key multiset.
+        let sos_cfg = SosConfig {
+            fp_cells: self.config.fp_cells,
+            q: 3,
+            seed: 0x6a90_5050,
+            entry_bits: self.config.entry_bits,
+        };
+        let sos = reconcile(&alice_keys, &bob_keys, &sos_cfg)?;
+
+        // Alice classifies each of her keys: far iff it matches every Bob
+        // key in fewer than `close_threshold` entries.
+        let mut transmitted = Vec::new();
+        let mut far_keys = 0usize;
+        for (p, key) in alice.iter().zip(&alice_keys) {
+            let close = sos
+                .bob_multiset
+                .iter()
+                .any(|bk| BatchKeyer::<F>::matches(key, bk) >= self.config.close_threshold);
+            if !close {
+                far_keys += 1;
+                transmitted.push(p.clone());
+            }
+        }
+
+        // Round 4: ship the far elements raw.
+        let round4_bits = transmitted.len() as u64 * self.space.universe().point_wire_bits() + 32;
+        let mut transcript = Transcript::new();
+        transcript.record("bob→alice: fingerprint IBLT", sos.round_bits.0);
+        transcript.record("alice→bob: requested fingerprints", sos.round_bits.1);
+        transcript.record("bob→alice: differing keys", sos.round_bits.2);
+        transcript.record("alice→bob: far elements", round4_bits);
+
+        let mut reconciled = bob.to_vec();
+        reconciled.extend(transmitted.iter().cloned());
+        Ok(GapOutcome {
+            reconciled,
+            transmitted,
+            far_keys,
+            transcript,
+        })
+    }
+}
+
+/// Checks the Gap Guarantee postcondition: every point of `alice` has a
+/// point of `reconciled` within `r2`.
+pub fn verify_gap_guarantee(
+    space: &MetricSpace,
+    alice: &[Point],
+    reconciled: &[Point],
+    r2: f64,
+) -> bool {
+    alice
+        .iter()
+        .all(|a| space.nearest_distance(a, reconciled) <= r2 + 1e-9)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+    use rsr_hash::BitSamplingFamily;
+    use rsr_hash::lsh::LshParams;
+
+    /// Sensor-style Hamming workload: shared points with ≤ r1 bits of
+    /// noise plus `k` far outliers on Alice's side.
+    fn workload(
+        n: usize,
+        k: usize,
+        dim: usize,
+        r1: usize,
+        r2: usize,
+        seed: u64,
+    ) -> (MetricSpace, Vec<Point>, Vec<Point>) {
+        let space = MetricSpace::hamming(dim);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut alice = Vec::new();
+        let mut bob = Vec::new();
+        for _ in 0..n - k {
+            let base: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+            let mut noisy = base.clone();
+            for _ in 0..rng.gen_range(0..=r1) {
+                let j = rng.gen_range(0..dim);
+                noisy[j] = !noisy[j];
+            }
+            // Noise may overshoot r1 by flipping the same bit twice; that
+            // only makes the instance easier to satisfy, never invalid.
+            alice.push(Point::from_bits(&base));
+            bob.push(Point::from_bits(&noisy));
+        }
+        // k far outliers for Alice: flip > r2 bits of a shared base.
+        for _ in 0..k {
+            let base: Vec<bool> = (0..dim).map(|_| rng.gen()).collect();
+            bob.push(Point::from_bits(&base));
+            let mut far = base;
+            for bit in far.iter_mut().take((2 * r2).min(dim)) {
+                *bit = !*bit;
+            }
+            alice.push(Point::from_bits(&far));
+        }
+        (space, alice, bob)
+    }
+
+    fn hamming_family_and_params(dim: usize, r1: f64, r2: f64) -> (BitSamplingFamily, LshParams) {
+        let fam = BitSamplingFamily::new(dim, dim as f64);
+        let p1 = 1.0 - r1 / dim as f64;
+        let p2 = 1.0 - r2 / dim as f64;
+        (fam, LshParams::new(r1, r2, p1, p2))
+    }
+
+    #[test]
+    fn config_derivation_is_sane() {
+        let (_, params) = hamming_family_and_params(128, 2.0, 40.0);
+        let cfg = GapConfig::for_params(params, 100, 3);
+        assert!(cfg.m >= 1);
+        assert!(cfg.h >= 16);
+        assert!(cfg.close_threshold > cfg.h / 2);
+        assert!(cfg.close_threshold <= cfg.h);
+        assert!(cfg.fp_cells >= 24);
+    }
+
+    #[test]
+    fn gap_guarantee_holds_on_sensor_workload() {
+        let (space, alice, bob) = workload(60, 2, 128, 2, 40, 100);
+        let (fam, params) = hamming_family_and_params(128, 2.0, 40.0);
+        let cfg = GapConfig::for_params(params, 60, 2);
+        let proto = GapProtocol::new(space, &fam, cfg, 101);
+        let out = proto.run(&alice, &bob).expect("protocol should succeed");
+        assert!(
+            verify_gap_guarantee(&space, &alice, &out.reconciled, 40.0),
+            "gap guarantee violated"
+        );
+        assert_eq!(out.transcript.num_messages(), 4);
+    }
+
+    #[test]
+    fn far_points_are_transmitted() {
+        let (space, alice, bob) = workload(40, 3, 128, 1, 50, 102);
+        let (fam, params) = hamming_family_and_params(128, 1.0, 50.0);
+        let cfg = GapConfig::for_params(params, 40, 3);
+        let proto = GapProtocol::new(space, &fam, cfg, 103);
+        let out = proto.run(&alice, &bob).unwrap();
+        // Every Alice point at distance > r2 from all of Bob's must be in
+        // the transmitted set (T_A contains at least those).
+        for a in &alice {
+            if space.nearest_distance(a, &bob) > 50.0 {
+                assert!(
+                    out.transmitted.contains(a),
+                    "far point not transmitted: {a:?}"
+                );
+            }
+        }
+        assert!(out.far_keys >= 3);
+    }
+
+    #[test]
+    fn identical_sets_transmit_nothing() {
+        let space = MetricSpace::hamming(64);
+        let mut rng = StdRng::seed_from_u64(104);
+        let pts: Vec<Point> = (0..50)
+            .map(|_| Point::from_bits(&(0..64).map(|_| rng.gen()).collect::<Vec<bool>>()))
+            .collect();
+        let (fam, params) = hamming_family_and_params(64, 1.0, 20.0);
+        let cfg = GapConfig::for_params(params, 50, 1);
+        let proto = GapProtocol::new(space, &fam, cfg, 105);
+        let out = proto.run(&pts, &pts).unwrap();
+        assert!(out.transmitted.is_empty());
+        assert_eq!(out.reconciled.len(), 50);
+    }
+
+    #[test]
+    fn close_transmissions_are_rare() {
+        // False positives (close points transmitted) waste bandwidth but
+        // never break correctness; they should be rare.
+        let (space, alice, bob) = workload(80, 0, 128, 1, 40, 106);
+        let (fam, params) = hamming_family_and_params(128, 1.0, 40.0);
+        let cfg = GapConfig::for_params(params, 80, 0);
+        let proto = GapProtocol::new(space, &fam, cfg, 107);
+        let out = proto.run(&alice, &bob).unwrap();
+        assert!(
+            out.transmitted.len() <= 8,
+            "too many spurious transmissions: {}",
+            out.transmitted.len()
+        );
+    }
+
+    #[test]
+    fn communication_beats_naive_for_large_d() {
+        let dim = 512;
+        let (space, alice, bob) = workload(50, 2, dim, 2, 150, 108);
+        let (fam, params) = hamming_family_and_params(dim, 2.0, 150.0);
+        let cfg = GapConfig::for_params(params, 50, 2);
+        let proto = GapProtocol::new(space, &fam, cfg, 109);
+        let out = proto.run(&alice, &bob).unwrap();
+        let naive_bits = 50 * dim as u64;
+        assert!(
+            out.transcript.total_bits() < naive_bits,
+            "protocol {} bits ≥ naive {}",
+            out.transcript.total_bits(),
+            naive_bits
+        );
+    }
+}

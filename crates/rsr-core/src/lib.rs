@@ -1,0 +1,41 @@
+//! The paper's protocols: robust set reconciliation in the EMD and Gap
+//! Guarantee models.
+//!
+//! * [`emd_protocol`] — Algorithm 1: multi-resolution MLSH keys in Robust
+//!   IBLTs; one message Alice → Bob; `O(log n)`-approximate EMD repair
+//!   (Theorem 3.4, Corollary 3.5).
+//! * [`emd_scaled`] — the Corollary 3.6 wrapper: split `[D1, D2]` into
+//!   `O(log(D2/D1))` constant-ratio intervals and run Algorithm 1 in
+//!   parallel on each.
+//! * [`gap_protocol`] — the four-round Gap Guarantee protocol of §4.1
+//!   (Theorem 4.2): LSH-batch keys, sets-of-sets reconciliation, far-key
+//!   detection, far-point transmission.
+//! * [`gap_low_dim`] — the Theorem 4.5 variant for low-dimensional `ℓ_p`
+//!   spaces built on the one-sided (`p2 = 0`) grid LSH.
+//! * [`set_recon`] — exact set reconciliation (the `EMD_k = 0` fallback the
+//!   paper mentions in §3).
+//! * [`mlsh_select`] — metric-driven choice of MLSH family and width,
+//!   implementing the parameter requirements of Theorem 3.4
+//!   (`r ≥ min(M, D2)`, `p ≥ e^{−k/(24·D2)}`).
+//! * [`lower_bound`] — the Theorem 4.6 reduction from the index problem
+//!   (with a greedy Gilbert–Varshamov code standing in for Reed–Muller),
+//!   plus a one-round straw-man protocol to measure against.
+//! * [`transcript`] — bit-exact communication accounting.
+
+pub mod emd_protocol;
+pub mod emd_scaled;
+pub mod gap_low_dim;
+pub mod gap_protocol;
+pub mod lower_bound;
+pub mod mlsh_select;
+pub mod set_recon;
+pub mod transcript;
+pub mod two_way;
+
+pub use emd_protocol::{EmdFailure, EmdMessage, EmdOutcome, EmdProtocol, EmdProtocolConfig};
+pub use emd_scaled::ScaledEmdProtocol;
+pub use gap_low_dim::low_dim_gap_config;
+pub use gap_protocol::{verify_gap_guarantee, GapConfig, GapError, GapOutcome, GapProtocol};
+pub use set_recon::{exact_reconcile, ExactOutcome, ExactReconError};
+pub use transcript::Transcript;
+pub use two_way::{two_way_emd, two_way_gap, TwoWayEmdOutcome, TwoWayGapOutcome};

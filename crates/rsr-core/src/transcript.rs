@@ -1,0 +1,87 @@
+//! Bit-exact communication accounting.
+//!
+//! Every protocol in this crate reports its communication through a
+//! [`Transcript`]: a labelled list of messages with their wire sizes in
+//! bits. The experiments compare these totals against the paper's bounds
+//! (e.g. Corollary 3.5's `O(k·d·log n·log(dn))`), so nothing may bypass
+//! the accounting.
+
+use std::fmt;
+
+/// A labelled record of every message a protocol run sent.
+#[derive(Clone, Debug, Default)]
+pub struct Transcript {
+    entries: Vec<(String, u64)>,
+}
+
+impl Transcript {
+    /// Creates an empty transcript.
+    pub fn new() -> Self {
+        Transcript::default()
+    }
+
+    /// Records a message of `bits` bits.
+    pub fn record(&mut self, label: impl Into<String>, bits: u64) {
+        self.entries.push((label.into(), bits));
+    }
+
+    /// Total bits across all messages.
+    pub fn total_bits(&self) -> u64 {
+        self.entries.iter().map(|(_, b)| b).sum()
+    }
+
+    /// Total bytes (rounded up).
+    pub fn total_bytes(&self) -> u64 {
+        self.total_bits().div_ceil(8)
+    }
+
+    /// Number of messages (= rounds for alternating protocols).
+    pub fn num_messages(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Iterates over `(label, bits)` entries.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.entries.iter().map(|(l, b)| (l.as_str(), *b))
+    }
+}
+
+impl fmt::Display for Transcript {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, bits) in &self.entries {
+            writeln!(f, "{label}: {bits} bits")?;
+        }
+        write!(f, "total: {} bits", self.total_bits())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn totals_sum_entries() {
+        let mut t = Transcript::new();
+        t.record("round 1", 100);
+        t.record("round 2", 28);
+        assert_eq!(t.total_bits(), 128);
+        assert_eq!(t.total_bytes(), 16);
+        assert_eq!(t.num_messages(), 2);
+    }
+
+    #[test]
+    fn bytes_round_up() {
+        let mut t = Transcript::new();
+        t.record("x", 9);
+        assert_eq!(t.total_bytes(), 2);
+    }
+
+    #[test]
+    fn display_lists_entries() {
+        let mut t = Transcript::new();
+        t.record("m", 8);
+        let s = format!("{t}");
+        assert!(s.contains("m: 8 bits"));
+        assert!(s.contains("total: 8 bits"));
+    }
+}

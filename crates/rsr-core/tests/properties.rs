@@ -1,0 +1,134 @@
+//! Property-based tests for the protocol layer: invariants that must hold
+//! for *every* input, not just the statistical guarantees.
+
+use proptest::prelude::*;
+use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use rsr_core::gap_protocol::{GapConfig, GapProtocol};
+use rsr_core::lower_bound::gv_code;
+use rsr_core::set_recon::exact_reconcile;
+use rsr_hash::lsh::LshParams;
+use rsr_hash::BitSamplingFamily;
+use rsr_metric::{MetricSpace, Point};
+use std::collections::BTreeSet;
+
+fn binary_points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::btree_set(prop::collection::vec(0i64..2, dim), n..=n)
+        .prop_map(|s| s.into_iter().map(Point::new).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The EMD protocol's output always has |S'_B| = |S_B| and stays in
+    /// the universe, whatever the inputs (success or not, noise or not).
+    #[test]
+    fn emd_output_invariants(
+        alice in binary_points(20, 16),
+        bob in binary_points(20, 16),
+        seed in 0u64..200,
+    ) {
+        let space = MetricSpace::hamming(16);
+        let cfg = EmdProtocolConfig::for_space(&space, 20, 2);
+        let proto = EmdProtocol::new(space, cfg, seed);
+        if let Ok(out) = proto.run(&alice, &bob) {
+            prop_assert_eq!(out.reconciled.len(), bob.len());
+            for p in &out.reconciled {
+                prop_assert!(space.universe().contains(p));
+            }
+            prop_assert!(out.i_star >= 1 && out.i_star <= cfg.num_levels());
+            prop_assert!(out.decoded.0 <= 2 * cfg.k && out.decoded.1 <= 2 * cfg.k);
+        }
+    }
+
+    /// Identical inputs always reconcile to the identical set (whatever
+    /// the seed): everything cancels at the finest level.
+    #[test]
+    fn emd_identical_sets_fixed_point(
+        pts in binary_points(15, 24),
+        seed in 0u64..200,
+    ) {
+        let space = MetricSpace::hamming(24);
+        let cfg = EmdProtocolConfig::for_space(&space, 15, 2);
+        let proto = EmdProtocol::new(space, cfg, seed);
+        let out = proto.run(&pts, &pts).expect("identical sets always decode");
+        let got: BTreeSet<_> = out.reconciled.iter().cloned().collect();
+        let want: BTreeSet<_> = pts.iter().cloned().collect();
+        prop_assert_eq!(got, want);
+        prop_assert_eq!(out.decoded, (0, 0));
+    }
+
+    /// The Gap protocol's output is always a superset of Bob's set, and
+    /// everything it adds comes verbatim from Alice's set.
+    #[test]
+    fn gap_output_superset_and_provenance(
+        alice in binary_points(15, 32),
+        bob in binary_points(15, 32),
+        seed in 0u64..100,
+    ) {
+        let dim = 32;
+        let space = MetricSpace::hamming(dim);
+        let fam = BitSamplingFamily::new(dim, dim as f64);
+        let params = LshParams::new(1.0, 12.0, 1.0 - 1.0 / dim as f64, 1.0 - 12.0 / dim as f64);
+        // Generic inputs may exceed the auto-sized fingerprint table, so
+        // oversize it: correctness (not communication) is under test.
+        let mut cfg = GapConfig::for_params(params, 15, 4);
+        cfg.fp_cells = 256;
+        let proto = GapProtocol::new(space, &fam, cfg, seed);
+        if let Ok(out) = proto.run(&alice, &bob) {
+            let alice_set: BTreeSet<_> = alice.iter().cloned().collect();
+            let bob_set: BTreeSet<_> = bob.iter().cloned().collect();
+            for p in &bob {
+                prop_assert!(out.reconciled.contains(p));
+            }
+            for p in &out.transmitted {
+                prop_assert!(alice_set.contains(p), "transmitted point not Alice's");
+            }
+            prop_assert_eq!(out.reconciled.len(), bob_set.len() + out.transmitted.len());
+        }
+    }
+
+    /// Exact reconciliation either returns Alice's set exactly or reports
+    /// failure — never a silently wrong set.
+    #[test]
+    fn exact_recon_all_or_nothing(
+        alice in binary_points(12, 20),
+        bob in binary_points(12, 20),
+        seed in 0u64..200,
+    ) {
+        let space = MetricSpace::hamming(20);
+        if let Ok(out) = exact_reconcile(&space, &alice, &bob, 30, seed) {
+            let got: BTreeSet<_> = out.alice_set.into_iter().collect();
+            let want: BTreeSet<_> = alice.into_iter().collect();
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// GV codes, when they exist, always respect the minimum distance.
+    #[test]
+    fn gv_code_min_distance(count in 2usize..10, seed in 0u64..100) {
+        let len = 48;
+        let min_dist = 12;
+        if let Some(code) = gv_code(count, len, min_dist, seed) {
+            prop_assert_eq!(code.len(), count);
+            for i in 0..count {
+                prop_assert_eq!(code[i].len(), len);
+                for j in (i + 1)..count {
+                    let dist = code[i].iter().zip(&code[j]).filter(|(a, b)| a != b).count();
+                    prop_assert!(dist >= min_dist);
+                }
+            }
+        }
+    }
+
+    /// Transcript totals always equal the sum of their entries.
+    #[test]
+    fn transcript_sums(bits in prop::collection::vec(0u64..1_000_000, 0..10)) {
+        let mut t = rsr_core::Transcript::new();
+        for (i, &b) in bits.iter().enumerate() {
+            t.record(format!("m{i}"), b);
+        }
+        prop_assert_eq!(t.total_bits(), bits.iter().sum::<u64>());
+        prop_assert_eq!(t.num_messages(), bits.len());
+        prop_assert_eq!(t.total_bytes(), t.total_bits().div_ceil(8));
+    }
+}

@@ -1,0 +1,199 @@
+//! The Hungarian (Kuhn–Munkres) assignment algorithm with potentials.
+//!
+//! Solves `min Σ_i cost(i, σ(i))` over injections `σ` from `n` rows into
+//! `m ≥ n` columns in O(n²m) time — the classic shortest-augmenting-path
+//! formulation with dual potentials. The paper uses "the Hungarian method
+//! (\[20\])" both for computing EMD exactly and for Bob's min-cost matching
+//! between the decoded points `X_B` and his set `S_B` (Algorithm 1).
+
+/// Solves the rectangular assignment problem.
+///
+/// `cost(i, j)` gives the cost of assigning row `i ∈ 0..n` to column
+/// `j ∈ 0..m`; requires `n ≤ m` and finite costs. Returns, for each row,
+/// the column it is assigned to (all distinct).
+pub fn assign<F>(n: usize, m: usize, cost: F) -> Vec<usize>
+where
+    F: Fn(usize, usize) -> f64,
+{
+    assert!(n <= m, "need at most as many rows ({n}) as columns ({m})");
+    if n == 0 {
+        return Vec::new();
+    }
+    const INF: f64 = f64::INFINITY;
+    // 1-indexed arrays, following the classic formulation; p[j] is the row
+    // matched to column j (0 = none).
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1];
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if !used[j] {
+                    let c = cost(i0 - 1, j - 1);
+                    debug_assert!(c.is_finite(), "cost({}, {}) not finite", i0 - 1, j - 1);
+                    let cur = c - u[i0] - v[j];
+                    if cur < minv[j] {
+                        minv[j] = cur;
+                        way[j] = j0;
+                    }
+                    if minv[j] < delta {
+                        delta = minv[j];
+                        j1 = j;
+                    }
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Unwind the augmenting path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut result = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            result[p[j] - 1] = j - 1;
+        }
+    }
+    debug_assert!(result.iter().all(|&c| c != usize::MAX));
+    result
+}
+
+/// Total cost of an assignment under a cost function.
+pub fn assignment_cost<F>(assignment: &[usize], cost: F) -> f64
+where
+    F: Fn(usize, usize) -> f64,
+{
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(i, &j)| cost(i, j))
+        .sum()
+}
+
+/// Brute-force reference: tries every injection (only for tiny `n`).
+pub fn assign_brute_force<F>(n: usize, m: usize, cost: F) -> f64
+where
+    F: Fn(usize, usize) -> f64,
+{
+    assert!(n <= m && m <= 9, "brute force limited to tiny instances");
+    fn rec<F: Fn(usize, usize) -> f64>(
+        i: usize,
+        n: usize,
+        m: usize,
+        used: &mut Vec<bool>,
+        cost: &F,
+    ) -> f64 {
+        if i == n {
+            return 0.0;
+        }
+        let mut best = f64::INFINITY;
+        for j in 0..m {
+            if !used[j] {
+                used[j] = true;
+                let c = cost(i, j) + rec(i + 1, n, m, used, cost);
+                if c < best {
+                    best = c;
+                }
+                used[j] = false;
+            }
+        }
+        best
+    }
+    let mut used = vec![false; m];
+    rec(0, n, m, &mut used, &cost)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trivial_one_by_one() {
+        let a = assign(1, 1, |_, _| 5.0);
+        assert_eq!(a, vec![0]);
+    }
+
+    #[test]
+    fn picks_off_diagonal_when_cheaper() {
+        // cost matrix [[10, 1], [1, 10]] → assign 0→1, 1→0.
+        let c = [[10.0, 1.0], [1.0, 10.0]];
+        let a = assign(2, 2, |i, j| c[i][j]);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(assignment_cost(&a, |i, j| c[i][j]), 2.0);
+    }
+
+    #[test]
+    fn rectangular_uses_cheapest_columns() {
+        // 2 rows, 4 columns; columns 2 and 3 are cheap.
+        let c = [[9.0, 9.0, 1.0, 2.0], [9.0, 9.0, 2.0, 1.0]];
+        let a = assign(2, 4, |i, j| c[i][j]);
+        assert_eq!(assignment_cost(&a, |i, j| c[i][j]), 2.0);
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(60);
+        for trial in 0..200 {
+            let n = rng.gen_range(1..=5);
+            let m = rng.gen_range(n..=7);
+            let costs: Vec<Vec<f64>> = (0..n)
+                .map(|_| (0..m).map(|_| rng.gen_range(0..100) as f64).collect())
+                .collect();
+            let a = assign(n, m, |i, j| costs[i][j]);
+            let got = assignment_cost(&a, |i, j| costs[i][j]);
+            let want = assign_brute_force(n, m, |i, j| costs[i][j]);
+            assert!((got - want).abs() < 1e-9, "trial {trial}: {got} vs {want}");
+            // Assignment must be injective.
+            let set: std::collections::HashSet<_> = a.iter().collect();
+            assert_eq!(set.len(), n);
+        }
+    }
+
+    #[test]
+    fn zero_rows_is_empty() {
+        assert!(assign(0, 5, |_, _| 1.0).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn more_rows_than_columns_rejected() {
+        assign(3, 2, |_, _| 1.0);
+    }
+
+    #[test]
+    fn large_identity_fast_path() {
+        // 200×200 with unique minimum on the diagonal.
+        let n = 200;
+        let a = assign(n, n, |i, j| if i == j { 0.0 } else { 1.0 + (i + j) as f64 });
+        assert!(a.iter().enumerate().all(|(i, &j)| i == j));
+    }
+}

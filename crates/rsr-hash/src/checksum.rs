@@ -1,0 +1,66 @@
+//! Keyed checksums for IBLT / RIBLT cells.
+//!
+//! Each IBLT cell stores, besides the key aggregate, an aggregate of
+//! per-key checksums; a cell is peeled only when the checksum of the
+//! candidate key matches the cell's checksum aggregate (§2.2). The checksum
+//! must be (a) deterministic given the table seed, (b) wide enough that
+//! distinct keys collide with negligible probability, and (c) small enough
+//! that *sums* of `n` of them fit an `i128` (RIBLT cells sum checksums
+//! instead of XOR-ing them).
+
+use crate::mix::mix64;
+
+/// A keyed checksum function: `check(key) = mix64(key ⊕ mix64(seed))`,
+/// truncated to 62 bits so that sums of up to `2^64` checksums fit `i128`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Checksum {
+    seed: u64,
+}
+
+/// Checksum width in bits.
+pub const CHECKSUM_BITS: u32 = 62;
+
+impl Checksum {
+    /// Creates the checksum function for a table seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Checksum { seed }
+    }
+
+    /// Checksum of a key.
+    #[inline]
+    pub fn of(&self, key: u64) -> u64 {
+        mix64(key ^ mix64(self.seed ^ 0xC3A5_C85C_97CB_3127)) & ((1u64 << CHECKSUM_BITS) - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn deterministic() {
+        let c = Checksum::new(5);
+        assert_eq!(c.of(123), c.of(123));
+    }
+
+    #[test]
+    fn seed_changes_function() {
+        assert_ne!(Checksum::new(1).of(99), Checksum::new(2).of(99));
+    }
+
+    #[test]
+    fn fits_width() {
+        let c = Checksum::new(8);
+        for k in 0..1000 {
+            assert!(c.of(k) < (1u64 << CHECKSUM_BITS));
+        }
+    }
+
+    #[test]
+    fn no_collisions_among_small_sample() {
+        let c = Checksum::new(11);
+        let set: HashSet<u64> = (0..10_000).map(|k| c.of(k)).collect();
+        assert_eq!(set.len(), 10_000);
+    }
+}

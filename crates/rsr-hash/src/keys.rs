@@ -1,0 +1,260 @@
+//! LSH-vector key construction.
+//!
+//! Two key shapes appear in the paper:
+//!
+//! * **Multi-resolution prefix keys** (Algorithm 1): draw `s` MLSH functions
+//!   `g_1, …, g_s`; the level-`i` key of a point `a` is
+//!   `h(g_1(a), …, g_{s_i}(a))` for a prefix length `s_i` that doubles with
+//!   the level, where `h` is a pairwise-independent hash with `Θ(log n)`-bit
+//!   range. [`MultiScaleKeyer`] computes all level keys of a point in one
+//!   O(s) pass using an incremental hasher.
+//! * **Batched Gap keys** (§4.1): `h` batches of `m` LSH values, each batch
+//!   collapsed by its own pairwise hash; the key is the vector of the `h`
+//!   batch hashes. [`BatchKeyer`] builds those.
+
+use crate::lsh::{LshFamily, LshFunction};
+use crate::mix::IncrementalHasher;
+use crate::pairwise::PairwiseHash;
+use rand::Rng;
+use rsr_metric::Point;
+
+/// Multi-resolution prefix keyer for Algorithm 1.
+pub struct MultiScaleKeyer<F: LshFamily> {
+    functions: Vec<F::Function>,
+    outer: PairwiseHash,
+}
+
+impl<F: LshFamily> MultiScaleKeyer<F> {
+    /// Draws `s` functions from `family` and an outer pairwise hash with
+    /// `key_bits`-bit range (the paper's `Θ(log n)`).
+    pub fn sample<R: Rng + ?Sized>(family: &F, s: usize, key_bits: u32, rng: &mut R) -> Self {
+        assert!(s >= 1, "need at least one LSH draw");
+        MultiScaleKeyer {
+            functions: family.sample_many(rng, s),
+            outer: PairwiseHash::sample(rng, key_bits),
+        }
+    }
+
+    /// Number of drawn functions `s`.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Computes the key of `p` at every requested prefix length.
+    /// `prefix_lens` must be non-decreasing and each ≤ `s`. Runs in O(s).
+    pub fn level_keys(&self, p: &Point, prefix_lens: &[usize]) -> Vec<u64> {
+        debug_assert!(prefix_lens.windows(2).all(|w| w[0] <= w[1]));
+        debug_assert!(prefix_lens.last().map_or(true, |&l| l <= self.functions.len()));
+        let mut keys = Vec::with_capacity(prefix_lens.len());
+        let mut inc = IncrementalHasher::new(0x4c53_4852);
+        let mut next = prefix_lens.iter().peekable();
+        // Emit keys for prefix length 0 (constant key) if requested.
+        while next.peek() == Some(&&0) {
+            keys.push(self.outer.eval(inc.current()));
+            next.next();
+        }
+        for (idx, f) in self.functions.iter().enumerate() {
+            inc.update(f.hash(p));
+            while next.peek() == Some(&&(idx + 1)) {
+                keys.push(self.outer.eval(inc.current()));
+                next.next();
+            }
+            if next.peek().is_none() {
+                break;
+            }
+        }
+        assert!(next.peek().is_none(), "prefix length exceeds s");
+        keys
+    }
+
+    /// Key of `p` at a single prefix length.
+    pub fn key_at(&self, p: &Point, prefix_len: usize) -> u64 {
+        self.level_keys(p, &[prefix_len])[0]
+    }
+}
+
+/// A Gap-Guarantee key: `h` batch-hash entries.
+pub type GapKey = Vec<u64>;
+
+/// Batched keyer for the Gap Guarantee protocol (§4.1): `h` batches of `m`
+/// LSH values, each batch collapsed by its own pairwise hash.
+pub struct BatchKeyer<F: LshFamily> {
+    batches: Vec<Vec<F::Function>>,
+    hashers: Vec<PairwiseHash>,
+}
+
+impl<F: LshFamily> BatchKeyer<F> {
+    /// Draws `h·m` functions plus `h` pairwise batch hashes with
+    /// `entry_bits`-bit outputs.
+    pub fn sample<R: Rng + ?Sized>(
+        family: &F,
+        h: usize,
+        m: usize,
+        entry_bits: u32,
+        rng: &mut R,
+    ) -> Self {
+        assert!(h >= 1 && m >= 1);
+        BatchKeyer {
+            batches: (0..h).map(|_| family.sample_many(rng, m)).collect(),
+            hashers: (0..h).map(|_| PairwiseHash::sample(rng, entry_bits)).collect(),
+        }
+    }
+
+    /// Number of batches `h` (entries per key).
+    pub fn h(&self) -> usize {
+        self.batches.len()
+    }
+
+    /// Batch size `m` (LSH values per entry).
+    pub fn m(&self) -> usize {
+        self.batches.first().map_or(0, Vec::len)
+    }
+
+    /// Computes the key of a point: the vector of `h` batch hashes.
+    pub fn key(&self, p: &Point) -> GapKey {
+        self.batches
+            .iter()
+            .zip(&self.hashers)
+            .map(|(batch, hasher)| {
+                let values: Vec<u64> = batch.iter().map(|f| f.hash(p)).collect();
+                hasher.eval_tuple(&values)
+            })
+            .collect()
+    }
+
+    /// Number of entry positions two keys agree on.
+    pub fn matches(a: &GapKey, b: &GapKey) -> usize {
+        debug_assert_eq!(a.len(), b.len());
+        a.iter().zip(b).filter(|(x, y)| x == y).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bit_sampling::BitSamplingFamily;
+    use crate::mix::hash_words;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn hamming_pair(d: usize, dist: usize) -> (Point, Point) {
+        let x = Point::from_bits(&vec![false; d]);
+        let mut yb = vec![false; d];
+        for b in yb.iter_mut().take(dist) {
+            *b = true;
+        }
+        (x, Point::from_bits(&yb))
+    }
+
+    #[test]
+    fn level_keys_match_one_shot_recomputation() {
+        let d = 16;
+        let fam = BitSamplingFamily::new(d, 32.0);
+        let mut rng = StdRng::seed_from_u64(40);
+        let keyer = MultiScaleKeyer::sample(&fam, 10, 32, &mut rng);
+        let (x, _) = hamming_pair(d, 0);
+        let lens = vec![1, 3, 3, 7, 10];
+        let keys = keyer.level_keys(&x, &lens);
+        assert_eq!(keys.len(), lens.len());
+        for (i, &l) in lens.iter().enumerate() {
+            assert_eq!(keys[i], keyer.key_at(&x, l), "prefix {l}");
+        }
+        // Duplicate prefix lengths give identical keys.
+        assert_eq!(keys[1], keys[2]);
+    }
+
+    #[test]
+    fn equal_points_get_equal_keys_at_all_levels() {
+        let d = 8;
+        let fam = BitSamplingFamily::new(d, 16.0);
+        let mut rng = StdRng::seed_from_u64(41);
+        let keyer = MultiScaleKeyer::sample(&fam, 12, 30, &mut rng);
+        let (x, _) = hamming_pair(d, 0);
+        let y = x.clone();
+        for l in 1..=12 {
+            assert_eq!(keyer.key_at(&x, l), keyer.key_at(&y, l));
+        }
+    }
+
+    #[test]
+    fn longer_prefixes_separate_close_points_more() {
+        let d = 64;
+        let fam = BitSamplingFamily::new(d, 64.0);
+        let (x, y) = hamming_pair(d, 8);
+        let trials = 400;
+        let mut short_match = 0;
+        let mut long_match = 0;
+        for t in 0..trials {
+            let mut rng = StdRng::seed_from_u64(42 + t);
+            let keyer = MultiScaleKeyer::sample(&fam, 32, 32, &mut rng);
+            if keyer.key_at(&x, 2) == keyer.key_at(&y, 2) {
+                short_match += 1;
+            }
+            if keyer.key_at(&x, 32) == keyer.key_at(&y, 32) {
+                long_match += 1;
+            }
+        }
+        assert!(
+            short_match > long_match,
+            "short {short_match} vs long {long_match}"
+        );
+    }
+
+    #[test]
+    fn batch_keyer_shape_and_determinism() {
+        let d = 16;
+        let fam = BitSamplingFamily::new(d, 16.0);
+        let mut rng = StdRng::seed_from_u64(43);
+        let keyer = BatchKeyer::sample(&fam, 5, 3, 20, &mut rng);
+        assert_eq!(keyer.h(), 5);
+        assert_eq!(keyer.m(), 3);
+        let (x, _) = hamming_pair(d, 0);
+        assert_eq!(keyer.key(&x), keyer.key(&x));
+        assert_eq!(keyer.key(&x).len(), 5);
+    }
+
+    #[test]
+    fn close_keys_match_more_than_far_keys() {
+        let d = 128;
+        let fam = BitSamplingFamily::new(d, 128.0);
+        let mut rng = StdRng::seed_from_u64(44);
+        let keyer = BatchKeyer::sample(&fam, 40, 8, 24, &mut rng);
+        let (x, near) = hamming_pair(d, 2);
+        let (_, far) = hamming_pair(d, 100);
+        let kx = keyer.key(&x);
+        let m_near = BatchKeyer::<BitSamplingFamily>::matches(&kx, &keyer.key(&near));
+        let m_far = BatchKeyer::<BitSamplingFamily>::matches(&kx, &keyer.key(&far));
+        assert!(m_near > m_far, "near {m_near} vs far {m_far}");
+    }
+
+    #[test]
+    fn prefix_zero_is_point_independent() {
+        let d = 8;
+        let fam = BitSamplingFamily::new(d, 16.0);
+        let mut rng = StdRng::seed_from_u64(45);
+        let keyer = MultiScaleKeyer::sample(&fam, 4, 16, &mut rng);
+        let (x, y) = hamming_pair(d, 5);
+        assert_eq!(keyer.key_at(&x, 0), keyer.key_at(&y, 0));
+    }
+
+    #[test]
+    fn incremental_prefix_hash_is_consistent_with_batch() {
+        // The keyer must agree with hashing the explicit prefix directly.
+        let d = 8;
+        let fam = BitSamplingFamily::new(d, 16.0);
+        let mut rng = StdRng::seed_from_u64(46);
+        let keyer = MultiScaleKeyer::sample(&fam, 6, 32, &mut rng);
+        let (x, _) = hamming_pair(d, 3);
+        let gvals: Vec<u64> = keyer.functions.iter().map(|f| f.hash(&x)).collect();
+        for l in 0..=6usize {
+            let mut inc = IncrementalHasher::new(0x4c53_4852);
+            for &g in &gvals[..l] {
+                inc.update(g);
+            }
+            let direct = keyer.outer.eval(inc.current());
+            assert_eq!(direct, keyer.key_at(&x, l), "prefix {l}");
+            // And the incremental state equals hash_words of the prefix.
+            let _ = hash_words(0, &gvals[..l]);
+        }
+    }
+}

@@ -1,0 +1,82 @@
+//! Multi-scale locality sensitive hashing (Definition 2.2 of the paper).
+//!
+//! An MLSH family has collision probability that *gracefully degrades* with
+//! distance: for all `x, y`, `Pr[h(x) = h(y)] ≤ p^{α·f(x,y)}`, and for
+//! `f(x,y) ≤ r`, `Pr[h(x) = h(y)] ≥ p^{f(x,y)}`. This two-sided envelope is
+//! what lets Algorithm 1 hash at many resolutions with a single family by
+//! concatenating more and more draws.
+
+use crate::lsh::LshFamily;
+
+/// Parameters `(r, p, α)` of an MLSH family (Definition 2.2):
+/// `Pr[h(x)=h(y)] ≤ p^{α·f(x,y)}` always, and `Pr[h(x)=h(y)] ≥ p^{f(x,y)}`
+/// whenever `f(x,y) ≤ r`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MlshParams {
+    /// Range `r > 0` on which the lower envelope holds.
+    pub r: f64,
+    /// Base collision probability `p ∈ (0, 1)`.
+    pub p: f64,
+    /// Exponent discount `α ∈ (0, 1)`.
+    pub alpha: f64,
+}
+
+impl MlshParams {
+    /// Creates validated parameters.
+    pub fn new(r: f64, p: f64, alpha: f64) -> Self {
+        assert!(r > 0.0, "need r > 0");
+        assert!(p > 0.0 && p < 1.0, "need 0 < p < 1, got {p}");
+        assert!(alpha > 0.0 && alpha < 1.0, "need 0 < α < 1, got {alpha}");
+        MlshParams { r, p, alpha }
+    }
+
+    /// Upper envelope `p^{α·dist}` on the collision probability.
+    pub fn upper_envelope(&self, dist: f64) -> f64 {
+        self.p.powf(self.alpha * dist)
+    }
+
+    /// Lower envelope `p^{dist}`, valid for `dist ≤ r`.
+    pub fn lower_envelope(&self, dist: f64) -> f64 {
+        self.p.powf(dist)
+    }
+}
+
+/// A multi-scale LSH family: an [`LshFamily`] whose collision probability
+/// additionally satisfies the Definition 2.2 envelopes.
+pub trait MlshFamily: LshFamily {
+    /// The `(r, p, α)` guarantee.
+    fn mlsh_params(&self) -> MlshParams;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn envelopes_ordered() {
+        let m = MlshParams::new(10.0, 0.9, 0.5);
+        for dist in [0.0, 1.0, 5.0, 10.0] {
+            assert!(m.lower_envelope(dist) <= m.upper_envelope(dist) + 1e-12);
+        }
+    }
+
+    #[test]
+    fn envelopes_decrease_with_distance() {
+        let m = MlshParams::new(10.0, 0.8, 0.5);
+        assert!(m.upper_envelope(1.0) > m.upper_envelope(2.0));
+        assert!(m.lower_envelope(1.0) > m.lower_envelope(2.0));
+    }
+
+    #[test]
+    fn zero_distance_always_collides() {
+        let m = MlshParams::new(10.0, 0.8, 0.5);
+        assert_eq!(m.upper_envelope(0.0), 1.0);
+        assert_eq!(m.lower_envelope(0.0), 1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_p_one() {
+        MlshParams::new(1.0, 1.0, 0.5);
+    }
+}

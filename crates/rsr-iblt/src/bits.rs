@@ -1,0 +1,186 @@
+//! Bit-level packing for table serialization.
+//!
+//! The transcript accountant charges protocols per-field bit widths
+//! (`wire_bits`); this module makes those numbers *real*: tables
+//! serialize to byte buffers whose length is exactly the accounted bits
+//! rounded up, via an MSB-first bit writer/reader and zigzag coding for
+//! signed fields.
+
+/// Maps a signed value to an unsigned one with small absolute values
+/// staying small (zigzag coding).
+#[inline]
+pub fn zigzag(v: i64) -> u64 {
+    ((v << 1) ^ (v >> 63)) as u64
+}
+
+/// Inverse of [`zigzag`].
+#[inline]
+pub fn unzigzag(u: u64) -> i64 {
+    ((u >> 1) as i64) ^ -((u & 1) as i64)
+}
+
+/// 128-bit zigzag (RIBLT key/checksum sums).
+#[inline]
+pub fn zigzag128(v: i128) -> u128 {
+    ((v << 1) ^ (v >> 127)) as u128
+}
+
+/// Inverse of [`zigzag128`].
+#[inline]
+pub fn unzigzag128(u: u128) -> i128 {
+    ((u >> 1) as i128) ^ -((u & 1) as i128)
+}
+
+/// MSB-first bit writer.
+#[derive(Default, Debug)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits used in the final byte (0 = byte boundary).
+    partial: u32,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    pub fn new() -> Self {
+        BitWriter::default()
+    }
+
+    /// Writes the low `width` bits of `value` (width ≤ 64). Panics if the
+    /// value does not fit.
+    pub fn write(&mut self, value: u64, width: u32) {
+        assert!(width <= 64);
+        assert!(
+            width == 64 || value < (1u64 << width),
+            "value {value} does not fit {width} bits"
+        );
+        self.write128(value as u128, width);
+    }
+
+    /// Writes the low `width` bits of a 128-bit value (width ≤ 128).
+    pub fn write128(&mut self, value: u128, width: u32) {
+        assert!(width <= 128);
+        assert!(
+            width == 128 || value < (1u128 << width),
+            "value does not fit {width} bits"
+        );
+        for i in (0..width).rev() {
+            let bit = ((value >> i) & 1) as u8;
+            if self.partial == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.last_mut().expect("pushed above");
+            *last |= bit << (7 - self.partial);
+            self.partial = (self.partial + 1) % 8;
+        }
+    }
+
+    /// Number of bits written so far.
+    pub fn bit_len(&self) -> u64 {
+        self.bytes.len() as u64 * 8 - if self.partial == 0 { 0 } else { (8 - self.partial) as u64 }
+    }
+
+    /// Finishes, returning the byte buffer (zero-padded to a byte).
+    pub fn finish(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: u64,
+}
+
+impl<'a> BitReader<'a> {
+    /// Creates a reader over a buffer.
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `width` bits (≤ 64) as an unsigned value. Returns `None` on
+    /// buffer exhaustion.
+    pub fn read(&mut self, width: u32) -> Option<u64> {
+        self.read128(width).map(|v| v as u64)
+    }
+
+    /// Reads `width` bits (≤ 128).
+    pub fn read128(&mut self, width: u32) -> Option<u128> {
+        assert!(width <= 128);
+        if self.pos + width as u64 > self.bytes.len() as u64 * 8 {
+            return None;
+        }
+        let mut out: u128 = 0;
+        for _ in 0..width {
+            let byte = self.bytes[(self.pos / 8) as usize];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | bit as u128;
+            self.pos += 1;
+        }
+        Some(out)
+    }
+
+    /// Bits consumed so far.
+    pub fn bit_pos(&self) -> u64 {
+        self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zigzag_roundtrip() {
+        for v in [0i64, 1, -1, 2, -2, i64::MAX, i64::MIN, 12345, -98765] {
+            assert_eq!(unzigzag(zigzag(v)), v);
+        }
+        for v in [0i128, -1, i128::MAX, i128::MIN, -(1i128 << 100)] {
+            assert_eq!(unzigzag128(zigzag128(v)), v);
+        }
+    }
+
+    #[test]
+    fn zigzag_keeps_small_values_small() {
+        assert_eq!(zigzag(0), 0);
+        assert_eq!(zigzag(-1), 1);
+        assert_eq!(zigzag(1), 2);
+        assert_eq!(zigzag(-2), 3);
+    }
+
+    #[test]
+    fn write_read_roundtrip_mixed_widths() {
+        let mut w = BitWriter::new();
+        w.write(0b101, 3);
+        w.write(0xDEADBEEF, 32);
+        w.write(1, 1);
+        w.write128(0x1234_5678_9ABC_DEF0_1111, 80);
+        let bits = w.bit_len();
+        assert_eq!(bits, 3 + 32 + 1 + 80);
+        let buf = w.finish();
+        assert_eq!(buf.len() as u64, bits.div_ceil(8));
+        let mut r = BitReader::new(&buf);
+        assert_eq!(r.read(3), Some(0b101));
+        assert_eq!(r.read(32), Some(0xDEADBEEF));
+        assert_eq!(r.read(1), Some(1));
+        assert_eq!(r.read128(80), Some(0x1234_5678_9ABC_DEF0_1111));
+        assert_eq!(r.bit_pos(), bits);
+    }
+
+    #[test]
+    fn reader_detects_exhaustion() {
+        let mut w = BitWriter::new();
+        w.write(7, 3);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert!(r.read(3).is_some());
+        // Padding bits remain but a 64-bit read must fail.
+        assert!(r.read(64).is_none());
+    }
+
+    #[test]
+    #[should_panic]
+    fn oversize_value_rejected() {
+        BitWriter::new().write(8, 3);
+    }
+}

@@ -1,0 +1,314 @@
+//! The standard XOR-based IBLT (keys only).
+//!
+//! Used for exact set reconciliation (§2.2: "Bob constructs an O(d) cell
+//! IBLT by adding each of his set elements to it… Alice … deletes each of
+//! her set elements from it") and by the quadtree baseline. Cells hold a
+//! count, a key XOR and a checksum XOR; a cell is *pure* when its count is
+//! ±1 and its checksum matches the checksum of its key XOR. Peeling pure
+//! cells recovers the symmetric difference.
+
+use crate::layout::CellLayout;
+use rsr_hash::checksum::Checksum;
+
+/// One XOR cell.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct XorCell {
+    count: i64,
+    key_xor: u64,
+    check_xor: u64,
+}
+
+impl XorCell {
+    fn is_empty(&self) -> bool {
+        self.count == 0 && self.key_xor == 0 && self.check_xor == 0
+    }
+}
+
+/// A standard IBLT holding 64-bit keys.
+///
+/// The table is *signed*: [`Iblt::insert`] adds a key, [`Iblt::delete`]
+/// removes one (possibly never inserted, driving the count negative). In
+/// reconciliation the inserting party's survivors decode with count `+1`
+/// and the deleting party's with `−1`.
+#[derive(Clone, Debug)]
+pub struct Iblt {
+    layout: CellLayout,
+    checksum: Checksum,
+    cells: Vec<XorCell>,
+}
+
+/// Result of decoding an IBLT.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct IbltDecode {
+    /// Keys recovered with positive sign (inserted-side survivors).
+    pub inserted: Vec<u64>,
+    /// Keys recovered with negative sign (deleted-side survivors).
+    pub deleted: Vec<u64>,
+    /// True if the table fully emptied (every key recovered).
+    pub complete: bool,
+}
+
+impl Iblt {
+    /// Creates an empty table with at least `min_cells` cells and `q` hash
+    /// functions, seeded by `seed`.
+    pub fn new(min_cells: usize, q: usize, seed: u64) -> Self {
+        let layout = CellLayout::new(min_cells, q, seed);
+        Iblt {
+            layout,
+            checksum: Checksum::new(seed ^ 0x1B17),
+            cells: vec![XorCell::default(); layout.num_cells()],
+        }
+    }
+
+    /// Number of cells `m`.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Number of hash functions `q`.
+    pub fn q(&self) -> usize {
+        self.layout.q()
+    }
+
+    /// Inserts a key.
+    pub fn insert(&mut self, key: u64) {
+        self.update(key, 1);
+    }
+
+    /// Deletes a key (count may go negative).
+    pub fn delete(&mut self, key: u64) {
+        self.update(key, -1);
+    }
+
+    fn update(&mut self, key: u64, sign: i64) {
+        let check = self.checksum.of(key);
+        for i in 0..self.layout.q() {
+            let c = &mut self.cells[self.layout.cell_in_partition(key, i)];
+            c.count += sign;
+            c.key_xor ^= key;
+            c.check_xor ^= check;
+        }
+    }
+
+    /// Subtracts another table cell-wise (`self − other`). Both tables must
+    /// share layout parameters and seed. After `a.subtract(&b)`, keys in
+    /// both tables cancel; `a`'s survivors decode positive, `b`'s negative.
+    pub fn subtract(&mut self, other: &Iblt) {
+        assert_eq!(self.layout, other.layout, "layout mismatch");
+        for (a, b) in self.cells.iter_mut().zip(&other.cells) {
+            a.count -= b.count;
+            a.key_xor ^= b.key_xor;
+            a.check_xor ^= b.check_xor;
+        }
+    }
+
+    fn is_pure(&self, idx: usize) -> bool {
+        let c = &self.cells[idx];
+        (c.count == 1 || c.count == -1) && self.checksum.of(c.key_xor) == c.check_xor
+    }
+
+    /// Decodes the table by peeling. The table is consumed back to the
+    /// state it would have after removing every recovered key; on complete
+    /// success it is empty.
+    pub fn decode(mut self) -> IbltDecode {
+        let mut result = IbltDecode::default();
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..self.cells.len()).filter(|&i| self.is_pure(i)).collect();
+        while let Some(idx) = queue.pop_front() {
+            if !self.is_pure(idx) {
+                continue; // stale entry
+            }
+            let key = self.cells[idx].key_xor;
+            let sign = self.cells[idx].count;
+            if sign > 0 {
+                result.inserted.push(key);
+            } else {
+                result.deleted.push(key);
+            }
+            self.update(key, -sign);
+            for i in 0..self.layout.q() {
+                let cell = self.layout.cell_in_partition(key, i);
+                if self.is_pure(cell) {
+                    queue.push_back(cell);
+                }
+            }
+        }
+        result.complete = self.cells.iter().all(XorCell::is_empty);
+        result
+    }
+
+    /// Wire size in bits of the serialized table, with counts sized for
+    /// at most `n_bound` items. Exactly matches [`Iblt::to_bytes`] (which
+    /// pads only to the final byte).
+    pub fn wire_bits(&self, n_bound: usize) -> u64 {
+        self.cells.len() as u64 * crate::wire::CellWidths::xor(n_bound).per_cell(0)
+    }
+
+    /// Serializes the cell contents. The construction parameters (cell
+    /// count, `q`, seed) are shared via public coins and not resent; the
+    /// peer rebuilds with [`Iblt::from_bytes`] and the same parameters.
+    pub fn to_bytes(&self, n_bound: usize) -> Vec<u8> {
+        use crate::bits::BitWriter;
+        let widths = crate::wire::CellWidths::xor(n_bound);
+        let mut w = BitWriter::new();
+        for cell in &self.cells {
+            crate::wire::put_i64(&mut w, cell.count, widths.count);
+            w.write(cell.key_xor, widths.key);
+            w.write(cell.check_xor, widths.check);
+        }
+        debug_assert_eq!(w.bit_len(), self.wire_bits(n_bound));
+        w.finish()
+    }
+
+    /// Reconstructs a table from [`Iblt::to_bytes`] output plus the
+    /// shared construction parameters. Returns `None` if the buffer is
+    /// too short or a count exceeds `n_bound`.
+    pub fn from_bytes(
+        bytes: &[u8],
+        min_cells: usize,
+        q: usize,
+        seed: u64,
+        n_bound: usize,
+    ) -> Option<Iblt> {
+        use crate::bits::BitReader;
+        let mut table = Iblt::new(min_cells, q, seed);
+        let widths = crate::wire::CellWidths::xor(n_bound);
+        let mut r = BitReader::new(bytes);
+        for cell in &mut table.cells {
+            let count = crate::wire::get_i64(&mut r, widths.count)?;
+            if count.unsigned_abs() > n_bound as u64 {
+                return None;
+            }
+            cell.count = count;
+            cell.key_xor = r.read(widths.key)?;
+            cell.check_xor = r.read(widths.check)?;
+        }
+        Some(table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn decode_recovers_inserted_keys() {
+        let mut t = Iblt::new(40, 3, 1);
+        let keys = [3u64, 17, 99, 12345];
+        for &k in &keys {
+            t.insert(k);
+        }
+        let d = t.decode();
+        assert!(d.complete);
+        let mut got = d.inserted.clone();
+        got.sort_unstable();
+        assert_eq!(got, {
+            let mut v = keys.to_vec();
+            v.sort_unstable();
+            v
+        });
+        assert!(d.deleted.is_empty());
+    }
+
+    #[test]
+    fn insert_then_delete_cancels() {
+        let mut t = Iblt::new(40, 3, 2);
+        t.insert(5);
+        t.insert(6);
+        t.delete(5);
+        let d = t.decode();
+        assert!(d.complete);
+        assert_eq!(d.inserted, vec![6]);
+        assert!(d.deleted.is_empty());
+    }
+
+    #[test]
+    fn deleted_side_keys_surface_with_negative_sign() {
+        let mut t = Iblt::new(40, 3, 3);
+        t.delete(1000);
+        t.delete(2000);
+        let d = t.decode();
+        assert!(d.complete);
+        assert!(d.inserted.is_empty());
+        let mut got = d.deleted.clone();
+        got.sort_unstable();
+        assert_eq!(got, vec![1000, 2000]);
+    }
+
+    #[test]
+    fn set_reconciliation_roundtrip() {
+        // Bob inserts his set, Alice deletes hers; survivors are the
+        // symmetric difference with signs telling whose side each is on.
+        let bob: Vec<u64> = (0..1000).collect();
+        let alice: Vec<u64> = (5..1005).collect();
+        let mut t = Iblt::new(80, 3, 4);
+        for &k in &bob {
+            t.insert(k);
+        }
+        for &k in &alice {
+            t.delete(k);
+        }
+        let d = t.decode();
+        assert!(d.complete);
+        let mut bob_only = d.inserted.clone();
+        bob_only.sort_unstable();
+        assert_eq!(bob_only, (0..5).collect::<Vec<u64>>());
+        let mut alice_only = d.deleted.clone();
+        alice_only.sort_unstable();
+        assert_eq!(alice_only, (1000..1005).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn subtract_equals_insert_delete() {
+        let mut a = Iblt::new(150, 3, 9);
+        let mut b = Iblt::new(150, 3, 9);
+        for k in 0..50u64 {
+            a.insert(k);
+        }
+        for k in 25..75u64 {
+            b.insert(k);
+        }
+        a.subtract(&b);
+        let d = a.decode();
+        assert!(d.complete);
+        assert_eq!(d.inserted.len(), 25); // 0..25 only in a
+        assert_eq!(d.deleted.len(), 25); // 50..75 only in b
+    }
+
+    #[test]
+    fn overloaded_table_reports_incomplete() {
+        let mut t = Iblt::new(12, 3, 5);
+        for k in 0..200u64 {
+            t.insert(k);
+        }
+        let d = t.decode();
+        assert!(!d.complete);
+    }
+
+    #[test]
+    fn duplicate_insertions_block_pure_cells_but_do_not_lie() {
+        // Two copies of the same key produce count-2 cells; the standard
+        // IBLT cannot peel them, and must not fabricate keys.
+        let mut t = Iblt::new(40, 3, 6);
+        t.insert(77);
+        t.insert(77);
+        let d = t.decode();
+        assert!(!d.complete);
+        assert!(d.inserted.is_empty() && d.deleted.is_empty());
+    }
+
+    #[test]
+    fn wire_bits_scales_with_cells() {
+        let t = Iblt::new(30, 3, 7);
+        let t2 = Iblt::new(60, 3, 7);
+        assert!(t2.wire_bits(100) > t.wire_bits(100));
+    }
+
+    #[test]
+    #[should_panic]
+    fn subtract_layout_mismatch_panics() {
+        let mut a = Iblt::new(30, 3, 1);
+        let b = Iblt::new(60, 3, 1);
+        a.subtract(&b);
+    }
+}

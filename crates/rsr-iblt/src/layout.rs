@@ -1,0 +1,121 @@
+//! Partitioned key→cells mapping shared by the IBLT and RIBLT.
+//!
+//! Each key hashes to `q` *distinct* cells. Following §2.2 ("we assume
+//! these cells are distinct; for example, one can use a partitioned hash
+//! table, with each hash function mapping to m/q cells"), the `m` cells are
+//! split into `q` equal partitions and hash function `i` selects one cell
+//! inside partition `i`.
+
+use rsr_hash::mix::mix64;
+
+/// The cell layout of a table: `q` partitions of `m/q` cells each, with a
+/// per-table seed so independently created tables use independent hashes.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellLayout {
+    q: usize,
+    cells_per_partition: usize,
+    seed: u64,
+}
+
+impl CellLayout {
+    /// Creates a layout with *at least* `min_cells` cells in `q ≥ 2`
+    /// partitions (the cell count is rounded up to a multiple of `q`).
+    pub fn new(min_cells: usize, q: usize, seed: u64) -> Self {
+        assert!(q >= 2, "need q ≥ 2 hash functions, got {q}");
+        assert!(min_cells >= q, "need at least q cells");
+        let cells_per_partition = min_cells.div_ceil(q);
+        CellLayout {
+            q,
+            cells_per_partition,
+            seed,
+        }
+    }
+
+    /// Number of hash functions `q`.
+    pub fn q(&self) -> usize {
+        self.q
+    }
+
+    /// Total number of cells `m` (a multiple of `q`).
+    pub fn num_cells(&self) -> usize {
+        self.q * self.cells_per_partition
+    }
+
+    /// Table seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `q` distinct cell indices of `key`, in partition order.
+    pub fn cells_of(&self, key: u64) -> Vec<usize> {
+        (0..self.q).map(|i| self.cell_in_partition(key, i)).collect()
+    }
+
+    /// The cell of `key` inside partition `i`.
+    #[inline]
+    pub fn cell_in_partition(&self, key: u64, i: usize) -> usize {
+        debug_assert!(i < self.q);
+        let h = mix64(key ^ mix64(self.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+        i * self.cells_per_partition + (h % self.cells_per_partition as u64) as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cells_are_distinct_and_in_partition() {
+        let layout = CellLayout::new(30, 3, 99);
+        for key in 0..500u64 {
+            let cells = layout.cells_of(key);
+            assert_eq!(cells.len(), 3);
+            let per = layout.num_cells() / 3;
+            for (i, &c) in cells.iter().enumerate() {
+                assert!(c >= i * per && c < (i + 1) * per, "cell {c} partition {i}");
+            }
+            // Distinctness follows from partitioning.
+            let set: std::collections::HashSet<_> = cells.iter().collect();
+            assert_eq!(set.len(), 3);
+        }
+    }
+
+    #[test]
+    fn rounds_cells_up_to_multiple_of_q() {
+        let layout = CellLayout::new(10, 3, 0);
+        assert_eq!(layout.num_cells(), 12);
+        assert_eq!(layout.q(), 3);
+    }
+
+    #[test]
+    fn seed_changes_mapping() {
+        let a = CellLayout::new(30, 3, 1);
+        let b = CellLayout::new(30, 3, 2);
+        assert!((0..100u64).any(|k| a.cells_of(k) != b.cells_of(k)));
+    }
+
+    #[test]
+    fn deterministic() {
+        let layout = CellLayout::new(64, 4, 7);
+        assert_eq!(layout.cells_of(42), layout.cells_of(42));
+    }
+
+    #[test]
+    fn spread_is_roughly_uniform() {
+        let layout = CellLayout::new(100, 4, 3);
+        let per = layout.num_cells() / 4;
+        let mut counts = vec![0u32; per];
+        for key in 0..(per as u64 * 100) {
+            counts[layout.cell_in_partition(key, 0) % per] += 1;
+        }
+        let max = *counts.iter().max().unwrap();
+        let min = *counts.iter().min().unwrap();
+        assert!(max < 2 * min, "very uneven spread: {min}..{max}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn q_one_rejected() {
+        CellLayout::new(10, 1, 0);
+    }
+}

@@ -1,0 +1,128 @@
+//! Byte-level serialization of IBLTs and RIBLTs.
+//!
+//! Protocol messages are not hypothetical: a table serializes into a
+//! buffer of exactly `ceil(wire_bits/8)` bytes and deserializes back,
+//! given the shared construction parameters (which travel as public
+//! coins, not on the wire). One width table ([`CellWidths`]) feeds both
+//! the serializer and the `wire_bits` accounting, so the transcript
+//! numbers are the true message sizes by construction.
+
+use crate::bits::{unzigzag, unzigzag128, zigzag, zigzag128, BitReader, BitWriter};
+
+/// Number of bits needed to store values `0..=x`.
+#[inline]
+pub fn bits_for(x: u128) -> u32 {
+    128 - x.max(1).leading_zeros()
+}
+
+/// Per-field bit widths for a table sized for at most `n_bound` items.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CellWidths {
+    /// Zigzagged count (∈ [−n, n] → [0, 2n]).
+    pub count: u32,
+    /// Key aggregate: 64 for XOR; `65 + bits(n)` for signed sums.
+    pub key: u32,
+    /// Checksum aggregate: 64 for XOR; `63 + bits(n)` for signed sums.
+    pub check: u32,
+    /// One value coordinate (RIBLT only): zigzagged sum in [−nΔ, nΔ].
+    pub value: u32,
+}
+
+impl CellWidths {
+    /// Widths for the standard XOR IBLT.
+    pub fn xor(n_bound: usize) -> Self {
+        CellWidths {
+            count: bits_for(2 * n_bound.max(1) as u128),
+            key: 64,
+            check: 64,
+            value: 0,
+        }
+    }
+
+    /// Widths for the Robust IBLT over `[Δ]^d` values.
+    pub fn sum(n_bound: usize, delta: i64) -> Self {
+        let n = n_bound.max(1) as u128;
+        CellWidths {
+            count: bits_for(2 * n),
+            key: 65 + bits_for(n),
+            check: 63 + bits_for(n),
+            value: bits_for(2 * n * delta.max(1) as u128),
+        }
+    }
+
+    /// Total bits per cell for a value dimension `d`.
+    pub fn per_cell(&self, dim: usize) -> u64 {
+        u64::from(self.count)
+            + u64::from(self.key)
+            + u64::from(self.check)
+            + dim as u64 * u64::from(self.value)
+    }
+}
+
+/// Serializes one signed 64-bit field.
+pub(crate) fn put_i64(w: &mut BitWriter, v: i64, width: u32) {
+    w.write(zigzag(v), width);
+}
+
+/// Deserializes one signed 64-bit field.
+pub(crate) fn get_i64(r: &mut BitReader<'_>, width: u32) -> Option<i64> {
+    r.read(width).map(unzigzag)
+}
+
+/// Serializes one signed 128-bit field.
+pub(crate) fn put_i128(w: &mut BitWriter, v: i128, width: u32) {
+    w.write128(zigzag128(v), width);
+}
+
+/// Deserializes one signed 128-bit field.
+pub(crate) fn get_i128(r: &mut BitReader<'_>, width: u32) -> Option<i128> {
+    r.read128(width).map(unzigzag128)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_grow_with_bounds() {
+        assert!(CellWidths::xor(1000).count > CellWidths::xor(10).count);
+        let a = CellWidths::sum(100, 100);
+        let b = CellWidths::sum(100, 1_000_000);
+        assert!(b.value > a.value);
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn per_cell_accounts_dimension() {
+        let w = CellWidths::sum(100, 1000);
+        assert_eq!(
+            w.per_cell(4) - w.per_cell(2),
+            2 * u64::from(w.value)
+        );
+    }
+
+    #[test]
+    fn signed_field_roundtrip() {
+        let widths = CellWidths::sum(50, 1000);
+        let mut w = BitWriter::new();
+        put_i64(&mut w, -37, widths.count);
+        put_i128(&mut w, -(50i128 << 64), widths.key);
+        put_i128(&mut w, 49 * (1i128 << 62), widths.check);
+        put_i64(&mut w, -49_999, widths.value);
+        let buf = w.finish();
+        let mut r = BitReader::new(&buf);
+        assert_eq!(get_i64(&mut r, widths.count), Some(-37));
+        assert_eq!(get_i128(&mut r, widths.key), Some(-(50i128 << 64)));
+        assert_eq!(get_i128(&mut r, widths.check), Some(49 * (1i128 << 62)));
+        assert_eq!(get_i64(&mut r, widths.value), Some(-49_999));
+    }
+
+    #[test]
+    fn bits_for_boundaries() {
+        assert_eq!(bits_for(0), 1);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+    }
+}

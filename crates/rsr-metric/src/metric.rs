@@ -1,0 +1,134 @@
+//! Distance functions over `[Δ]^d`.
+
+use crate::point::Point;
+
+/// The metric `f` of the space `(U, f)`.
+///
+/// The paper's results are stated for `ℓ1` (Lemma 2.4, Cor 4.4), `ℓ2`
+/// (Lemma 2.5, Cor 3.6), general `ℓ_p` with `p ∈ [1, 2]` (Thm 4.5), and the
+/// Hamming metric on `{0,1}^d` (Lemma 2.3, Cor 3.5, Cor 4.3, Thm 4.6).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Metric {
+    /// `ℓ1` (Manhattan) distance.
+    L1,
+    /// `ℓ2` (Euclidean) distance.
+    L2,
+    /// General `ℓ_p` distance for `p ≥ 1`.
+    Lp(f64),
+    /// Hamming distance: number of coordinates that differ. On `{0,1}^d`
+    /// this coincides with `ℓ1`, but it is well defined for any grid.
+    Hamming,
+}
+
+impl Metric {
+    /// Distance between two points. Panics (debug) on dimension mismatch.
+    pub fn distance(&self, a: &Point, b: &Point) -> f64 {
+        debug_assert_eq!(a.dim(), b.dim(), "dimension mismatch");
+        match *self {
+            Metric::L1 => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| (x - y).abs() as f64)
+                .sum(),
+            Metric::L2 => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .map(|(x, y)| {
+                    let d = (x - y) as f64;
+                    d * d
+                })
+                .sum::<f64>()
+                .sqrt(),
+            Metric::Lp(p) => {
+                assert!(p >= 1.0, "ℓ_p requires p ≥ 1, got {p}");
+                a.coords()
+                    .iter()
+                    .zip(b.coords())
+                    .map(|(x, y)| ((x - y).abs() as f64).powf(p))
+                    .sum::<f64>()
+                    .powf(1.0 / p)
+            }
+            Metric::Hamming => a
+                .coords()
+                .iter()
+                .zip(b.coords())
+                .filter(|(x, y)| x != y)
+                .count() as f64,
+        }
+    }
+
+    /// The `p` exponent of the norm, where applicable (`Hamming` maps to 1,
+    /// matching its behaviour on `{0,1}^d`).
+    pub fn p_exponent(&self) -> f64 {
+        match *self {
+            Metric::L1 | Metric::Hamming => 1.0,
+            Metric::L2 => 2.0,
+            Metric::Lp(p) => p,
+        }
+    }
+
+    /// Diameter of `[Δ]^d` under this metric: the distance between opposite
+    /// grid corners. Used to derive the paper's default bound
+    /// `M = maximum pairwise distance` when no prior knowledge is available.
+    pub fn diameter(&self, delta: i64, dim: usize) -> f64 {
+        let lo = Point::zero(dim);
+        let hi = Point::new(vec![delta - 1; dim]);
+        self.distance(&lo, &hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p(v: &[i64]) -> Point {
+        Point::new(v.to_vec())
+    }
+
+    #[test]
+    fn l1_distance() {
+        assert_eq!(Metric::L1.distance(&p(&[0, 0]), &p(&[3, 4])), 7.0);
+    }
+
+    #[test]
+    fn l2_distance() {
+        assert_eq!(Metric::L2.distance(&p(&[0, 0]), &p(&[3, 4])), 5.0);
+    }
+
+    #[test]
+    fn lp_matches_l1_l2_at_endpoints() {
+        let a = p(&[1, 5, 2]);
+        let b = p(&[4, 0, 2]);
+        assert!((Metric::Lp(1.0).distance(&a, &b) - Metric::L1.distance(&a, &b)).abs() < 1e-9);
+        assert!((Metric::Lp(2.0).distance(&a, &b) - Metric::L2.distance(&a, &b)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn hamming_counts_differing_coords() {
+        assert_eq!(Metric::Hamming.distance(&p(&[1, 0, 1]), &p(&[1, 1, 0])), 2.0);
+        // On non-binary grids Hamming still counts mismatches.
+        assert_eq!(Metric::Hamming.distance(&p(&[5, 7]), &p(&[5, 9])), 1.0);
+    }
+
+    #[test]
+    fn identity_of_indiscernibles() {
+        let a = p(&[2, 3, 4]);
+        for m in [Metric::L1, Metric::L2, Metric::Lp(1.5), Metric::Hamming] {
+            assert_eq!(m.distance(&a, &a), 0.0);
+        }
+    }
+
+    #[test]
+    fn diameter_of_binary_cube_is_d_under_hamming() {
+        assert_eq!(Metric::Hamming.diameter(2, 10), 10.0);
+        assert_eq!(Metric::L1.diameter(4, 3), 9.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn lp_rejects_p_below_one() {
+        Metric::Lp(0.5).distance(&p(&[0]), &p(&[1]));
+    }
+}

@@ -1,0 +1,107 @@
+//! A universe paired with a metric: the object protocols range over.
+
+use crate::metric::Metric;
+use crate::point::Point;
+use crate::universe::GridUniverse;
+
+/// A metric space `(U, f) = ([Δ]^d, ℓ_p)` or `({0,1}^d, Hamming)`.
+///
+/// All protocols in `rsr-core` are parameterized by a `MetricSpace`; it
+/// bundles the universe bounds used for wire encoding with the distance
+/// function used for matching and guarantees.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct MetricSpace {
+    universe: GridUniverse,
+    metric: Metric,
+}
+
+impl MetricSpace {
+    /// Creates a metric space over `[Δ]^d`.
+    pub fn new(universe: GridUniverse, metric: Metric) -> Self {
+        MetricSpace { universe, metric }
+    }
+
+    /// `({0,1}^d, Hamming)` — the space of Cor 3.5, Cor 4.3 and Thm 4.6.
+    pub fn hamming(dim: usize) -> Self {
+        MetricSpace::new(GridUniverse::binary(dim), Metric::Hamming)
+    }
+
+    /// `([Δ]^d, ℓ1)` — the space of Lemma 2.4 and Cor 4.4.
+    pub fn l1(delta: i64, dim: usize) -> Self {
+        MetricSpace::new(GridUniverse::new(delta, dim), Metric::L1)
+    }
+
+    /// `([Δ]^d, ℓ2)` — the space of Lemma 2.5 and Cor 3.6.
+    pub fn l2(delta: i64, dim: usize) -> Self {
+        MetricSpace::new(GridUniverse::new(delta, dim), Metric::L2)
+    }
+
+    /// The universe `U`.
+    pub fn universe(&self) -> &GridUniverse {
+        &self.universe
+    }
+
+    /// The metric `f`.
+    pub fn metric(&self) -> Metric {
+        self.metric
+    }
+
+    /// Distance `f(a, b)`.
+    pub fn distance(&self, a: &Point, b: &Point) -> f64 {
+        self.metric.distance(a, b)
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.universe.dim()
+    }
+
+    /// Side length `Δ`.
+    pub fn delta(&self) -> i64 {
+        self.universe.delta()
+    }
+
+    /// Diameter of the space: the paper's default `M` bound
+    /// (`M = d·Δ` for ℓ1 / Hamming-style defaults in §3).
+    pub fn diameter(&self) -> f64 {
+        self.metric.diameter(self.universe.delta(), self.universe.dim())
+    }
+
+    /// Distance of `a` to the nearest point of `set` (∞ for an empty set).
+    pub fn nearest_distance(&self, a: &Point, set: &[Point]) -> f64 {
+        set.iter()
+            .map(|b| self.distance(a, b))
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hamming_space_shape() {
+        let s = MetricSpace::hamming(16);
+        assert_eq!(s.dim(), 16);
+        assert_eq!(s.delta(), 2);
+        assert_eq!(s.diameter(), 16.0);
+    }
+
+    #[test]
+    fn nearest_distance_over_set() {
+        let s = MetricSpace::l1(100, 2);
+        let set = vec![Point::new(vec![0, 0]), Point::new(vec![10, 10])];
+        let q = Point::new(vec![9, 9]);
+        assert_eq!(s.nearest_distance(&q, &set), 2.0);
+        assert_eq!(s.nearest_distance(&q, &[]), f64::INFINITY);
+    }
+
+    #[test]
+    fn l2_space_distance() {
+        let s = MetricSpace::l2(100, 2);
+        assert_eq!(
+            s.distance(&Point::new(vec![0, 0]), &Point::new(vec![3, 4])),
+            5.0
+        );
+    }
+}

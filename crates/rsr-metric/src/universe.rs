@@ -1,0 +1,151 @@
+//! The discretized universe `[Δ]^d`.
+
+use crate::point::Point;
+use rand::Rng;
+
+/// The universe `U = [Δ]^d`: points with `d` coordinates in `{0, …, Δ−1}`.
+///
+/// The paper's communication bounds depend on `log |U| = d·log2 Δ` bits per
+/// point; [`GridUniverse::point_bits`] is that quantity and is what the
+/// transcript accountant charges for a raw point transmission.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct GridUniverse {
+    delta: i64,
+    dim: usize,
+}
+
+impl GridUniverse {
+    /// Creates the universe `[Δ]^d`. Panics if `Δ < 1` or `d == 0`.
+    pub fn new(delta: i64, dim: usize) -> Self {
+        assert!(delta >= 1, "Δ must be ≥ 1, got {delta}");
+        assert!(dim >= 1, "dimension must be ≥ 1");
+        GridUniverse { delta, dim }
+    }
+
+    /// The binary cube `{0,1}^d` (Hamming-space universes, §4.2/Thm 4.6).
+    pub fn binary(dim: usize) -> Self {
+        GridUniverse::new(2, dim)
+    }
+
+    /// Side length `Δ`.
+    pub fn delta(&self) -> i64 {
+        self.delta
+    }
+
+    /// Dimension `d`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// `log2 |U| = d·log2 Δ`, the bit cost of one raw point.
+    pub fn point_bits(&self) -> f64 {
+        self.dim as f64 * (self.delta as f64).log2().max(1.0)
+    }
+
+    /// Number of bits used by the wire encoding of one point: coordinates
+    /// are packed with `ceil(log2 Δ)` bits each (at least 1).
+    pub fn point_wire_bits(&self) -> u64 {
+        let per_coord = (64 - (self.delta.max(2) as u64 - 1).leading_zeros()) as u64;
+        self.dim as u64 * per_coord.max(1)
+    }
+
+    /// True if `p` is a member of the universe.
+    pub fn contains(&self, p: &Point) -> bool {
+        p.dim() == self.dim && p.in_grid(self.delta)
+    }
+
+    /// Clamps every coordinate into `[0, Δ−1]`. Used by the RIBLT extraction
+    /// step ("shift the result into \[0,Δ\] by changing entries less than 0 to
+    /// 0 and entries greater than Δ to Δ", §2.2 item 5).
+    pub fn clamp(&self, p: &Point) -> Point {
+        Point::new(
+            p.coords()
+                .iter()
+                .map(|&c| c.clamp(0, self.delta - 1))
+                .collect(),
+        )
+    }
+
+    /// Samples a uniform point of the universe.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
+        Point::new((0..self.dim).map(|_| rng.gen_range(0..self.delta)).collect())
+    }
+
+    /// Samples `count` uniform *distinct* points. Panics if the universe is
+    /// too small to contain `count` distinct points.
+    pub fn sample_distinct<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<Point> {
+        let capacity = (self.delta as f64).powi(self.dim as i32);
+        assert!(
+            capacity >= count as f64,
+            "universe too small for {count} distinct points"
+        );
+        let mut seen = std::collections::HashSet::with_capacity(count);
+        let mut out = Vec::with_capacity(count);
+        while out.len() < count {
+            let p = self.sample(rng);
+            if seen.insert(p.clone()) {
+                out.push(p);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn contains_respects_bounds() {
+        let u = GridUniverse::new(10, 2);
+        assert!(u.contains(&Point::new(vec![0, 9])));
+        assert!(!u.contains(&Point::new(vec![0, 10])));
+        assert!(!u.contains(&Point::new(vec![0, 1, 2]))); // wrong dim
+    }
+
+    #[test]
+    fn clamp_pulls_into_grid() {
+        let u = GridUniverse::new(10, 3);
+        let p = Point::new(vec![-5, 3, 12]);
+        assert_eq!(u.clamp(&p), Point::new(vec![0, 3, 9]));
+    }
+
+    #[test]
+    fn sample_is_in_universe() {
+        let u = GridUniverse::new(7, 4);
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert!(u.contains(&u.sample(&mut rng)));
+        }
+    }
+
+    #[test]
+    fn sample_distinct_yields_distinct() {
+        let u = GridUniverse::binary(8);
+        let mut rng = StdRng::seed_from_u64(7);
+        let pts = u.sample_distinct(&mut rng, 50);
+        let set: std::collections::HashSet<_> = pts.iter().collect();
+        assert_eq!(set.len(), 50);
+    }
+
+    #[test]
+    fn point_bits_binary_cube() {
+        let u = GridUniverse::binary(128);
+        assert_eq!(u.point_bits(), 128.0);
+        assert_eq!(u.point_wire_bits(), 128);
+    }
+
+    #[test]
+    fn point_wire_bits_rounds_up() {
+        let u = GridUniverse::new(10, 3); // ceil(log2 10) = 4
+        assert_eq!(u.point_wire_bits(), 12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_delta_rejected() {
+        GridUniverse::new(0, 3);
+    }
+}

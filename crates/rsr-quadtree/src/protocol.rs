@@ -1,0 +1,284 @@
+//! The randomly-offset hierarchical-grid (quadtree) protocol of \[7\].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_hash::mix::hash_words;
+use rsr_iblt::riblt::RibltConfig;
+use rsr_iblt::Riblt;
+use rsr_metric::{MetricSpace, Point};
+
+/// Configuration of the quadtree baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct QuadtreeConfig {
+    /// Difference budget `k`: each level's table is sized for `≤ 2k`
+    /// surviving rounded points per side.
+    pub k: usize,
+    /// Hash functions per table (≥ 3).
+    pub q: usize,
+}
+
+/// The protocol object: a shared random offset plus the level schedule.
+#[derive(Clone, Debug)]
+pub struct QuadtreeProtocol {
+    space: MetricSpace,
+    config: QuadtreeConfig,
+    /// Random offset in `[0, W)^d` shared via public coins.
+    offsets: Vec<f64>,
+    /// Cell widths per level, coarse → fine (powers of two down to 1).
+    widths: Vec<f64>,
+    seed: u64,
+}
+
+/// Alice's one-round message: one RIBLT per level.
+#[derive(Clone, Debug)]
+pub struct QuadtreeMessage {
+    tables: Vec<Riblt>,
+    n: usize,
+}
+
+impl QuadtreeMessage {
+    /// Total wire size in bits.
+    pub fn wire_bits(&self) -> u64 {
+        self.tables.iter().map(|t| t.wire_bits(self.n)).sum()
+    }
+
+    /// Number of levels shipped.
+    pub fn num_levels(&self) -> usize {
+        self.tables.len()
+    }
+}
+
+/// Bob's result.
+#[derive(Clone, Debug)]
+pub struct QuadtreeOutcome {
+    /// Bob's reconciled point set (same size as his input).
+    pub reconciled: Vec<Point>,
+    /// The finest level that decoded (0 = coarsest).
+    pub level: usize,
+    /// Decoded survivors (Alice side, Bob side) at that level.
+    pub decoded: (usize, usize),
+}
+
+/// Decode failure: no level decoded within budget.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct QuadtreeFailure;
+
+impl std::fmt::Display for QuadtreeFailure {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "no quadtree level decoded within the 2k budget")
+    }
+}
+
+impl std::error::Error for QuadtreeFailure {}
+
+impl QuadtreeProtocol {
+    /// Creates the protocol. Both parties call this with the same seed
+    /// (public coins) so offsets and table hashes agree.
+    pub fn new(space: MetricSpace, config: QuadtreeConfig, seed: u64) -> Self {
+        assert!(config.q >= 3);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x9d7e_11aa);
+        let delta = space.delta();
+        // W = smallest power of two covering the grid.
+        let levels = 64 - (delta.max(1) as u64 - 1).leading_zeros().min(63);
+        let w = (1u64 << levels) as f64;
+        let offsets = (0..space.dim()).map(|_| rng.gen::<f64>() * w).collect();
+        let widths = (0..=levels).map(|i| w / (1u64 << i) as f64).collect();
+        QuadtreeProtocol {
+            space,
+            config,
+            offsets,
+            widths,
+            seed,
+        }
+    }
+
+    /// Number of levels in the hierarchy (`⌈log2 Δ⌉ + 1`).
+    pub fn num_levels(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// Rounds a point to the center of its level-`i` cell, snapped back
+    /// into the grid.
+    pub fn round_to_cell_center(&self, p: &Point, level: usize) -> Point {
+        let width = self.widths[level];
+        let coords = p
+            .coords()
+            .iter()
+            .zip(&self.offsets)
+            .map(|(&c, &o)| {
+                let cell = ((c as f64 + o) / width).floor();
+                let center = (cell + 0.5) * width - o;
+                (center.round() as i64).clamp(0, self.space.delta() - 1)
+            })
+            .collect();
+        Point::new(coords)
+    }
+
+    /// The cell key of a point at a level (hash of the cell coordinates).
+    fn cell_key(&self, p: &Point, level: usize) -> u64 {
+        let width = self.widths[level];
+        let mut words = Vec::with_capacity(p.dim() + 1);
+        words.push(level as u64);
+        for (&c, &o) in p.coords().iter().zip(&self.offsets) {
+            words.push(((c as f64 + o) / width).floor() as i64 as u64);
+        }
+        hash_words(self.seed ^ 0x9477_0001, &words)
+    }
+
+    /// Alice's side: build one table per level.
+    pub fn alice_encode(&self, alice: &[Point]) -> QuadtreeMessage {
+        let tables = (0..self.num_levels())
+            .map(|level| {
+                let mut t = Riblt::new(self.level_config(level));
+                for p in alice {
+                    t.insert(self.cell_key(p, level), &self.round_to_cell_center(p, level));
+                }
+                t
+            })
+            .collect();
+        QuadtreeMessage {
+            tables,
+            n: alice.len(),
+        }
+    }
+
+    fn level_config(&self, level: usize) -> RibltConfig {
+        RibltConfig::for_pairs(
+            self.config.k,
+            self.config.q,
+            self.space.dim(),
+            self.space.delta(),
+            self.seed ^ ((level as u64 + 1) << 32),
+        )
+    }
+
+    /// Bob's side: delete his rounded points, decode the finest decodable
+    /// level, and repair his set with the decoded centers.
+    pub fn bob_decode(
+        &self,
+        msg: &QuadtreeMessage,
+        bob: &[Point],
+    ) -> Result<QuadtreeOutcome, QuadtreeFailure> {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xb0bd_ec0d);
+        let budget = 2 * self.config.k;
+        for level in (0..msg.tables.len()).rev() {
+            let mut t = msg.tables[level].clone();
+            for p in bob {
+                t.delete(self.cell_key(p, level), &self.round_to_cell_center(p, level));
+            }
+            let d = t.decode(&mut rng);
+            if !d.complete || d.inserted.len() > budget || d.deleted.len() > budget {
+                continue;
+            }
+            let x_a: Vec<Point> = d.inserted.iter().map(|p| p.value.clone()).collect();
+            let x_b: Vec<Point> = d.deleted.iter().map(|p| p.value.clone()).collect();
+            let reconciled = rsr_emd::replace_matched(self.space.metric(), bob, &x_b, &x_a);
+            return Ok(QuadtreeOutcome {
+                reconciled,
+                level,
+                decoded: (x_a.len(), x_b.len()),
+            });
+        }
+        Err(QuadtreeFailure)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_metric::Metric;
+
+    fn space() -> MetricSpace {
+        MetricSpace::l1(64, 2)
+    }
+
+    fn proto(seed: u64) -> QuadtreeProtocol {
+        QuadtreeProtocol::new(space(), QuadtreeConfig { k: 4, q: 3 }, seed)
+    }
+
+    #[test]
+    fn finest_level_rounding_is_identity() {
+        let p = proto(1);
+        let finest = p.num_levels() - 1;
+        for v in [[0i64, 0], [5, 9], [63, 63]] {
+            let pt = Point::new(v.to_vec());
+            assert_eq!(p.round_to_cell_center(&pt, finest), pt);
+        }
+    }
+
+    #[test]
+    fn coarse_rounding_merges_near_points() {
+        let p = proto(2);
+        let a = Point::new(vec![10, 10]);
+        let b = Point::new(vec![11, 10]);
+        // At some coarse level the two points share a cell.
+        let merged = (0..p.num_levels())
+            .any(|l| p.round_to_cell_center(&a, l) == p.round_to_cell_center(&b, l));
+        assert!(merged);
+    }
+
+    #[test]
+    fn rounding_error_bounded_by_cell_diameter() {
+        let p = proto(3);
+        for level in 0..p.num_levels() {
+            let width = p.widths[level];
+            let pt = Point::new(vec![37, 21]);
+            let rounded = p.round_to_cell_center(&pt, level);
+            let err = Metric::L1.distance(&pt, &rounded);
+            assert!(
+                err <= 2.0 * width * 2.0 / 2.0 + 1.0,
+                "level {level}: error {err} vs width {width}"
+            );
+        }
+    }
+
+    #[test]
+    fn identical_sets_reconcile_unchanged() {
+        let p = proto(4);
+        let pts: Vec<Point> = (0..30).map(|i| Point::new(vec![i * 2, 63 - i])).collect();
+        let msg = p.alice_encode(&pts);
+        let out = p.bob_decode(&msg, &pts).unwrap();
+        assert_eq!(out.reconciled.len(), pts.len());
+        // Finest level decodes trivially (everything cancels).
+        assert_eq!(out.level, p.num_levels() - 1);
+        assert_eq!(out.decoded, (0, 0));
+        let mut got = out.reconciled.clone();
+        got.sort();
+        let mut want = pts;
+        want.sort();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn k_outliers_are_replaced() {
+        let p = proto(5);
+        let mut alice: Vec<Point> = (0..20).map(|i| Point::new(vec![3 * i, 7])).collect();
+        let mut bob = alice.clone();
+        // Two genuinely different points.
+        alice.push(Point::new(vec![60, 60]));
+        alice.push(Point::new(vec![1, 62]));
+        bob.push(Point::new(vec![33, 2]));
+        bob.push(Point::new(vec![9, 41]));
+        let msg = p.alice_encode(&alice);
+        let out = p.bob_decode(&msg, &bob).unwrap();
+        assert_eq!(out.reconciled.len(), bob.len());
+        // Bob should now hold points near Alice's outliers.
+        for target in [Point::new(vec![60, 60]), Point::new(vec![1, 62])] {
+            let dist = out
+                .reconciled
+                .iter()
+                .map(|q| Metric::L1.distance(q, &target))
+                .fold(f64::INFINITY, f64::min);
+            assert!(dist <= 4.0, "outlier not recovered, nearest at {dist}");
+        }
+    }
+
+    #[test]
+    fn wire_bits_positive_and_scale_with_levels() {
+        let p = proto(6);
+        let pts: Vec<Point> = (0..10).map(|i| Point::new(vec![i, i])).collect();
+        let msg = p.alice_encode(&pts);
+        assert_eq!(msg.num_levels(), p.num_levels());
+        assert!(msg.wire_bits() > 0);
+    }
+}

@@ -1,0 +1,386 @@
+//! The three-round sets-of-sets reconciliation protocol.
+
+use rsr_hash::mix::hash_words;
+use rsr_iblt::Iblt;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A child set: a fixed-shape vector of 64-bit entries. (The Gap protocol's
+/// keys are vectors of `h` batch hashes; a plain set can be encoded by
+/// sorting its elements.)
+pub type ChildSet = Vec<u64>;
+
+/// Configuration shared by both parties (public coins).
+#[derive(Clone, Copy, Debug)]
+pub struct SosConfig {
+    /// Cells in the round-1 fingerprint IBLT. Size with
+    /// [`estimate_fp_cells`] from the expected number of differing
+    /// children.
+    pub fp_cells: usize,
+    /// Hash functions per IBLT key.
+    pub q: usize,
+    /// Shared seed.
+    pub seed: u64,
+    /// Bits charged per child-set entry on the wire (the Gap protocol's
+    /// entries are `Θ(log n)`-bit batch hashes).
+    pub entry_bits: u32,
+}
+
+/// Sizing rule for the fingerprint IBLT: the q=3 peeling threshold is at
+/// density ≈ 0.81, so `2.5×` the expected number of differing children
+/// (min 24 cells) gives comfortable slack.
+pub fn estimate_fp_cells(expected_diffs: usize) -> usize {
+    (5 * expected_diffs.max(1)).div_ceil(2).max(24)
+}
+
+/// Errors the protocol can report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SosError {
+    /// The fingerprint IBLT did not decode: the difference exceeded the
+    /// table capacity. Re-run with a larger `fp_cells`.
+    FingerprintDecodeFailed,
+    /// A round-3 child set did not hash to its requested fingerprint.
+    ContentVerificationFailed,
+    /// Bob could not find a child matching a requested fingerprint (can
+    /// only happen if the rounds were mismatched across configs).
+    UnknownFingerprint,
+}
+
+impl fmt::Display for SosError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SosError::FingerprintDecodeFailed => {
+                write!(f, "fingerprint IBLT decode failed (difference too large)")
+            }
+            SosError::ContentVerificationFailed => {
+                write!(f, "received child set fails fingerprint verification")
+            }
+            SosError::UnknownFingerprint => write!(f, "requested fingerprint unknown to sender"),
+        }
+    }
+}
+
+impl std::error::Error for SosError {}
+
+/// Round-1 message (Bob → Alice).
+#[derive(Clone, Debug)]
+pub struct Round1 {
+    iblt: Iblt,
+    num_children: usize,
+}
+
+/// Round-2 message (Alice → Bob): tagged fingerprints only Bob has.
+#[derive(Clone, Debug)]
+pub struct Round2 {
+    requested: Vec<u64>,
+}
+
+/// Round-3 message (Bob → Alice): contents of the requested children.
+#[derive(Clone, Debug)]
+pub struct Round3 {
+    /// `(tagged fingerprint, child contents)` pairs.
+    children: Vec<(u64, ChildSet)>,
+}
+
+/// Alice's state between rounds 2 and the finish.
+#[derive(Clone, Debug)]
+pub struct AliceState {
+    /// Tagged fingerprints present only on Alice's side.
+    pub alice_only: Vec<u64>,
+    /// Tagged fingerprints present only on Bob's side (requested).
+    pub bob_only: Vec<u64>,
+}
+
+/// Final outcome: Alice's reconstruction of Bob's multiset plus accounting.
+#[derive(Clone, Debug)]
+pub struct SosOutcome {
+    /// Bob's parent multiset as reconstructed by Alice (order-insensitive).
+    pub bob_multiset: Vec<ChildSet>,
+    /// Children that only Bob had (what round 3 shipped).
+    pub bob_only_children: Vec<ChildSet>,
+    /// Number of Alice-only children removed during splicing.
+    pub alice_only_count: usize,
+    /// Bits sent in each round `(r1, r2, r3)`.
+    pub round_bits: (u64, u64, u64),
+}
+
+impl SosOutcome {
+    /// Total communication in bits across all rounds.
+    pub fn total_bits(&self) -> u64 {
+        self.round_bits.0 + self.round_bits.1 + self.round_bits.2
+    }
+}
+
+/// Plain (untagged) fingerprint of a child set.
+fn fingerprint(seed: u64, child: &ChildSet) -> u64 {
+    hash_words(seed ^ 0x50f5_0f50, child)
+}
+
+/// Occurrence-tagged fingerprints: the `r`-th copy of an identical child
+/// gets tag `r`, making duplicates distinct IBLT keys while keeping the
+/// tagging consistent across parties.
+fn tagged_fingerprints(seed: u64, children: &[ChildSet]) -> Vec<u64> {
+    let mut ranks: HashMap<u64, u64> = HashMap::with_capacity(children.len());
+    children
+        .iter()
+        .map(|c| {
+            let fp = fingerprint(seed, c);
+            let rank = ranks.entry(fp).or_insert(0);
+            let tagged = hash_words(seed ^ 0x7a66_ed00, &[fp, *rank]);
+            *rank += 1;
+            tagged
+        })
+        .collect()
+}
+
+/// Round 1: Bob summarizes his tagged fingerprints in an IBLT.
+pub fn bob_round1(bob: &[ChildSet], cfg: &SosConfig) -> Round1 {
+    let mut iblt = Iblt::new(cfg.fp_cells, cfg.q, cfg.seed ^ 0xb0b1);
+    for tfp in tagged_fingerprints(cfg.seed, bob) {
+        iblt.insert(tfp);
+    }
+    Round1 {
+        iblt,
+        num_children: bob.len(),
+    }
+}
+
+/// Round 2: Alice subtracts her fingerprints, decodes the difference, and
+/// requests Bob-only children.
+pub fn alice_round2(
+    alice: &[ChildSet],
+    r1: &Round1,
+    cfg: &SosConfig,
+) -> Result<(Round2, AliceState), SosError> {
+    let mut table = r1.iblt.clone();
+    for tfp in tagged_fingerprints(cfg.seed, alice) {
+        table.delete(tfp);
+    }
+    let decode = table.decode();
+    if !decode.complete {
+        return Err(SosError::FingerprintDecodeFailed);
+    }
+    // Bob inserted, Alice deleted: Bob-only survive positive.
+    let state = AliceState {
+        alice_only: decode.deleted,
+        bob_only: decode.inserted.clone(),
+    };
+    Ok((
+        Round2 {
+            requested: decode.inserted,
+        },
+        state,
+    ))
+}
+
+/// Round 3: Bob ships the contents of the requested children.
+pub fn bob_round3(bob: &[ChildSet], r2: &Round2, cfg: &SosConfig) -> Result<Round3, SosError> {
+    let tagged = tagged_fingerprints(cfg.seed, bob);
+    let index: HashMap<u64, usize> = tagged
+        .iter()
+        .enumerate()
+        .map(|(i, &tfp)| (tfp, i))
+        .collect();
+    let mut children = Vec::with_capacity(r2.requested.len());
+    for &tfp in &r2.requested {
+        let &i = index.get(&tfp).ok_or(SosError::UnknownFingerprint)?;
+        children.push((tfp, bob[i].clone()));
+    }
+    Ok(Round3 { children })
+}
+
+/// Finish: Alice splices her multiset into Bob's.
+pub fn alice_finish(
+    alice: &[ChildSet],
+    state: &AliceState,
+    r3: &Round3,
+    cfg: &SosConfig,
+) -> Result<Vec<ChildSet>, SosError> {
+    // Verify every received child against its fingerprint (the tag is a
+    // hash of (fp, rank); recompute over all plausible ranks is
+    // unnecessary — rank 0..len suffices since ranks are dense).
+    for (tfp, child) in &r3.children {
+        let fp = fingerprint(cfg.seed, child);
+        let ok = (0..r3.children.len() as u64 + alice.len() as u64 + 1)
+            .any(|r| hash_words(cfg.seed ^ 0x7a66_ed00, &[fp, r]) == *tfp);
+        if !ok {
+            return Err(SosError::ContentVerificationFailed);
+        }
+    }
+    // Remove Alice-only children (by tagged fingerprint), keep the rest,
+    // add Bob-only contents.
+    let tagged = tagged_fingerprints(cfg.seed, alice);
+    let alice_only: std::collections::HashSet<u64> = state.alice_only.iter().copied().collect();
+    let mut result: Vec<ChildSet> = alice
+        .iter()
+        .zip(&tagged)
+        .filter(|(_, tfp)| !alice_only.contains(tfp))
+        .map(|(c, _)| c.clone())
+        .collect();
+    result.extend(r3.children.iter().map(|(_, c)| c.clone()));
+    Ok(result)
+}
+
+/// Runs the full 3-round protocol and accounts communication.
+///
+/// `child_len` is the (maximum) number of entries per child set, used for
+/// wire accounting of round 3.
+pub fn reconcile(
+    alice: &[ChildSet],
+    bob: &[ChildSet],
+    cfg: &SosConfig,
+) -> Result<SosOutcome, SosError> {
+    let r1 = bob_round1(bob, cfg);
+    let r1_bits = r1.iblt.wire_bits(r1.num_children) + 64;
+    let (r2, state) = alice_round2(alice, &r1, cfg)?;
+    let r2_bits = 64 * r2.requested.len() as u64 + 32;
+    let r3 = bob_round3(bob, &r2, cfg)?;
+    let r3_bits = r3
+        .children
+        .iter()
+        .map(|(_, c)| 64 + c.len() as u64 * u64::from(cfg.entry_bits))
+        .sum::<u64>()
+        + 32;
+    let bob_multiset = alice_finish(alice, &state, &r3, cfg)?;
+    Ok(SosOutcome {
+        bob_multiset,
+        bob_only_children: r3.children.iter().map(|(_, c)| c.clone()).collect(),
+        alice_only_count: state.alice_only.len(),
+        round_bits: (r1_bits, r2_bits, r3_bits),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(fp_cells: usize) -> SosConfig {
+        SosConfig {
+            fp_cells,
+            q: 3,
+            seed: 0xABCD,
+            entry_bits: 32,
+        }
+    }
+
+    fn sorted(mut v: Vec<ChildSet>) -> Vec<ChildSet> {
+        v.sort();
+        v
+    }
+
+    #[test]
+    fn identical_multisets_need_no_round3_content() {
+        let sets: Vec<ChildSet> = vec![vec![1, 2, 3], vec![4, 5, 6]];
+        let out = reconcile(&sets, &sets, &cfg(30)).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(sets));
+        assert!(out.bob_only_children.is_empty());
+        assert_eq!(out.alice_only_count, 0);
+    }
+
+    #[test]
+    fn bob_only_child_is_recovered() {
+        let alice: Vec<ChildSet> = vec![vec![1, 2], vec![3, 4]];
+        let bob: Vec<ChildSet> = vec![vec![1, 2], vec![3, 4], vec![9, 9]];
+        let out = reconcile(&alice, &bob, &cfg(30)).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(bob));
+        assert_eq!(out.bob_only_children, vec![vec![9, 9]]);
+    }
+
+    #[test]
+    fn alice_only_child_is_dropped() {
+        let alice: Vec<ChildSet> = vec![vec![1, 2], vec![7, 7]];
+        let bob: Vec<ChildSet> = vec![vec![1, 2]];
+        let out = reconcile(&alice, &bob, &cfg(30)).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(bob));
+        assert_eq!(out.alice_only_count, 1);
+    }
+
+    #[test]
+    fn multiset_multiplicities_are_respected() {
+        // Alice has 1 copy of [5,5], Bob has 3.
+        let alice: Vec<ChildSet> = vec![vec![5, 5], vec![1, 1]];
+        let bob: Vec<ChildSet> = vec![vec![5, 5], vec![5, 5], vec![5, 5], vec![1, 1]];
+        let out = reconcile(&alice, &bob, &cfg(40)).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(bob));
+        assert_eq!(out.bob_only_children.len(), 2); // two extra copies shipped
+    }
+
+    #[test]
+    fn multiplicity_decrease() {
+        let alice: Vec<ChildSet> = vec![vec![5, 5], vec![5, 5], vec![1, 1]];
+        let bob: Vec<ChildSet> = vec![vec![5, 5], vec![1, 1]];
+        let out = reconcile(&alice, &bob, &cfg(40)).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(bob));
+        assert_eq!(out.alice_only_count, 1);
+    }
+
+    #[test]
+    fn communication_scales_with_differences_not_size() {
+        // Same number of differences, 10× the parent size → round-3 bits
+        // unchanged; round-1 bits depend only on fp_cells.
+        let shared_small: Vec<ChildSet> = (0..20u64).map(|i| vec![i, i + 1]).collect();
+        let shared_big: Vec<ChildSet> = (0..200u64).map(|i| vec![i, i + 1]).collect();
+        let extra: Vec<ChildSet> = vec![vec![999, 999], vec![888, 888]];
+
+        let mk = |shared: &[ChildSet]| {
+            let alice = shared.to_vec();
+            let mut bob = shared.to_vec();
+            bob.extend(extra.clone());
+            reconcile(&alice, &bob, &cfg(30)).unwrap()
+        };
+        let small = mk(&shared_small);
+        let big = mk(&shared_big);
+        assert_eq!(small.round_bits.2, big.round_bits.2);
+        // Round 1 grows only by the log-factor in the per-cell count width.
+        let ratio = big.round_bits.0 as f64 / small.round_bits.0 as f64;
+        assert!(ratio < 1.15, "round-1 bits grew superlogarithmically: {ratio}");
+    }
+
+    #[test]
+    fn overloaded_fingerprint_table_reports_failure() {
+        let alice: Vec<ChildSet> = Vec::new();
+        let bob: Vec<ChildSet> = (0..500u64).map(|i| vec![i]).collect();
+        let err = reconcile(&alice, &bob, &cfg(24)).unwrap_err();
+        assert_eq!(err, SosError::FingerprintDecodeFailed);
+    }
+
+    #[test]
+    fn estimate_fp_cells_has_floor_and_slack() {
+        assert!(estimate_fp_cells(0) >= 24);
+        assert!(estimate_fp_cells(100) >= 250);
+    }
+
+    #[test]
+    fn disjoint_multisets_fully_replace() {
+        let alice: Vec<ChildSet> = vec![vec![1], vec![2], vec![3]];
+        let bob: Vec<ChildSet> = vec![vec![7], vec![8]];
+        let out = reconcile(&alice, &bob, &cfg(40)).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(bob));
+        assert_eq!(out.alice_only_count, 3);
+        assert_eq!(out.bob_only_children.len(), 2);
+    }
+
+    #[test]
+    fn empty_sides() {
+        let none: Vec<ChildSet> = Vec::new();
+        let some: Vec<ChildSet> = vec![vec![1, 2, 3]];
+        let out = reconcile(&none, &some, &cfg(24)).unwrap();
+        assert_eq!(out.bob_multiset, some);
+        let out = reconcile(&some, &none, &cfg(24)).unwrap();
+        assert!(out.bob_multiset.is_empty());
+        let out = reconcile(&none, &none, &cfg(24)).unwrap();
+        assert!(out.bob_multiset.is_empty());
+    }
+
+    #[test]
+    fn large_sets_with_small_difference() {
+        let shared: Vec<ChildSet> = (0..1000u64).map(|i| vec![i, i * 3, i * 7]).collect();
+        let mut alice = shared.clone();
+        alice.push(vec![1_000_001, 2, 3]);
+        let mut bob = shared;
+        bob.push(vec![2_000_001, 4, 5]);
+        bob.push(vec![2_000_002, 6, 7]);
+        let out = reconcile(&alice, &bob, &cfg(estimate_fp_cells(3))).unwrap();
+        assert_eq!(sorted(out.bob_multiset), sorted(bob));
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests: the sets-of-sets protocol is a faithful multiset
+//! reconciliation for every input shape within its sizing.
+
+use proptest::prelude::*;
+use rsr_setsofsets::{reconcile, ChildSet, SosConfig};
+
+fn cfg(fp_cells: usize, seed: u64) -> SosConfig {
+    SosConfig {
+        fp_cells,
+        q: 3,
+        seed,
+        entry_bits: 24,
+    }
+}
+
+fn sorted(mut v: Vec<ChildSet>) -> Vec<ChildSet> {
+    v.sort();
+    v
+}
+
+proptest! {
+    /// Alice's reconstruction equals Bob's multiset exactly, for arbitrary
+    /// multisets (duplicates included) within the table sizing.
+    #[test]
+    fn reconstruction_is_exact(
+        seed in 0u64..500,
+        alice in prop::collection::vec(prop::collection::vec(0u64..50, 1..4), 0..12),
+        bob in prop::collection::vec(prop::collection::vec(0u64..50, 1..4), 0..12),
+    ) {
+        // Oversize the table: correctness, not sizing, is under test.
+        let out = match reconcile(&alice, &bob, &cfg(256, seed)) {
+            Ok(out) => out,
+            Err(_) => return Ok(()), // decode failure is allowed, never wrong output
+        };
+        prop_assert_eq!(sorted(out.bob_multiset), sorted(bob));
+    }
+
+    /// Shipping is one-sided: everything in round 3 is a child Bob holds.
+    #[test]
+    fn shipped_children_are_bobs(
+        seed in 0u64..500,
+        shared in prop::collection::vec(prop::collection::vec(0u64..90, 2..4), 0..10),
+        extra in prop::collection::vec(prop::collection::vec(100u64..200, 2..4), 0..6),
+    ) {
+        let alice = shared.clone();
+        let mut bob = shared;
+        bob.extend(extra);
+        let out = match reconcile(&alice, &bob, &cfg(256, seed)) {
+            Ok(out) => out,
+            Err(_) => return Ok(()),
+        };
+        for child in &out.bob_only_children {
+            prop_assert!(bob.contains(child), "shipped child Bob never had");
+        }
+    }
+
+    /// Identical multisets never ship content and never remove anything.
+    #[test]
+    fn identical_multisets_are_noop(
+        seed in 0u64..500,
+        sets in prop::collection::vec(prop::collection::vec(0u64..100, 1..5), 0..15),
+    ) {
+        let out = reconcile(&sets, &sets, &cfg(128, seed)).expect("zero diff always decodes");
+        prop_assert!(out.bob_only_children.is_empty());
+        prop_assert_eq!(out.alice_only_count, 0);
+        prop_assert_eq!(sorted(out.bob_multiset), sorted(sets));
+        // Round 2 and 3 are then (near-)empty: only framing bits.
+        prop_assert!(out.round_bits.1 <= 40);
+        prop_assert!(out.round_bits.2 <= 40);
+    }
+
+    /// Total bits decompose as the sum of the three rounds.
+    #[test]
+    fn round_bits_sum(
+        seed in 0u64..200,
+        alice in prop::collection::vec(prop::collection::vec(0u64..30, 1..3), 0..8),
+        bob in prop::collection::vec(prop::collection::vec(0u64..30, 1..3), 0..8),
+    ) {
+        if let Ok(out) = reconcile(&alice, &bob, &cfg(256, seed)) {
+            prop_assert_eq!(
+                out.total_bits(),
+                out.round_bits.0 + out.round_bits.1 + out.round_bits.2
+            );
+        }
+    }
+}

@@ -1,0 +1,254 @@
+//! Workload generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use rsr_metric::{Metric, MetricSpace, Point};
+
+/// An EMD-model workload: two point sets of equal size `n` with `n − k`
+/// noisy shared points and `k` planted outliers per side.
+#[derive(Clone, Debug)]
+pub struct Workload {
+    /// Alice's set.
+    pub alice: Vec<Point>,
+    /// Bob's set.
+    pub bob: Vec<Point>,
+    /// Planted difference budget.
+    pub k: usize,
+    /// Per-shared-point noise bound used during generation.
+    pub noise: i64,
+}
+
+/// Generates an EMD-model workload on `space`.
+///
+/// * the first `n − k` points are shared up to coordinate noise of
+///   magnitude at most `noise` (clamped into the grid) — under `ℓ1` the
+///   per-point distance is ≤ `d·noise`;
+/// * the last `k` points of each side are independent uniform points.
+///
+/// On Hamming spaces `noise` counts *bit flips* instead.
+pub fn planted_emd(space: MetricSpace, n: usize, k: usize, noise: i64, seed: u64) -> Workload {
+    assert!(k <= n, "need k ≤ n");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut alice = Vec::with_capacity(n);
+    let mut bob = Vec::with_capacity(n);
+    let delta = space.delta();
+    let dim = space.dim();
+    let hamming_like = space.metric() == Metric::Hamming || delta == 2;
+    for _ in 0..n - k {
+        let base = space.universe().sample(&mut rng);
+        let noisy = if hamming_like {
+            // Flip up to `noise` random coordinates.
+            let mut bits = base.coords().to_vec();
+            for _ in 0..noise {
+                let j = rng.gen_range(0..dim);
+                bits[j] = (delta - 1) - bits[j];
+            }
+            Point::new(bits)
+        } else {
+            Point::new(
+                base.coords()
+                    .iter()
+                    .map(|&c| (c + rng.gen_range(-noise..=noise)).clamp(0, delta - 1))
+                    .collect(),
+            )
+        };
+        alice.push(base);
+        bob.push(noisy);
+    }
+    for _ in 0..k {
+        alice.push(space.universe().sample(&mut rng));
+        bob.push(space.universe().sample(&mut rng));
+    }
+    Workload {
+        alice,
+        bob,
+        k,
+        noise,
+    }
+}
+
+/// Like [`planted_emd`], but noise hits only `noisy_count` of the shared
+/// points (the rest agree exactly). This is the paper's motivating regime
+/// — "the most valuable new data to reconcile would be the outliers" (§1)
+/// — where `EMD_k ≪ EMD` and the protocol's repair visibly pays off.
+pub fn planted_emd_sparse(
+    space: MetricSpace,
+    n: usize,
+    k: usize,
+    noise: i64,
+    noisy_count: usize,
+    seed: u64,
+) -> Workload {
+    assert!(k <= n && noisy_count <= n - k);
+    let mut w = planted_emd(space, n, k, noise, seed);
+    // Undo the noise on all but the first `noisy_count` shared points.
+    for i in noisy_count..n - k {
+        w.bob[i] = w.alice[i].clone();
+    }
+    w
+}
+
+/// A Gap-model workload with a *certified* gap structure.
+#[derive(Clone, Debug)]
+pub struct GapWorkload {
+    /// Alice's set.
+    pub alice: Vec<Point>,
+    /// Bob's set.
+    pub bob: Vec<Point>,
+    /// Alice's points that are ≥ r2 from every Bob point (ground truth).
+    pub alice_far: Vec<Point>,
+    /// The radii `(r1, r2)` the instance satisfies.
+    pub radii: (f64, f64),
+}
+
+/// Generates a Gap-model workload on `space`: `n − k` close pairs (each
+/// Alice point within `r1` of a Bob point) and `k` Alice points farther
+/// than `r2` from *every* Bob point. Generation retries until the far
+/// condition is certified, so the returned instance always satisfies the
+/// Gap model's premises exactly.
+pub fn sensor_pairs(
+    space: MetricSpace,
+    n: usize,
+    k: usize,
+    r1: f64,
+    r2: f64,
+    seed: u64,
+) -> GapWorkload {
+    assert!(k <= n);
+    assert!(r1 < r2);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let delta = space.delta();
+    let dim = space.dim();
+    let mut alice = Vec::with_capacity(n);
+    let mut bob = Vec::with_capacity(n);
+    for _ in 0..n - k {
+        let base = space.universe().sample(&mut rng);
+        // Bob's noisy copy within r1: perturb then verify.
+        let noisy = loop {
+            let cand = if delta == 2 {
+                let mut bits = base.coords().to_vec();
+                let flips = (r1.floor() as usize).min(dim);
+                for _ in 0..rng.gen_range(0..=flips) {
+                    let j = rng.gen_range(0..dim);
+                    bits[j] = 1 - bits[j];
+                }
+                Point::new(bits)
+            } else {
+                let step = (r1 / dim as f64).floor().max(0.0) as i64;
+                Point::new(
+                    base.coords()
+                        .iter()
+                        .map(|&c| (c + rng.gen_range(-step..=step)).clamp(0, delta - 1))
+                        .collect(),
+                )
+            };
+            if space.distance(&base, &cand) <= r1 {
+                break cand;
+            }
+        };
+        alice.push(base);
+        bob.push(noisy);
+    }
+    // Far points for Alice: uniform samples certified ≥ r2 from all of
+    // Bob's (including Bob's own extra points, added first).
+    for _ in 0..k {
+        bob.push(space.universe().sample(&mut rng));
+    }
+    let mut alice_far = Vec::with_capacity(k);
+    let mut guard = 0;
+    while alice_far.len() < k {
+        guard += 1;
+        assert!(
+            guard < 100_000,
+            "cannot place far points: r2 too large for this space"
+        );
+        let cand = space.universe().sample(&mut rng);
+        if space.nearest_distance(&cand, &bob) > r2 {
+            alice.push(cand.clone());
+            alice_far.push(cand);
+        }
+    }
+    GapWorkload {
+        alice,
+        bob,
+        alice_far,
+        radii: (r1, r2),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_emd_shapes() {
+        let space = MetricSpace::hamming(32);
+        let w = planted_emd(space, 50, 5, 1, 1);
+        assert_eq!(w.alice.len(), 50);
+        assert_eq!(w.bob.len(), 50);
+        // Shared prefix points differ by at most `noise` bits.
+        for i in 0..45 {
+            assert!(space.distance(&w.alice[i], &w.bob[i]) <= 1.0);
+        }
+        for p in w.alice.iter().chain(&w.bob) {
+            assert!(space.universe().contains(p));
+        }
+    }
+
+    #[test]
+    fn planted_emd_l2_noise_bounded() {
+        let space = MetricSpace::l2(1000, 3);
+        let w = planted_emd(space, 30, 2, 2, 2);
+        for i in 0..28 {
+            // ℓ2 noise ≤ √(d·noise²) = noise·√d.
+            assert!(space.distance(&w.alice[i], &w.bob[i]) <= 2.0 * 3f64.sqrt() + 1e-9);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let space = MetricSpace::l1(100, 2);
+        let a = planted_emd(space, 20, 2, 1, 7);
+        let b = planted_emd(space, 20, 2, 1, 7);
+        assert_eq!(a.alice, b.alice);
+        assert_eq!(a.bob, b.bob);
+        let c = planted_emd(space, 20, 2, 1, 8);
+        assert_ne!(a.alice, c.alice);
+    }
+
+    #[test]
+    fn sensor_pairs_certified_gap() {
+        let space = MetricSpace::hamming(128);
+        let w = sensor_pairs(space, 40, 3, 2.0, 40.0, 3);
+        assert_eq!(w.alice.len(), 40);
+        assert_eq!(w.bob.len(), 40);
+        assert_eq!(w.alice_far.len(), 3);
+        // Close points are within r1 of some Bob point.
+        for a in &w.alice[..37] {
+            assert!(space.nearest_distance(a, &w.bob) <= 2.0);
+        }
+        // Far points are beyond r2 from every Bob point.
+        for a in &w.alice_far {
+            assert!(space.nearest_distance(a, &w.bob) > 40.0);
+        }
+    }
+
+    #[test]
+    fn sensor_pairs_l1() {
+        let space = MetricSpace::l1(10_000, 2);
+        let w = sensor_pairs(space, 30, 2, 4.0, 500.0, 4);
+        for a in &w.alice_far {
+            assert!(space.nearest_distance(a, &w.bob) > 500.0);
+        }
+        for a in &w.alice[..28] {
+            assert!(space.nearest_distance(a, &w.bob) <= 4.0);
+        }
+    }
+
+    #[test]
+    fn zero_k_has_no_outliers() {
+        let space = MetricSpace::hamming(16);
+        let w = planted_emd(space, 10, 0, 0, 5);
+        assert_eq!(w.alice, w.bob);
+    }
+}

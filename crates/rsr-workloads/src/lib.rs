@@ -1,0 +1,19 @@
+//! Synthetic workloads for robust set reconciliation experiments.
+//!
+//! The paper motivates robust reconciliation with noisy replicated data:
+//! "set elements might be geometric coordinates for objects, as determined
+//! by sensors … for the same object, each sensor might have slightly
+//! different, noisy measurements" (§1). The generators here produce
+//! exactly those shapes, deterministically from a seed:
+//!
+//! * [`planted_emd`] — `n − k` shared points with bounded per-point noise
+//!   plus `k` independent outliers per side: the canonical EMD-model
+//!   workload (experiments T3–T6);
+//! * [`sensor_pairs`] — the Gap-model variant with guaranteed `r1`/`r2`
+//!   separation (experiments T7, T8);
+//! * [`stats`] — small summary-statistics helpers for the harness.
+
+pub mod generators;
+pub mod stats;
+
+pub use generators::{planted_emd, planted_emd_sparse, sensor_pairs, GapWorkload, Workload};

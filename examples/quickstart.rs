@@ -1,0 +1,74 @@
+//! Quickstart: robust set reconciliation in the EMD model.
+//!
+//! Two replicas hold 64-bit binary feature vectors for the same 300
+//! objects, but (a) each replica's encoder flips an occasional bit and
+//! (b) five objects per replica are simply different (insertions that
+//! never propagated). Bob wants his replica to be *close* to Alice's in
+//! earth mover's distance without shipping the whole set.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use robust_set_recon::core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use robust_set_recon::emd::{emd, emd_k};
+use robust_set_recon::metric::MetricSpace;
+use robust_set_recon::workloads::planted_emd_sparse;
+
+fn main() {
+    let dim = 64;
+    let n = 300;
+    let k = 5; // budget for genuinely-different points
+    let space = MetricSpace::hamming(dim);
+
+    // A synthetic replica pair: 295 shared vectors of which ~30 carry one
+    // flipped bit of encoder noise, plus 5 unrelated vectors per side —
+    // the paper's "the most valuable new data to reconcile would be the
+    // outliers" regime, where EMD ≫ EMD_k.
+    let workload = planted_emd_sparse(space, n, k, 1, 30, 0xC0FFEE);
+
+    // Both parties derive every hash function from one shared seed.
+    let config = EmdProtocolConfig::for_space(&space, n, k);
+    let protocol = EmdProtocol::new(space, config, 0xC0FFEE);
+
+    // One round: Alice encodes, Bob decodes and repairs.
+    let message = protocol.alice_encode(&workload.alice);
+    println!(
+        "Alice → Bob: {} levels, {} KiB \
+         (sized for k = {k} differences: grows with k·log(n·Δ), not with n — \
+         the win over full transfer kicks in for n ≫ k·log²n; see the \
+         exp_emd_hamming experiment for the sweep)",
+        message.num_levels(),
+        message.wire_bits() / 8 / 1024
+    );
+
+    match protocol.bob_decode(&message, &workload.bob) {
+        Ok(outcome) => {
+            let before = emd(space.metric(), &workload.alice, &workload.bob);
+            let after = emd(space.metric(), &workload.alice, &outcome.reconciled);
+            let floor = emd_k(space.metric(), &workload.alice, &workload.bob, k);
+            println!("decoded at level i* = {}", outcome.i_star);
+            println!("EMD before protocol: {before:8.1}");
+            println!("EMD after  protocol: {after:8.1}");
+            println!("EMD_k floor        : {floor:8.1}");
+            println!(
+                "approximation ratio : {:8.2} (Theorem 3.4 promises O(log n) ≈ {:.1})",
+                after / floor.max(1.0),
+                (n as f64).ln()
+            );
+            // The real headline: Alice's k unique points — the valuable
+            // outliers — now have nearby representatives on Bob's side.
+            let dist_to = |set: &[_]| {
+                workload.alice[n - k..]
+                    .iter()
+                    .map(|a| space.nearest_distance(a, set))
+                    .sum::<f64>()
+                    / k as f64
+            };
+            println!(
+                "outlier distance    : {:8.1} bits before → {:.1} bits after",
+                dist_to(&workload.bob),
+                dist_to(&outcome.reconciled)
+            );
+        }
+        Err(e) => println!("protocol reported failure: {e} (rerun with a new seed)"),
+    }
+}

@@ -1,0 +1,144 @@
+//! End-to-end integration tests for the EMD-model protocol (Algorithm 1
+//! and the Corollary 3.6 scaled variant) across all workspace crates.
+
+use robust_set_recon::core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use robust_set_recon::core::ScaledEmdProtocol;
+use robust_set_recon::emd::{emd, emd_k};
+use robust_set_recon::metric::MetricSpace;
+use robust_set_recon::workloads::{planted_emd, planted_emd_sparse};
+
+#[test]
+fn hamming_sparse_noise_recovers_outliers() {
+    let space = MetricSpace::hamming(64);
+    let n = 200;
+    let k = 4;
+    let mut ratios = Vec::new();
+    let mut successes = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let w = planted_emd_sparse(space, n, k, 1, 20, 1000 + t);
+        let cfg = EmdProtocolConfig::for_space(&space, n, k);
+        let proto = EmdProtocol::new(space, cfg, 2000 + t);
+        let Ok(out) = proto.run(&w.alice, &w.bob) else {
+            continue;
+        };
+        successes += 1;
+        let floor = emd_k(space.metric(), &w.alice, &w.bob, k).max(1.0);
+        let after = emd(space.metric(), &w.alice, &out.reconciled);
+        ratios.push(after / floor);
+    }
+    // Theorem 3.4: failure probability ≤ 1/8 for decode, ≥ 3/4 quality.
+    // Over 8 trials, require a strong majority to decode and the median
+    // ratio to sit well inside O(log n) = 5.3.
+    assert!(successes >= 6, "only {successes}/{trials} decoded");
+    ratios.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = ratios[ratios.len() / 2];
+    assert!(
+        median <= 4.0 * (n as f64).ln(),
+        "median approximation ratio {median} too large"
+    );
+}
+
+#[test]
+fn scaled_l2_protocol_quality() {
+    let space = MetricSpace::l2(1024, 2);
+    let n = 150;
+    let k = 3;
+    let mut ok = 0;
+    let trials = 6;
+    for t in 0..trials {
+        let w = planted_emd_sparse(space, n, k, 1, 15, 3000 + t);
+        let proto = ScaledEmdProtocol::new(space, n, k, 4000 + t);
+        let Ok(out) = proto.run(&w.alice, &w.bob) else {
+            continue;
+        };
+        let floor = emd_k(space.metric(), &w.alice, &w.bob, k).max(1.0);
+        let after = emd(space.metric(), &w.alice, &out.inner.reconciled);
+        if after <= 20.0 * (n as f64).ln() * floor {
+            ok += 1;
+        }
+    }
+    assert!(ok >= 4, "only {ok}/{trials} runs within the quality bound");
+}
+
+#[test]
+fn protocol_output_size_always_n() {
+    let space = MetricSpace::hamming(32);
+    for t in 0..5 {
+        let w = planted_emd(space, 60, 3, 1, 5000 + t);
+        let cfg = EmdProtocolConfig::for_space(&space, 60, 3);
+        let proto = EmdProtocol::new(space, cfg, 6000 + t);
+        if let Ok(out) = proto.run(&w.alice, &w.bob) {
+            assert_eq!(out.reconciled.len(), 60);
+            for p in &out.reconciled {
+                assert!(space.universe().contains(p));
+            }
+        }
+    }
+}
+
+#[test]
+fn deterministic_given_shared_seed() {
+    let space = MetricSpace::hamming(32);
+    let w = planted_emd(space, 50, 2, 1, 7000);
+    let cfg = EmdProtocolConfig::for_space(&space, 50, 2);
+    let p1 = EmdProtocol::new(space, cfg, 42);
+    let p2 = EmdProtocol::new(space, cfg, 42);
+    let m1 = p1.alice_encode(&w.alice);
+    let m2 = p2.alice_encode(&w.alice);
+    assert_eq!(m1.wire_bits(), m2.wire_bits());
+    let o1 = p1.bob_decode(&m1, &w.bob);
+    let o2 = p2.bob_decode(&m2, &w.bob);
+    match (o1, o2) {
+        (Ok(a), Ok(b)) => {
+            assert_eq!(a.i_star, b.i_star);
+            assert_eq!(a.reconciled, b.reconciled);
+        }
+        (Err(_), Err(_)) => {}
+        _ => panic!("determinism violated: one run failed, the other succeeded"),
+    }
+}
+
+#[test]
+fn communication_independent_of_n_up_to_logs() {
+    // Cor 3.5: bits = O(k·d·log n·log(dn)) — quadrupling n must grow the
+    // message by at most the log factors.
+    let space = MetricSpace::hamming(64);
+    let bits = |n: usize| {
+        let w = planted_emd(space, n, 4, 1, 123);
+        let cfg = EmdProtocolConfig::for_space(&space, n, 4);
+        let proto = EmdProtocol::new(space, cfg, 321);
+        proto.alice_encode(&w.alice).wire_bits() as f64
+    };
+    let b1 = bits(100);
+    let b4 = bits(400);
+    assert!(
+        b4 / b1 < 1.6,
+        "message grew too fast with n: {b1} → {b4} ({}×)",
+        b4 / b1
+    );
+}
+
+#[test]
+fn emdk_zero_instances_reconcile_nearly_exactly() {
+    // Identical sets plus k replacements: EMD_k = 0. With constant
+    // probability a far pair collides even at the finest level (this is
+    // inside Theorem 3.4's failure budget), so we require exactness in a
+    // strong majority of seeds and a big improvement in all of them.
+    let space = MetricSpace::hamming(48);
+    let mut exact = 0;
+    let trials = 8;
+    for t in 0..trials {
+        let w = planted_emd_sparse(space, 100, 3, 0, 0, 8000 + t);
+        let cfg = EmdProtocolConfig::for_space(&space, 100, 3);
+        let proto = EmdProtocol::new(space, cfg, 8100 + t);
+        let out = proto.run(&w.alice, &w.bob).expect("noiseless instances decode");
+        let before = emd(space.metric(), &w.alice, &w.bob);
+        let after = emd(space.metric(), &w.alice, &out.reconciled);
+        assert!(after < before / 2.0, "trial {t}: {after} vs {before}");
+        if after == 0.0 {
+            exact += 1;
+        }
+    }
+    assert!(exact >= 5, "exact reconciliation in only {exact}/{trials}");
+}

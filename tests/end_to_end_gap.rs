@@ -1,0 +1,149 @@
+//! End-to-end integration tests for the Gap Guarantee protocol
+//! (Theorem 4.2 and the Theorem 4.5 low-dimension variant).
+
+use robust_set_recon::core::gap_protocol::{verify_gap_guarantee, GapConfig, GapProtocol};
+use robust_set_recon::core::low_dim_gap_config;
+use robust_set_recon::hash::lsh::LshParams;
+use robust_set_recon::hash::BitSamplingFamily;
+use robust_set_recon::metric::MetricSpace;
+use robust_set_recon::workloads::sensor_pairs;
+
+fn hamming_setup(dim: usize, r1: f64, r2: f64) -> (BitSamplingFamily, LshParams) {
+    let fam = BitSamplingFamily::new(dim, dim as f64);
+    let params = LshParams::new(r1, r2, 1.0 - r1 / dim as f64, 1.0 - r2 / dim as f64);
+    (fam, params)
+}
+
+#[test]
+fn guarantee_holds_across_seeds_hamming() {
+    let dim = 128;
+    let (r1, r2) = (2.0, 48.0);
+    let mut satisfied = 0;
+    let trials = 10;
+    for t in 0..trials {
+        let space = MetricSpace::hamming(dim);
+        let w = sensor_pairs(space, 60, 3, r1, r2, 100 + t);
+        let (fam, params) = hamming_setup(dim, r1, r2);
+        let cfg = GapConfig::for_params(params, 60, 3);
+        let proto = GapProtocol::new(space, &fam, cfg, 200 + t);
+        let Ok(out) = proto.run(&w.alice, &w.bob) else {
+            continue;
+        };
+        if verify_gap_guarantee(&space, &w.alice, &out.reconciled, r2) {
+            satisfied += 1;
+        }
+    }
+    // Theorem 4.2: success probability ≥ 1 − 1/n; all 10 should pass.
+    assert!(satisfied >= 9, "guarantee held in only {satisfied}/{trials}");
+}
+
+#[test]
+fn all_ground_truth_far_points_transmitted() {
+    let dim = 128;
+    let space = MetricSpace::hamming(dim);
+    for t in 0..5 {
+        let w = sensor_pairs(space, 50, 4, 2.0, 48.0, 300 + t);
+        let (fam, params) = hamming_setup(dim, 2.0, 48.0);
+        let cfg = GapConfig::for_params(params, 50, 4);
+        let proto = GapProtocol::new(space, &fam, cfg, 400 + t);
+        let out = proto.run(&w.alice, &w.bob).expect("succeeds");
+        for far in &w.alice_far {
+            assert!(
+                out.transmitted.contains(far),
+                "trial {t}: far point not transmitted"
+            );
+        }
+    }
+}
+
+#[test]
+fn four_messages_and_k_log_u_far_term() {
+    let dim = 256;
+    let space = MetricSpace::hamming(dim);
+    let w = sensor_pairs(space, 80, 5, 2.0, 90.0, 500);
+    let (fam, params) = hamming_setup(dim, 2.0, 90.0);
+    let cfg = GapConfig::for_params(params, 80, 5);
+    let proto = GapProtocol::new(space, &fam, cfg, 501);
+    let out = proto.run(&w.alice, &w.bob).expect("succeeds");
+    assert_eq!(out.transcript.num_messages(), 4);
+    // Round 4 carries ~|T_A|·d bits; with few false positives that is
+    // close to k·log|U|.
+    let round4 = out.transcript.entries().last().unwrap().1;
+    let floor = 5 * dim as u64;
+    assert!(round4 >= floor, "round 4 too small: {round4} < {floor}");
+    assert!(
+        round4 <= 4 * floor + 64,
+        "round 4 bloated by false positives: {round4}"
+    );
+}
+
+#[test]
+fn low_dim_variant_guarantee_l1() {
+    let space = MetricSpace::l1(100_000, 4);
+    let (r1, r2) = (8.0, 20_000.0);
+    let mut satisfied = 0;
+    let trials = 6;
+    for t in 0..trials {
+        let w = sensor_pairs(space, 60, 3, r1, r2, 600 + t);
+        let (fam, cfg) = low_dim_gap_config(&space, 60, 3, r1, r2);
+        let proto = GapProtocol::new(space, &fam, cfg, 700 + t);
+        let Ok(out) = proto.run(&w.alice, &w.bob) else {
+            continue;
+        };
+        if verify_gap_guarantee(&space, &w.alice, &out.reconciled, r2) {
+            satisfied += 1;
+        }
+    }
+    assert!(satisfied >= 5, "low-dim guarantee held in {satisfied}/{trials}");
+}
+
+#[test]
+fn low_dim_cheaper_than_general_in_low_dim() {
+    // Theorem 4.5's point: in constant dimension the one-sided variant
+    // saves communication over the Theorem 4.2 protocol.
+    let space = MetricSpace::l1(1_000_000, 2);
+    let (r1, r2) = (4.0, 100_000.0);
+    let w = sensor_pairs(space, 100, 3, r1, r2, 800);
+
+    let (fam_low, cfg_low) = low_dim_gap_config(&space, 100, 3, r1, r2);
+    let low = GapProtocol::new(space, &fam_low, cfg_low, 801)
+        .run(&w.alice, &w.bob)
+        .expect("low-dim run");
+
+    // General protocol driven by a grid LSH for ℓ1.
+    let fam_gen = robust_set_recon::hash::GridFamily::new(2, r2 / 2.0);
+    let params = fam_gen_params(r1, r2);
+    let cfg_gen = GapConfig::for_params(params, 100, 3);
+    let gen = GapProtocol::new(space, &fam_gen, cfg_gen, 802)
+        .run(&w.alice, &w.bob)
+        .expect("general run");
+
+    assert!(
+        low.transcript.total_bits() < gen.transcript.total_bits(),
+        "low-dim {} ≥ general {}",
+        low.transcript.total_bits(),
+        gen.transcript.total_bits()
+    );
+    assert!(verify_gap_guarantee(&space, &w.alice, &low.reconciled, r2));
+}
+
+fn fam_gen_params(r1: f64, r2: f64) -> LshParams {
+    // Grid LSH of width w = r2/2 in d = 2: near collision ≥ 1 − 2·r1/w
+    // (union bound), far collision ≤ e^{−r2·/w} envelope — conservative
+    // constants good enough to parameterize the general protocol.
+    let w = r2 / 2.0;
+    LshParams::new(r1, r2, (1.0 - 2.0 * r1 / w).max(0.5), 0.6)
+}
+
+#[test]
+fn identical_sets_no_transmission() {
+    let dim = 64;
+    let space = MetricSpace::hamming(dim);
+    let w = sensor_pairs(space, 70, 0, 1.0, 24.0, 900);
+    let (fam, params) = hamming_setup(dim, 1.0, 24.0);
+    let cfg = GapConfig::for_params(params, 70, 0);
+    let proto = GapProtocol::new(space, &fam, cfg, 901);
+    let out = proto.run(&w.alice, &w.bob).expect("succeeds");
+    assert!(out.transmitted.len() <= 4, "spurious: {}", out.transmitted.len());
+    assert!(verify_gap_guarantee(&space, &w.alice, &out.reconciled, 24.0));
+}
