@@ -1,0 +1,208 @@
+//! Minimal, dependency-free stand-in for the slice of the `criterion` API
+//! this workspace's benches use: `Criterion`, benchmark groups,
+//! `bench_function` / `bench_with_input`, `BenchmarkId`, and the
+//! `criterion_group!` / `criterion_main!` macros.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the workspace patches `criterion` to this crate by path.
+//! Measurement is intentionally simple — warm up, then time enough
+//! iterations to fill a short window and report mean ns/iter — because CI
+//! only compiles the benches (`cargo bench --no-run`); the numbers are for
+//! quick local comparisons, not statistical rigour.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Measurement window per benchmark; scaled down by `sample_size` requests
+/// the way real criterion shortens heavyweight groups.
+const TARGET_WINDOW: Duration = Duration::from_millis(200);
+
+/// Entry point handed to each `criterion_group!` target.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    pub fn bench_function<F>(&mut self, name: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, TARGET_WINDOW, f);
+        self
+    }
+
+    pub fn benchmark_group(&mut self, name: impl Display) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            _parent: self,
+            name: name.to_string(),
+            window: TARGET_WINDOW,
+        }
+    }
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    window: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Real criterion adjusts the statistical sample count; here it scales
+    /// the measurement window so expensive groups stay quick.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        let n = n.clamp(2, 100) as u32;
+        self.window = TARGET_WINDOW * n / 100;
+        self
+    }
+
+    pub fn measurement_time(&mut self, window: Duration) -> &mut Self {
+        self.window = window;
+        self
+    }
+
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        run_benchmark(&format!("{}/{}", self.name, id.label), self.window, f);
+        self
+    }
+
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_benchmark(&format!("{}/{}", self.name, id.label), self.window, |b| {
+            f(b, input)
+        });
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> Self {
+        BenchmarkId {
+            label: name.to_string(),
+        }
+    }
+}
+
+/// Timing harness passed to each benchmark closure.
+pub struct Bencher {
+    window: Duration,
+    mean_ns: Option<f64>,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One untimed pass to warm caches and page in code.
+        black_box(routine());
+
+        // Estimate cost, then size the batch to fill the window.
+        let start = Instant::now();
+        black_box(routine());
+        let estimate = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (self.window.as_nanos() / estimate.as_nanos()).clamp(1, 1_000_000) as u32;
+
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.mean_ns = Some(start.elapsed().as_nanos() as f64 / f64::from(iters));
+    }
+}
+
+fn run_benchmark<F: FnMut(&mut Bencher)>(name: &str, window: Duration, mut f: F) {
+    let mut bencher = Bencher {
+        window,
+        mean_ns: None,
+    };
+    f(&mut bencher);
+    match bencher.mean_ns {
+        Some(ns) => println!("bench: {name:<48} {ns:>14.1} ns/iter"),
+        None => println!("bench: {name:<48} (no measurement)"),
+    }
+}
+
+/// Opaque value barrier, re-exported so benches may use either
+/// `criterion::black_box` or `std::hint::black_box`.
+pub use std::hint::black_box;
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            let _ = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo bench` forwards harness flags like `--bench`; a plain
+            // `--no-run`-compiled binary may also be invoked by hand with
+            // filters we don't implement, so just ignore the arguments.
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo(c: &mut Criterion) {
+        c.bench_function("demo_direct", |b| b.iter(|| black_box(2u64).pow(10)));
+        let mut group = c.benchmark_group("demo_group");
+        group.sample_size(10);
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.bench_with_input(BenchmarkId::new("with_input", 4), &4u32, |b, &n| {
+            b.iter(|| black_box(n) * 2)
+        });
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u32, |b, &n| {
+            b.iter(|| black_box(n) + 2)
+        });
+        group.finish();
+    }
+
+    criterion_group!(benches, demo);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}

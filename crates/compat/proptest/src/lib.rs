@@ -1,0 +1,350 @@
+//! Minimal, dependency-free stand-in for the slice of the `proptest` API
+//! this workspace uses: the [`proptest!`] macro (with an optional
+//! `#![proptest_config(..)]` header), range and collection strategies,
+//! `prop_map`, and the `prop_assert*` / `prop_assume!` macros.
+//!
+//! The container this workspace builds in has no network access to
+//! crates.io, so the workspace patches `proptest` to this crate by path.
+//! Unlike the real crate there is no shrinking: each test runs a fixed
+//! number of cases from a seed derived deterministically from the test
+//! name, so failures reproduce across runs and machines.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng};
+use std::ops::{Range, RangeInclusive};
+
+/// Why a generated case did not run to completion. Assertion failures
+/// panic (as in the real crate's default runner); this only models
+/// explicit rejection via [`prop_assume!`] or `return Ok(())`.
+#[derive(Clone, Copy, Debug)]
+pub enum TestCaseError {
+    Reject,
+}
+
+/// Runner configuration. Only `cases` is honoured.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // The real default is 256; 64 keeps the full workspace suite fast
+        // while still exercising each property across a spread of inputs.
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A generator of values of type `Value`.
+pub trait Strategy {
+    type Value;
+
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Output of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+impl<T> Strategy for Range<T>
+where
+    Range<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+impl<T> Strategy for RangeInclusive<T>
+where
+    RangeInclusive<T>: SampleRange<T> + Clone,
+{
+    type Value = T;
+
+    fn generate(&self, rng: &mut StdRng) -> T {
+        rng.gen_range(self.clone())
+    }
+}
+
+macro_rules! impl_strategy_tuple {
+    ($($s:ident . $idx:tt),+) => {
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    };
+}
+
+impl_strategy_tuple!(S0.0);
+impl_strategy_tuple!(S0.0, S1.1);
+impl_strategy_tuple!(S0.0, S1.1, S2.2);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4);
+impl_strategy_tuple!(S0.0, S1.1, S2.2, S3.3, S4.4, S5.5);
+
+/// Inclusive bounds on a generated collection's length.
+#[derive(Clone, Copy, Debug)]
+pub struct SizeRange {
+    lo: usize,
+    hi: usize,
+}
+
+impl SizeRange {
+    fn sample(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.lo..=self.hi)
+    }
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { lo: n, hi: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            lo: r.start,
+            hi: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        SizeRange {
+            lo: *r.start(),
+            hi: *r.end(),
+        }
+    }
+}
+
+pub mod collection {
+    use super::{SizeRange, Strategy};
+    use rand::rngs::StdRng;
+    use std::collections::BTreeSet;
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` of `size` elements drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `BTreeSet` of (up to) `size` distinct elements drawn from `element`.
+    pub fn btree_set<S>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S> Strategy for BTreeSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> BTreeSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = BTreeSet::new();
+            // Duplicates are discarded, so cap the attempts in case the
+            // element domain is smaller than the requested size.
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < 16 * target + 100 {
+                set.insert(self.element.generate(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+/// `prop::…` paths as the real crate's prelude exposes them.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    pub use crate::{
+        prop, prop_assert, prop_assert_eq, prop_assume, proptest, ProptestConfig, Strategy,
+    };
+}
+
+/// FNV-1a over the test name: a stable per-test seed so failures
+/// reproduce run-to-run without any environment dependence.
+#[doc(hidden)]
+pub fn __rng_for(test_name: &str) -> StdRng {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    StdRng::seed_from_u64(h)
+}
+
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $cfg;
+                let mut __rng = $crate::__rng_for(concat!(module_path!(), "::", stringify!($name)));
+                // Bind each strategy once, under its argument's name; the
+                // per-case `let` below shadows it with a generated value.
+                $(let $arg = $strat;)*
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&$arg, &mut __rng);)*
+                    // The body runs in a `Result`-returning closure, as in
+                    // the real crate, so `prop_assume!` and `return Ok(())`
+                    // can abandon a case without failing the test.
+                    let mut __one_case = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                        { $body }
+                        ::std::result::Result::Ok(())
+                    };
+                    let _ = __one_case();
+                    let _ = __case;
+                }
+            }
+        )*
+    };
+}
+
+/// Abandon the current case (without failing) when its inputs don't
+/// satisfy a precondition. Only valid inside [`proptest!`] bodies.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::TestCaseError::Reject);
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn pairs(delta: i64) -> impl Strategy<Value = Vec<i64>> {
+        prop::collection::vec(0..delta, 2)
+    }
+
+    proptest! {
+        #[test]
+        fn ranges_in_bounds(x in 0u64..100, y in -5i64..=5, n in 1usize..4) {
+            prop_assert!(x < 100);
+            prop_assert!((-5..=5).contains(&y));
+            prop_assert!((1..4).contains(&n));
+        }
+
+        #[test]
+        fn vec_and_map_compose(v in pairs(10).prop_map(|v| v.len())) {
+            prop_assert_eq!(v, 2);
+        }
+
+        #[test]
+        fn btree_set_distinct(s in prop::collection::btree_set(0u64..1000, 3..8)) {
+            prop_assert!(s.len() < 8);
+        }
+
+        #[test]
+        fn assume_skips(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert_eq!(x % 2, 0);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(7))]
+        #[test]
+        fn config_header_accepted(x in 0u8..=255) {
+            let _ = x;
+        }
+    }
+}

@@ -33,16 +33,12 @@ fn bench_keyers(c: &mut Criterion) {
     let p = Point::new((0..dim as i64).map(|i| i % 2).collect());
     let fam = BitSamplingFamily::new(dim, 128.0);
     for &s in &[64usize, 512, 4096] {
-        group.bench_with_input(
-            BenchmarkId::new("multiscale_all_levels", s),
-            &s,
-            |b, &s| {
-                let mut rng = StdRng::seed_from_u64(2);
-                let keyer = MultiScaleKeyer::sample(&fam, s, 32, &mut rng);
-                let lens: Vec<usize> = (0..8).map(|i| ((s >> i).max(1)).min(s)).rev().collect();
-                b.iter(|| keyer.level_keys(black_box(&p), &lens));
-            },
-        );
+        group.bench_with_input(BenchmarkId::new("multiscale_all_levels", s), &s, |b, &s| {
+            let mut rng = StdRng::seed_from_u64(2);
+            let keyer = MultiScaleKeyer::sample(&fam, s, 32, &mut rng);
+            let lens: Vec<usize> = (0..8).map(|i| ((s >> i).max(1)).min(s)).rev().collect();
+            b.iter(|| keyer.level_keys(black_box(&p), &lens));
+        });
     }
     group.bench_function("gap_key_h32_m4", |b| {
         let mut rng = StdRng::seed_from_u64(3);

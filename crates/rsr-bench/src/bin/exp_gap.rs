@@ -2,5 +2,8 @@
 //! Pass `--quick` for a reduced-trial smoke run.
 
 fn main() {
-    println!("{}", rsr_bench::experiments::gap::run(rsr_bench::quick_flag()));
+    println!(
+        "{}",
+        rsr_bench::experiments::gap::run(rsr_bench::quick_flag())
+    );
 }

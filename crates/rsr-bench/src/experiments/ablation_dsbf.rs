@@ -62,8 +62,8 @@ pub fn run(quick: bool) -> String {
                 .cloned()
                 .collect();
             // Total communication: the filter plus the far elements.
-            bits = filter.wire_bits()
-                + transmitted.len() as u64 * space.universe().point_wire_bits();
+            bits =
+                filter.wire_bits() + transmitted.len() as u64 * space.universe().point_wire_bits();
             far_tot += w.alice_far.len();
             far_rec += w
                 .alice_far

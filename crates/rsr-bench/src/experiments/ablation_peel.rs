@@ -22,11 +22,7 @@ use rsr_metric::Point;
 
 /// Builds a table with `pairs` cancelled near-pairs and `k` clean
 /// survivors; returns (table, survivor ground truth).
-fn plant(
-    pairs: usize,
-    k: usize,
-    seed: u64,
-) -> (Riblt, std::collections::HashMap<u64, i64>) {
+fn plant(pairs: usize, k: usize, seed: u64) -> (Riblt, std::collections::HashMap<u64, i64>) {
     let mut rng = StdRng::seed_from_u64(seed);
     let config = RibltConfig::for_pairs(k, 3, 1, 100_000, seed);
     let mut t = Riblt::new(config);
@@ -163,10 +159,17 @@ mod tests {
             .filter(|l| l.starts_with("| randomized") || l.starts_with("| floor"))
             .collect();
         assert_eq!(rows.len(), 2);
-        let signed = |line: &str| -> f64 {
-            line.split('|').nth(2).unwrap().trim().parse().unwrap()
-        };
-        assert!(signed(rows[0]).abs() < 0.2, "randomized biased: {}", signed(rows[0]));
-        assert!(signed(rows[1]) < -0.3, "floor not biased down: {}", signed(rows[1]));
+        let signed =
+            |line: &str| -> f64 { line.split('|').nth(2).unwrap().trim().parse().unwrap() };
+        assert!(
+            signed(rows[0]).abs() < 0.2,
+            "randomized biased: {}",
+            signed(rows[0])
+        );
+        assert!(
+            signed(rows[1]) < -0.3,
+            "floor not biased down: {}",
+            signed(rows[1])
+        );
     }
 }

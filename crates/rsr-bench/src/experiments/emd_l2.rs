@@ -26,7 +26,12 @@ pub fn run(quick: bool) -> String {
     let configs: &[(usize, i64, usize)] = if quick {
         &[(100, 1024, 3)]
     } else {
-        &[(100, 1024, 3), (200, 1024, 3), (100, 4096, 3), (100, 1024, 6)]
+        &[
+            (100, 1024, 3),
+            (200, 1024, 3),
+            (100, 4096, 3),
+            (100, 1024, 6),
+        ]
     };
     for &(n, delta, k) in configs {
         let space = MetricSpace::l2(delta, 2);

@@ -14,7 +14,11 @@ use rsr_workloads::{planted_emd_sparse, stats};
 pub fn run(quick: bool) -> String {
     let trials = if quick { 4 } else { 10 };
     let k = 3;
-    let ns: &[usize] = if quick { &[50, 100] } else { &[50, 100, 200, 400] };
+    let ns: &[usize] = if quick {
+        &[50, 100]
+    } else {
+        &[50, 100, 200, 400]
+    };
     let ds: &[usize] = &[32, 128];
     let mut table = Table::new(&["n", "d", "median ratio", "p90 ratio", "ln n"]);
     let mut by_dim: Vec<(usize, Vec<f64>)> = Vec::new();

@@ -41,7 +41,11 @@ pub fn run(quick: bool) -> String {
                     n.to_string(),
                     (2 * diff).to_string(),
                     bound.to_string(),
-                    if exact { "exact".into() } else { "WRONG".into() },
+                    if exact {
+                        "exact".into()
+                    } else {
+                        "WRONG".into()
+                    },
                     out.transcript.total_bits().to_string(),
                     f(out.transcript.total_bits() as f64 / bound as f64),
                 ]);

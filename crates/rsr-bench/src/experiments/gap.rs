@@ -27,7 +27,14 @@ pub fn run(quick: bool) -> String {
     let configs: &[(usize, usize, usize)] = if quick {
         &[(50, 256, 3)]
     } else {
-        &[(50, 256, 3), (100, 256, 3), (200, 256, 3), (100, 512, 3), (100, 1024, 3), (100, 256, 6)]
+        &[
+            (50, 256, 3),
+            (100, 256, 3),
+            (200, 256, 3),
+            (100, 512, 3),
+            (100, 1024, 3),
+            (100, 256, 6),
+        ]
     };
     for &(n, d, k) in configs {
         let space = MetricSpace::hamming(d);

@@ -29,7 +29,12 @@ pub fn run(quick: bool) -> String {
     let configs: &[(usize, f64)] = if quick {
         &[(100, 25_000.0)]
     } else {
-        &[(100, 25_000.0), (200, 25_000.0), (400, 25_000.0), (200, 100_000.0)]
+        &[
+            (100, 25_000.0),
+            (200, 25_000.0),
+            (400, 25_000.0),
+            (200, 100_000.0),
+        ]
     };
     for &(n, r2) in configs {
         let space = MetricSpace::l1(1_000_000, 2);

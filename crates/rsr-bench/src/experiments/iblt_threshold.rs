@@ -58,6 +58,11 @@ mod tests {
         let report = super::run(true);
         assert!(report.contains("## T1"));
         // Sanity: the table has 3 q-values × 7 loads rows.
-        assert_eq!(report.matches("\n| 3").count() + report.matches("\n| 4").count() + report.matches("\n| 5").count(), 21);
+        assert_eq!(
+            report.matches("\n| 3").count()
+                + report.matches("\n| 4").count()
+                + report.matches("\n| 5").count(),
+            21
+        );
     }
 }

@@ -6,9 +6,7 @@
 use crate::table::{f as ff, Table};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use rsr_hash::{
-    BitSamplingFamily, GridFamily, LshFamily, LshFunction, MlshFamily, PStableFamily,
-};
+use rsr_hash::{BitSamplingFamily, GridFamily, LshFamily, LshFunction, MlshFamily, PStableFamily};
 use rsr_metric::Point;
 
 fn measure<F: LshFamily>(family: &F, x: &Point, y: &Point, trials: u32, seed: u64) -> f64
@@ -47,7 +45,10 @@ pub fn run(quick: bool) -> String {
         yb.iter_mut().take(dist).for_each(|b| *b = true);
         let y = Point::from_bits(&yb);
         let emp = measure(&ham, &x, &y, trials, 0x200 + dist as u64);
-        let (lo, hi) = (hp.lower_envelope(dist as f64), hp.upper_envelope(dist as f64));
+        let (lo, hi) = (
+            hp.lower_envelope(dist as f64),
+            hp.upper_envelope(dist as f64),
+        );
         let ok = emp >= lo - 0.02 && emp <= hi + 0.02;
         table.row(vec![
             "Hamming bit-sample".into(),
@@ -66,7 +67,10 @@ pub fn run(quick: bool) -> String {
         let x = Point::new(vec![50, 50, 50, 50]);
         let y = Point::new(vec![50 + dist, 50, 50, 50]);
         let emp = measure(&grid, &x, &y, trials, 0x300 + dist as u64);
-        let (lo, hi) = (gp.lower_envelope(dist as f64), gp.upper_envelope(dist as f64));
+        let (lo, hi) = (
+            gp.lower_envelope(dist as f64),
+            gp.upper_envelope(dist as f64),
+        );
         let ok = emp >= lo - 0.02 && emp <= hi + 0.02;
         table.row(vec![
             "ℓ1 shifted grid".into(),

@@ -22,7 +22,11 @@ pub type Experiment = (&'static str, &'static str, fn(bool) -> String);
 /// Every experiment, in index order.
 pub fn all() -> Vec<Experiment> {
     vec![
-        ("T1", "iblt_threshold", iblt_threshold::run as fn(bool) -> String),
+        (
+            "T1",
+            "iblt_threshold",
+            iblt_threshold::run as fn(bool) -> String,
+        ),
         ("T2", "mlsh_collision", mlsh_collision::run),
         ("F1", "riblt_error", riblt_error::run),
         ("T3", "emd_hamming", emd_hamming::run),

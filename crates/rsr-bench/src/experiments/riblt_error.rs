@@ -27,7 +27,13 @@ pub fn run(quick: bool) -> String {
     // Part 1: idealized branching-process model.
     let m = if quick { 600 } else { 3000 };
     let trials = if quick { 40 } else { 200 };
-    let mut table = Table::new(&["q", "c/(1/(q(q−1)))", "density c", "mean Σ C_v", "max Σ C_v"]);
+    let mut table = Table::new(&[
+        "q",
+        "c/(1/(q(q−1)))",
+        "density c",
+        "mean Σ C_v",
+        "max Σ C_v",
+    ]);
     let mut rng = StdRng::seed_from_u64(0xf1);
     for q in [3usize, 4] {
         let threshold = 1.0 / (q as f64 * (q - 1) as f64);
@@ -109,7 +115,11 @@ pub fn run(quick: bool) -> String {
             pairs.to_string(),
             f(mu),
             f(mean_err),
-            if mu > 0.0 { f(mean_err / mu) } else { "-".into() },
+            if mu > 0.0 {
+                f(mean_err / mu)
+            } else {
+                "-".into()
+            },
         ]);
     }
     out.push_str(&format!(
@@ -129,14 +139,9 @@ mod tests {
     fn error_is_constant_below_threshold_and_diverges_at_peel_point() {
         let report = super::run(true);
         assert!(report.contains("## F1"));
-        let rows: Vec<&str> = report
-            .lines()
-            .filter(|l| l.starts_with("| 3"))
-            .collect();
+        let rows: Vec<&str> = report.lines().filter(|l| l.starts_with("| 3")).collect();
         assert_eq!(rows.len(), 8);
-        let mean = |line: &str| -> f64 {
-            line.split('|').nth(4).unwrap().trim().parse().unwrap()
-        };
+        let mean = |line: &str| -> f64 { line.split('|').nth(4).unwrap().trim().parse().unwrap() };
         let low = mean(rows[0]); // rel = 0.2, inside Lemma 3.10
         let peak = mean(rows[6]); // rel = 4.8, at the peeling threshold
         assert!(low < 4.0, "below-threshold error not O(1): {low}");

@@ -24,7 +24,11 @@ pub fn run(quick: bool) -> String {
         "bits / z",
         "rounds",
     ]);
-    let sizes: &[usize] = if quick { &[100, 1000] } else { &[100, 1000, 10_000] };
+    let sizes: &[usize] = if quick {
+        &[100, 1000]
+    } else {
+        &[100, 1000, 10_000]
+    };
     let diffs: &[usize] = &[2, 8, 32];
     for &shared in sizes {
         for &z in diffs {

@@ -100,7 +100,7 @@ mod tests {
     fn float_formatting() {
         assert_eq!(f(0.0), "0");
         assert_eq!(f(1234.6), "1235");
-        assert_eq!(f(2.71828), "2.72");
+        assert_eq!(f(3.456), "3.46");
         assert_eq!(f(0.01234), "0.0123");
     }
 

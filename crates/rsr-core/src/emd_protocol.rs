@@ -388,7 +388,11 @@ mod tests {
             let proto = EmdProtocol::new(space, cfg, 86);
             let pts: Vec<Point> = (0..n as i64)
                 .map(|i| {
-                    Point::from_bits(&(0..32).map(|j| (i >> (j % 16)) & 1 == 1).collect::<Vec<_>>())
+                    Point::from_bits(
+                        &(0..32)
+                            .map(|j| (i >> (j % 16)) & 1 == 1)
+                            .collect::<Vec<_>>(),
+                    )
                 })
                 .collect();
             proto.alice_encode(&pts).wire_bits() as f64
@@ -399,7 +403,11 @@ mod tests {
         let b_2k = bits(100, 4);
         let b_2n = bits(200, 2);
         assert!(b_2k / b_base > 1.5, "k scaling too weak: {}", b_2k / b_base);
-        assert!(b_2n / b_base < 1.5, "n scaling too strong: {}", b_2n / b_base);
+        assert!(
+            b_2n / b_base < 1.5,
+            "n scaling too strong: {}",
+            b_2n / b_base
+        );
     }
 
     #[test]
@@ -426,7 +434,7 @@ mod tests {
                 Point::new(
                     p.coords()
                         .iter()
-                        .map(|&c| (c + rng.gen_range(-1..=1)).clamp(0, 255))
+                        .map(|&c| (c + rng.gen_range(-1i64..=1)).clamp(0, 255))
                         .collect(),
                 )
             })

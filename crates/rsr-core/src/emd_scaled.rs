@@ -149,14 +149,20 @@ mod tests {
             let p: Vec<i64> = (0..2).map(|_| rng.gen_range(0..512)).collect();
             let noisy: Vec<i64> = p
                 .iter()
-                .map(|&c| (c + rng.gen_range(-1..=1)).clamp(0, 511))
+                .map(|&c| (c + rng.gen_range(-1i64..=1)).clamp(0, 511))
                 .collect();
             alice.push(Point::new(p));
             bob.push(Point::new(noisy));
         }
         for _ in 0..k {
-            alice.push(Point::new(vec![rng.gen_range(0..512), rng.gen_range(0..512)]));
-            bob.push(Point::new(vec![rng.gen_range(0..512), rng.gen_range(0..512)]));
+            alice.push(Point::new(vec![
+                rng.gen_range(0..512),
+                rng.gen_range(0..512),
+            ]));
+            bob.push(Point::new(vec![
+                rng.gen_range(0..512),
+                rng.gen_range(0..512),
+            ]));
         }
         (space, alice, bob)
     }

@@ -82,10 +82,7 @@ mod tests {
         }
         for i in 0..k {
             // Far outliers: Alice's in one corner region, Bob's points far.
-            alice.push(Point::new(vec![
-                delta - 1 - i as i64,
-                delta - 1,
-            ]));
+            alice.push(Point::new(vec![delta - 1 - i as i64, delta - 1]));
             bob.push(Point::new(vec![i as i64, 0]));
         }
         let _ = r2;

@@ -59,7 +59,11 @@ impl GapConfig {
         } else {
             ((0.5f64).ln() / params.p2.ln()).ceil() as usize
         };
-        let h = ((n as f64).log2().ceil() as usize * 4).max(16);
+        // 8·⌈log₂ n⌉ entries: the far side's per-entry match probability
+        // can sit just under the threshold fraction when a far pair lies
+        // barely beyond r2, so the batch count needs enough concentration
+        // to push the false-close tail below 1/n per far point.
+        let h = ((n as f64).log2().ceil() as usize * 8).max(24);
         let close_threshold = ((h as f64) * (0.5 + epsilon / 6.0)).ceil() as usize;
         let log_n = (n as f64).log2().ceil() as u32;
         // Expected number of differing keys: k far per side plus close
@@ -216,8 +220,8 @@ pub fn verify_gap_guarantee(
 mod tests {
     use super::*;
     use rand::Rng;
-    use rsr_hash::BitSamplingFamily;
     use rsr_hash::lsh::LshParams;
+    use rsr_hash::BitSamplingFamily;
 
     /// Sensor-style Hamming workload: shared points with ≤ r1 bits of
     /// noise plus `k` far outliers on Alice's side.

@@ -74,7 +74,9 @@ impl IndexInstance {
     /// `len` chosen `Ω(log n + r2)`.
     pub fn build(n: usize, r2: usize, seed: u64) -> Option<IndexInstance> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0bad_cafe);
-        let len = (4 * r2).max(8 * ((n.max(2) as f64).log2().ceil() as usize)).max(16);
+        let len = (4 * r2)
+            .max(8 * ((n.max(2) as f64).log2().ceil() as usize))
+            .max(16);
         let code = gv_code(n + 1, len, r2, seed ^ 0xc0de)?;
         let x: Vec<bool> = (0..n).map(|_| rng.gen()).collect();
         let i = rng.gen_range(0..n);
@@ -112,14 +114,12 @@ impl IndexInstance {
         // appended bit; the recovered point must be the (near-)exact
         // transmission. Find the closest reconciled point and read its
         // last bit if it is within r2.
-        let best = reconciled
-            .iter()
-            .min_by(|a, b| {
-                self.space
-                    .distance(a, target)
-                    .partial_cmp(&self.space.distance(b, target))
-                    .unwrap()
-            })?;
+        let best = reconciled.iter().min_by(|a, b| {
+            self.space
+                .distance(a, target)
+                .partial_cmp(&self.space.distance(b, target))
+                .unwrap()
+        })?;
         if self.space.distance(best, target) as usize >= self.r2 {
             return None;
         }
@@ -173,11 +173,7 @@ mod tests {
         assert_eq!(code.len(), 20);
         for i in 0..code.len() {
             for j in (i + 1)..code.len() {
-                let dist = code[i]
-                    .iter()
-                    .zip(&code[j])
-                    .filter(|(a, b)| a != b)
-                    .count();
+                let dist = code[i].iter().zip(&code[j]).filter(|(a, b)| a != b).count();
                 assert!(dist >= 16, "words {i},{j} at distance {dist}");
             }
         }
@@ -194,6 +190,7 @@ mod tests {
         let inst = IndexInstance::build(16, 8, 3).unwrap();
         assert_eq!(inst.alice.len(), 16);
         assert_eq!(inst.bob.len(), 16); // n+1 codewords minus one
+
         // Every Alice point except index i is within r1 = 1 of a Bob point.
         for (j, a) in inst.alice.iter().enumerate() {
             let d = inst.space.nearest_distance(a, &inst.bob);

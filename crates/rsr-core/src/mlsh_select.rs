@@ -11,9 +11,9 @@
 use rand::Rng;
 use rsr_hash::bit_sampling::{BitSamplingFamily, BitSamplingFn};
 use rsr_hash::grid::{GridFamily, GridFn};
+use rsr_hash::lsh::LshParams;
 use rsr_hash::pstable::{PStableFamily, PStableFn};
 use rsr_hash::{LshFamily, LshFunction, MlshFamily, MlshParams};
-use rsr_hash::lsh::LshParams;
 use rsr_metric::{Metric, MetricSpace, Point};
 
 /// An MLSH family chosen to match a metric space.

@@ -142,7 +142,9 @@ mod tests {
 
     #[test]
     fn large_shared_small_diff() {
-        let shared: Vec<Point> = (0..2000).map(|i| Point::new(vec![i % 1000, i / 2])).collect();
+        let shared: Vec<Point> = (0..2000)
+            .map(|i| Point::new(vec![i % 1000, i / 2]))
+            .collect();
         let mut alice = shared.clone();
         let mut bob = shared;
         for j in 0..5 {
@@ -169,13 +171,14 @@ mod tests {
     #[test]
     fn communication_proportional_to_bound_not_sets() {
         let s_small: Vec<Point> = (0..50).map(|i| Point::new(vec![i, i])).collect();
-        let s_large: Vec<Point> = (0..5000).map(|i| Point::new(vec![i % 1000, i / 5])).collect();
+        let s_large: Vec<Point> = (0..5000)
+            .map(|i| Point::new(vec![i % 1000, i / 5]))
+            .collect();
         // Same bound → same table size; only the count-width log factor
         // may differ.
         let a = exact_reconcile(&space(), &s_small, &s_small, 8, 5).unwrap();
         let b = exact_reconcile(&space(), &s_large, &s_large, 8, 5).unwrap();
-        let ratio =
-            b.transcript.total_bits() as f64 / a.transcript.total_bits() as f64;
+        let ratio = b.transcript.total_bits() as f64 / a.transcript.total_bits() as f64;
         assert!(ratio < 1.6, "communication grew with set size: {ratio}");
     }
 }

@@ -145,8 +145,18 @@ mod tests {
         let cfg = GapConfig::for_params(params, 50, 3);
         let proto = GapProtocol::new(space, &fam, cfg, 6);
         let out = two_way_gap(&proto, &w.0, &w.1).expect("succeeds");
-        assert!(verify_gap_guarantee(&space, &w.0, &out.bob_final.reconciled, 48.0));
-        assert!(verify_gap_guarantee(&space, &w.1, &out.alice_final.reconciled, 48.0));
+        assert!(verify_gap_guarantee(
+            &space,
+            &w.0,
+            &out.bob_final.reconciled,
+            48.0
+        ));
+        assert!(verify_gap_guarantee(
+            &space,
+            &w.1,
+            &out.alice_final.reconciled,
+            48.0
+        ));
     }
 
     /// Local stand-in for the workload generator (rsr-core does not

@@ -165,7 +165,12 @@ mod tests {
             }
             f.hit_fraction(&Point::from_bits(&bits))
         };
-        assert!(frac_at(1) >= frac_at(30), "{} < {}", frac_at(1), frac_at(30));
+        assert!(
+            frac_at(1) >= frac_at(30),
+            "{} < {}",
+            frac_at(1),
+            frac_at(30)
+        );
     }
 
     #[test]
@@ -174,6 +179,9 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let small: Vec<Point> = (0..5).map(|_| rand_point(dim, &mut rng)).collect();
         let large: Vec<Point> = (0..500).map(|_| rand_point(dim, &mut rng)).collect();
-        assert_eq!(build(dim, &small, 10).wire_bits(), build(dim, &large, 10).wire_bits());
+        assert_eq!(
+            build(dim, &small, 10).wire_bits(),
+            build(dim, &large, 10).wire_bits()
+        );
     }
 }

@@ -59,7 +59,9 @@ impl LshFamily for GridFamily {
 
     fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> GridFn {
         GridFn {
-            offsets: (0..self.dim).map(|_| rng.gen::<f64>() * self.width).collect(),
+            offsets: (0..self.dim)
+                .map(|_| rng.gen::<f64>() * self.width)
+                .collect(),
             width: self.width,
         }
     }

@@ -44,7 +44,9 @@ impl<F: LshFamily> MultiScaleKeyer<F> {
     /// `prefix_lens` must be non-decreasing and each ≤ `s`. Runs in O(s).
     pub fn level_keys(&self, p: &Point, prefix_lens: &[usize]) -> Vec<u64> {
         debug_assert!(prefix_lens.windows(2).all(|w| w[0] <= w[1]));
-        debug_assert!(prefix_lens.last().map_or(true, |&l| l <= self.functions.len()));
+        debug_assert!(prefix_lens
+            .last()
+            .is_none_or(|&l| l <= self.functions.len()));
         let mut keys = Vec::with_capacity(prefix_lens.len());
         let mut inc = IncrementalHasher::new(0x4c53_4852);
         let mut next = prefix_lens.iter().peekable();
@@ -96,7 +98,9 @@ impl<F: LshFamily> BatchKeyer<F> {
         assert!(h >= 1 && m >= 1);
         BatchKeyer {
             batches: (0..h).map(|_| family.sample_many(rng, m)).collect(),
-            hashers: (0..h).map(|_| PairwiseHash::sample(rng, entry_bits)).collect(),
+            hashers: (0..h)
+                .map(|_| PairwiseHash::sample(rng, entry_bits))
+                .collect(),
         }
     }
 

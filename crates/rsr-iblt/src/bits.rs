@@ -76,7 +76,12 @@ impl BitWriter {
 
     /// Number of bits written so far.
     pub fn bit_len(&self) -> u64 {
-        self.bytes.len() as u64 * 8 - if self.partial == 0 { 0 } else { (8 - self.partial) as u64 }
+        self.bytes.len() as u64 * 8
+            - if self.partial == 0 {
+                0
+            } else {
+                (8 - self.partial) as u64
+            }
     }
 
     /// Finishes, returning the byte buffer (zero-padded to a byte).

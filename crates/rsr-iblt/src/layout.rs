@@ -48,7 +48,9 @@ impl CellLayout {
 
     /// The `q` distinct cell indices of `key`, in partition order.
     pub fn cells_of(&self, key: u64) -> Vec<usize> {
-        (0..self.q).map(|i| self.cell_in_partition(key, i)).collect()
+        (0..self.q)
+            .map(|i| self.cell_in_partition(key, i))
+            .collect()
     }
 
     /// The cell of `key` inside partition `i`.

@@ -279,10 +279,7 @@ impl Riblt {
             // Snapshot the cell before mutation.
             let snapshot = self.cells[idx].clone();
             let copies = snapshot.count.unsigned_abs() as usize;
-            let exact = snapshot
-                .value_sum
-                .iter()
-                .all(|&v| v % snapshot.count == 0);
+            let exact = snapshot.value_sum.iter().all(|&v| v % snapshot.count == 0);
             // Extract `copies` values, each the (clamped, randomly
             // rounded) coordinate-wise average V/C.
             for _ in 0..copies {
@@ -316,11 +313,7 @@ impl Riblt {
             }
         }
         result.complete = self.cells.iter().all(SumCell::is_clean);
-        result.value_residual_cells = self
-            .cells
-            .iter()
-            .filter(|c| c.has_value_residual())
-            .count();
+        result.value_residual_cells = self.cells.iter().filter(|c| c.has_value_residual()).count();
         result
     }
 
@@ -434,7 +427,11 @@ mod tests {
         let d = t.decode(&mut rng);
         assert!(d.complete);
         assert_eq!(d.contaminated, 0);
-        let mut got: Vec<_> = d.inserted.iter().map(|x| (x.key, x.value.clone())).collect();
+        let mut got: Vec<_> = d
+            .inserted
+            .iter()
+            .map(|x| (x.key, x.value.clone()))
+            .collect();
         got.sort();
         let mut want = items.to_vec();
         want.sort();
@@ -625,7 +622,11 @@ mod tests {
         }
         let d = t.decode(&mut rng);
         assert!(d.complete);
-        let mut got_a: Vec<_> = d.inserted.iter().map(|x| (x.key, x.value.clone())).collect();
+        let mut got_a: Vec<_> = d
+            .inserted
+            .iter()
+            .map(|x| (x.key, x.value.clone()))
+            .collect();
         got_a.sort();
         assert_eq!(got_a, want_a);
         let mut got_b: Vec<_> = d.deleted.iter().map(|x| (x.key, x.value.clone())).collect();

@@ -95,10 +95,7 @@ mod tests {
     #[test]
     fn per_cell_accounts_dimension() {
         let w = CellWidths::sum(100, 1000);
-        assert_eq!(
-            w.per_cell(4) - w.per_cell(2),
-            2 * u64::from(w.value)
-        );
+        assert_eq!(w.per_cell(4) - w.per_cell(2), 2 * u64::from(w.value));
     }
 
     #[test]

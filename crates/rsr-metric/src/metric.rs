@@ -107,7 +107,10 @@ mod tests {
 
     #[test]
     fn hamming_counts_differing_coords() {
-        assert_eq!(Metric::Hamming.distance(&p(&[1, 0, 1]), &p(&[1, 1, 0])), 2.0);
+        assert_eq!(
+            Metric::Hamming.distance(&p(&[1, 0, 1]), &p(&[1, 1, 0])),
+            2.0
+        );
         // On non-binary grids Hamming still counts mismatches.
         assert_eq!(Metric::Hamming.distance(&p(&[5, 7]), &p(&[5, 9])), 1.0);
     }

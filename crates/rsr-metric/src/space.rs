@@ -64,7 +64,8 @@ impl MetricSpace {
     /// Diameter of the space: the paper's default `M` bound
     /// (`M = d·Δ` for ℓ1 / Hamming-style defaults in §3).
     pub fn diameter(&self) -> f64 {
-        self.metric.diameter(self.universe.delta(), self.universe.dim())
+        self.metric
+            .diameter(self.universe.delta(), self.universe.dim())
     }
 
     /// Distance of `a` to the nearest point of `set` (∞ for an empty set).

@@ -68,7 +68,11 @@ impl GridUniverse {
 
     /// Samples a uniform point of the universe.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Point {
-        Point::new((0..self.dim).map(|_| rng.gen_range(0..self.delta)).collect())
+        Point::new(
+            (0..self.dim)
+                .map(|_| rng.gen_range(0..self.delta))
+                .collect(),
+        )
     }
 
     /// Samples `count` uniform *distinct* points. Panics if the universe is

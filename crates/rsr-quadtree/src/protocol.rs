@@ -131,7 +131,10 @@ impl QuadtreeProtocol {
             .map(|level| {
                 let mut t = Riblt::new(self.level_config(level));
                 for p in alice {
-                    t.insert(self.cell_key(p, level), &self.round_to_cell_center(p, level));
+                    t.insert(
+                        self.cell_key(p, level),
+                        &self.round_to_cell_center(p, level),
+                    );
                 }
                 t
             })
@@ -164,7 +167,10 @@ impl QuadtreeProtocol {
         for level in (0..msg.tables.len()).rev() {
             let mut t = msg.tables[level].clone();
             for p in bob {
-                t.delete(self.cell_key(p, level), &self.round_to_cell_center(p, level));
+                t.delete(
+                    self.cell_key(p, level),
+                    &self.round_to_cell_center(p, level),
+                );
             }
             let d = t.decode(&mut rng);
             if !d.complete || d.inserted.len() > budget || d.deleted.len() > budget {

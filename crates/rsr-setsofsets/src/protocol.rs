@@ -333,7 +333,10 @@ mod tests {
         assert_eq!(small.round_bits.2, big.round_bits.2);
         // Round 1 grows only by the log-factor in the per-cell count width.
         let ratio = big.round_bits.0 as f64 / small.round_bits.0 as f64;
-        assert!(ratio < 1.15, "round-1 bits grew superlogarithmically: {ratio}");
+        assert!(
+            ratio < 1.15,
+            "round-1 bits grew superlogarithmically: {ratio}"
+        );
     }
 
     #[test]

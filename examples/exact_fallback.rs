@@ -29,8 +29,8 @@ fn main() {
     }
 
     let diff_bound = 8; // an upper bound on |S_A △ S_B|
-    let out = exact_reconcile(&space, &alice, &bob, diff_bound, 2024)
-        .expect("difference within bound");
+    let out =
+        exact_reconcile(&space, &alice, &bob, diff_bound, 2024).expect("difference within bound");
 
     println!("database size      : {} records", alice.len());
     println!("alice-only records : {:?}", out.alice_only.len());

@@ -17,7 +17,10 @@ fn quadtree_baseline_reconciles_l1_outliers() {
     let out = proto.bob_decode(&msg, &w.bob).expect("baseline decodes");
     let before = emd(space.metric(), &w.alice, &w.bob);
     let after = emd(space.metric(), &w.alice, &out.reconciled);
-    assert!(after < before, "baseline did not improve: {after} vs {before}");
+    assert!(
+        after < before,
+        "baseline did not improve: {after} vs {before}"
+    );
 }
 
 #[test]

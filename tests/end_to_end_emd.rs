@@ -132,7 +132,9 @@ fn emdk_zero_instances_reconcile_nearly_exactly() {
         let w = planted_emd_sparse(space, 100, 3, 0, 0, 8000 + t);
         let cfg = EmdProtocolConfig::for_space(&space, 100, 3);
         let proto = EmdProtocol::new(space, cfg, 8100 + t);
-        let out = proto.run(&w.alice, &w.bob).expect("noiseless instances decode");
+        let out = proto
+            .run(&w.alice, &w.bob)
+            .expect("noiseless instances decode");
         let before = emd(space.metric(), &w.alice, &w.bob);
         let after = emd(space.metric(), &w.alice, &out.reconciled);
         assert!(after < before / 2.0, "trial {t}: {after} vs {before}");

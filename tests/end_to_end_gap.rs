@@ -34,7 +34,10 @@ fn guarantee_holds_across_seeds_hamming() {
         }
     }
     // Theorem 4.2: success probability ≥ 1 − 1/n; all 10 should pass.
-    assert!(satisfied >= 9, "guarantee held in only {satisfied}/{trials}");
+    assert!(
+        satisfied >= 9,
+        "guarantee held in only {satisfied}/{trials}"
+    );
 }
 
 #[test]
@@ -94,7 +97,10 @@ fn low_dim_variant_guarantee_l1() {
             satisfied += 1;
         }
     }
-    assert!(satisfied >= 5, "low-dim guarantee held in {satisfied}/{trials}");
+    assert!(
+        satisfied >= 5,
+        "low-dim guarantee held in {satisfied}/{trials}"
+    );
 }
 
 #[test]
@@ -144,6 +150,15 @@ fn identical_sets_no_transmission() {
     let cfg = GapConfig::for_params(params, 70, 0);
     let proto = GapProtocol::new(space, &fam, cfg, 901);
     let out = proto.run(&w.alice, &w.bob).expect("succeeds");
-    assert!(out.transmitted.len() <= 4, "spurious: {}", out.transmitted.len());
-    assert!(verify_gap_guarantee(&space, &w.alice, &out.reconciled, 24.0));
+    assert!(
+        out.transmitted.len() <= 4,
+        "spurious: {}",
+        out.transmitted.len()
+    );
+    assert!(verify_gap_guarantee(
+        &space,
+        &w.alice,
+        &out.reconciled,
+        24.0
+    ));
 }
