@@ -35,9 +35,11 @@ impl ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        // The real default is 256; 64 keeps the full workspace suite fast
+        // The real default is 256; 64 keeps the debug workspace suite fast
         // while still exercising each property across a spread of inputs.
-        ProptestConfig { cases: 64 }
+        // Release builds (the dedicated CI job) run the full 256.
+        let cases = if cfg!(debug_assertions) { 64 } else { 256 };
+        ProptestConfig { cases }
     }
 }
 

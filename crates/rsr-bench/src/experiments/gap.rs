@@ -23,6 +23,7 @@ pub fn run(quick: bool) -> String {
         "far recovered",
         "guarantee ok",
         "round4 bits / k·d",
+        "rounds",
     ]);
     let configs: &[(usize, usize, usize)] = if quick {
         &[(50, 256, 3)]
@@ -43,6 +44,7 @@ pub fn run(quick: bool) -> String {
         let params = LshParams::new(r1, r2, 1.0 - r1 / d as f64, 1.0 - r2 / d as f64);
         let mut bits = 0u64;
         let mut round4 = 0u64;
+        let mut rounds = 0usize;
         let mut far_recovered = 0usize;
         let mut far_total = 0usize;
         let mut guarantee_ok = 0usize;
@@ -57,6 +59,7 @@ pub fn run(quick: bool) -> String {
             runs += 1;
             bits = out.transcript.total_bits();
             round4 = out.transcript.entries().last().unwrap().1;
+            rounds = out.transcript.num_rounds();
             far_total += w.alice_far.len();
             far_recovered += w
                 .alice_far
@@ -76,6 +79,7 @@ pub fn run(quick: bool) -> String {
             format!("{far_recovered}/{far_total}"),
             format!("{guarantee_ok}/{runs}"),
             f(round4 as f64 / (k * d) as f64),
+            rounds.to_string(),
         ]);
     }
     format!(

@@ -15,16 +15,23 @@
 //! `EMD(S_A, S'_B) ≤ O(α^{-1}·log n)·EMD_k(S_A, S_B)` using
 //! `O(k·d·log(Δn)·log(D2/D1))` bits.
 
+use crate::channel::Frame;
 use crate::mlsh_select::{select_mlsh, AnyMlsh};
-use crate::transcript::Transcript;
+use crate::session::{drive_in_memory, Session};
+use crate::transcript::{Party, Transcript};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsr_hash::keys::MultiScaleKeyer;
 use rsr_hash::MlshFamily;
+use rsr_iblt::bits::{BitReader, BitWriter};
 use rsr_iblt::riblt::RibltConfig;
+use rsr_iblt::wire::{get_len, put_len};
 use rsr_iblt::Riblt;
 use rsr_metric::{MetricSpace, Point};
 use std::fmt;
+
+/// Transcript label of the protocol's single message.
+pub(crate) const EMD_MSG_LABEL: &str = "alice→bob: RIBLTs";
 
 /// Tunable parameters of Algorithm 1.
 #[derive(Clone, Copy, Debug)]
@@ -78,14 +85,44 @@ pub struct EmdMessage {
 }
 
 impl EmdMessage {
-    /// Total wire size in bits (the protocol's entire communication).
+    /// Total wire size in bits (the protocol's entire communication):
+    /// a 32-bit set-size header plus the `t` level tables. Exactly the
+    /// measured length of [`EmdMessage::write_wire`]'s output.
     pub fn wire_bits(&self) -> u64 {
-        self.tables.iter().map(|t| t.wire_bits(self.n)).sum()
+        32 + self.tables.iter().map(|t| t.wire_bits(self.n)).sum::<u64>()
     }
 
     /// Number of levels (RIBLTs).
     pub fn num_levels(&self) -> usize {
         self.tables.len()
+    }
+
+    /// Encodes the message: the sender's set size `n` (which sizes every
+    /// cell field), then each level table.
+    pub fn write_wire(&self, w: &mut BitWriter) {
+        let before = w.bit_len();
+        put_len(w, self.n);
+        for table in &self.tables {
+            table.write_to(w, self.n);
+        }
+        debug_assert_eq!(w.bit_len() - before, self.wire_bits());
+    }
+
+    /// Decodes a message written by [`EmdMessage::write_wire`], given the
+    /// protocol (public coins: level count and per-level table configs).
+    pub fn read_wire(r: &mut BitReader<'_>, proto: &EmdProtocol) -> Option<EmdMessage> {
+        let n = get_len(r)?;
+        let tables = (0..proto.prefix_lens.len())
+            .map(|level| Riblt::read_from(r, proto.level_config(level), n))
+            .collect::<Option<Vec<Riblt>>>()?;
+        Some(EmdMessage { tables, n })
+    }
+
+    /// Seals the message into a labelled frame, measuring its size.
+    pub fn to_frame(&self) -> Frame {
+        let mut w = BitWriter::new();
+        self.write_wire(&mut w);
+        Frame::seal(EMD_MSG_LABEL, w)
     }
 }
 
@@ -239,10 +276,88 @@ impl EmdProtocol {
         Err(EmdFailure)
     }
 
-    /// Convenience: run the whole one-round protocol.
+    /// Alice's session endpoint over `alice`'s points.
+    pub fn alice_session(&self, alice: &[Point]) -> EmdAliceSession {
+        EmdAliceSession {
+            msg: Some(self.alice_encode(alice)),
+        }
+    }
+
+    /// Bob's session endpoint over `bob`'s points.
+    pub fn bob_session<'a>(&'a self, bob: &'a [Point]) -> EmdBobSession<'a> {
+        EmdBobSession {
+            proto: self,
+            bob,
+            outcome: None,
+        }
+    }
+
+    /// Runs the whole one-round protocol: both sessions are driven over an
+    /// in-memory channel, and the outcome's transcript is the channel's —
+    /// sizes measured from the encoded frames, rounds from channel turns.
     pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<EmdOutcome, EmdFailure> {
-        let msg = self.alice_encode(alice);
-        self.bob_decode(&msg, bob)
+        let mut a = self.alice_session(alice);
+        let mut b = self.bob_session(bob);
+        let transcript = drive_in_memory(Party::Alice, &mut a, &mut b).map_err(|_| EmdFailure)?;
+        let mut outcome = b.into_outcome().expect("bob finished");
+        outcome.transcript = transcript;
+        Ok(outcome)
+    }
+}
+
+/// Alice's half of Algorithm 1: send the `t` level tables, done.
+pub struct EmdAliceSession {
+    msg: Option<EmdMessage>,
+}
+
+/// Bob's half of Algorithm 1: receive the tables, decode, repair.
+pub struct EmdBobSession<'a> {
+    proto: &'a EmdProtocol,
+    bob: &'a [Point],
+    outcome: Option<EmdOutcome>,
+}
+
+impl EmdBobSession<'_> {
+    /// The decoded outcome, once the session is done.
+    pub fn into_outcome(self) -> Option<EmdOutcome> {
+        self.outcome
+    }
+}
+
+impl Session for EmdAliceSession {
+    type Error = EmdFailure;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
+        Ok(self.msg.take().map(|m| m.to_frame()))
+    }
+
+    fn on_frame(&mut self, _frame: Frame) -> Result<(), EmdFailure> {
+        // One-way protocol: nothing ever flows towards Alice.
+        Err(EmdFailure)
+    }
+
+    fn is_done(&self) -> bool {
+        self.msg.is_none()
+    }
+}
+
+impl Session for EmdBobSession<'_> {
+    type Error = EmdFailure;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
+        Ok(None)
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), EmdFailure> {
+        let msg = frame
+            .decode_exact(|r| EmdMessage::read_wire(r, self.proto))
+            .ok_or(EmdFailure)?;
+        self.outcome = Some(self.proto.bob_decode(&msg, self.bob)?);
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.outcome.is_some()
     }
 }
 

@@ -8,7 +8,11 @@
 //! per-interval hash-draw count `s = O(D2^{(j)}/D1^{(j)}) = O(1)` and
 //! yields `O(k·d·log(nΔ)·log(D2/D1))` total communication.
 
+use crate::channel::Frame;
 use crate::emd_protocol::{EmdFailure, EmdMessage, EmdOutcome, EmdProtocol, EmdProtocolConfig};
+use crate::session::{drive_in_memory, Session};
+use crate::transcript::{Party, Transcript};
+use rsr_iblt::bits::BitWriter;
 use rsr_metric::{MetricSpace, Point};
 
 /// The scaled protocol: one Algorithm 1 instance per interval.
@@ -43,6 +47,9 @@ pub struct ScaledEmdOutcome {
     /// Total communication across all intervals (the whole message was
     /// shipped regardless of which interval wins).
     pub total_bits: u64,
+    /// Full transcript: one message per interval, all in a single round
+    /// (every interval travels in parallel before Bob speaks).
+    pub transcript: Transcript,
 }
 
 impl ScaledEmdProtocol {
@@ -113,22 +120,127 @@ impl ScaledEmdProtocol {
         bob: &[Point],
     ) -> Result<ScaledEmdOutcome, EmdFailure> {
         let total_bits = msg.wire_bits();
+        let mut transcript = Transcript::new();
+        for (interval, m) in msg.messages.iter().enumerate() {
+            transcript.record_from(Party::Alice, interval_label(interval), m.wire_bits());
+        }
         for (interval, (proto, m)) in self.protocols.iter().zip(&msg.messages).enumerate() {
             if let Ok(inner) = proto.bob_decode(m, bob) {
                 return Ok(ScaledEmdOutcome {
                     inner,
                     interval,
                     total_bits,
+                    transcript,
                 });
             }
         }
         Err(EmdFailure)
     }
 
-    /// Convenience: full round trip.
-    pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<ScaledEmdOutcome, EmdFailure> {
+    /// Alice's session endpoint: one frame per interval, sent in a single
+    /// channel turn.
+    pub fn alice_session(&self, alice: &[Point]) -> ScaledEmdAliceSession {
         let msg = self.alice_encode(alice);
-        self.bob_decode(&msg, bob)
+        ScaledEmdAliceSession {
+            pending: msg.messages.into_iter().enumerate().collect(),
+        }
+    }
+
+    /// Bob's session endpoint: collects the per-interval frames, then
+    /// decodes the smallest succeeding interval.
+    pub fn bob_session<'a>(&'a self, bob: &'a [Point]) -> ScaledEmdBobSession<'a> {
+        ScaledEmdBobSession {
+            proto: self,
+            bob,
+            received: Vec::with_capacity(self.protocols.len()),
+            outcome: None,
+        }
+    }
+
+    /// Full round trip through the session layer; the outcome's transcript
+    /// and `total_bits` are measured from the encoded frames.
+    pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<ScaledEmdOutcome, EmdFailure> {
+        let mut a = self.alice_session(alice);
+        let mut b = self.bob_session(bob);
+        let transcript = drive_in_memory(Party::Alice, &mut a, &mut b).map_err(|_| EmdFailure)?;
+        let mut outcome = b.into_outcome().expect("bob finished");
+        outcome.total_bits = transcript.total_bits();
+        outcome.transcript = transcript;
+        Ok(outcome)
+    }
+}
+
+/// Transcript label of one interval's message.
+fn interval_label(interval: usize) -> String {
+    format!("alice→bob: interval {interval} RIBLTs")
+}
+
+/// Alice's half of the Corollary 3.6 protocol: a burst of `I` frames.
+pub struct ScaledEmdAliceSession {
+    /// `(interval, message)` pairs still to send, in interval order.
+    pending: std::collections::VecDeque<(usize, EmdMessage)>,
+}
+
+/// Bob's half: buffer all intervals, then decode the smallest success.
+pub struct ScaledEmdBobSession<'a> {
+    proto: &'a ScaledEmdProtocol,
+    bob: &'a [Point],
+    received: Vec<EmdMessage>,
+    outcome: Option<ScaledEmdOutcome>,
+}
+
+impl ScaledEmdBobSession<'_> {
+    /// The decoded outcome, once the session is done.
+    pub fn into_outcome(self) -> Option<ScaledEmdOutcome> {
+        self.outcome
+    }
+}
+
+impl Session for ScaledEmdAliceSession {
+    type Error = EmdFailure;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
+        Ok(self.pending.pop_front().map(|(interval, msg)| {
+            let mut w = BitWriter::new();
+            msg.write_wire(&mut w);
+            Frame::seal(interval_label(interval), w)
+        }))
+    }
+
+    fn on_frame(&mut self, _frame: Frame) -> Result<(), EmdFailure> {
+        Err(EmdFailure) // one-way protocol
+    }
+
+    fn is_done(&self) -> bool {
+        self.pending.is_empty()
+    }
+}
+
+impl Session for ScaledEmdBobSession<'_> {
+    type Error = EmdFailure;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
+        Ok(None)
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), EmdFailure> {
+        let interval = self.received.len();
+        let proto = self.proto.protocols.get(interval).ok_or(EmdFailure)?;
+        let msg = frame
+            .decode_exact(|r| EmdMessage::read_wire(r, proto))
+            .ok_or(EmdFailure)?;
+        self.received.push(msg);
+        if self.received.len() == self.proto.protocols.len() {
+            let msg = ScaledEmdMessage {
+                messages: std::mem::take(&mut self.received),
+            };
+            self.outcome = Some(self.proto.bob_decode(&msg, self.bob)?);
+        }
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.outcome.is_some()
     }
 }
 

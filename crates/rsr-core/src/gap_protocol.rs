@@ -12,14 +12,27 @@
 //! `S'_B = S_B ∪ T_A`, which contains a point within `r2` of every point
 //! of `S_A` with probability ≥ 1 − 1/n.
 
-use crate::transcript::Transcript;
+use crate::channel::Frame;
+use crate::session::{drive_in_memory, DriveError, Session};
+use crate::transcript::{Party, Transcript};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rsr_hash::keys::{BatchKeyer, GapKey};
 use rsr_hash::LshFamily;
+use rsr_iblt::bits::BitWriter;
 use rsr_metric::{MetricSpace, Point};
-use rsr_setsofsets::{estimate_fp_cells, reconcile, SosConfig, SosError};
+use rsr_setsofsets::protocol::{alice_finish, alice_round2, bob_round1, bob_round3, AliceState};
+use rsr_setsofsets::wire as sos_wire;
+use rsr_setsofsets::{estimate_fp_cells, Round2, SosConfig, SosError};
 use std::fmt;
+
+/// Transcript labels of the four messages, in order.
+pub(crate) const GAP_LABELS: [&str; 4] = [
+    "bob→alice: fingerprint IBLT",
+    "alice→bob: requested fingerprints",
+    "bob→alice: differing keys",
+    "alice→bob: far elements",
+];
 
 /// Parameters of the Gap protocol (derive with [`GapConfig::for_params`]).
 #[derive(Clone, Copy, Debug)]
@@ -88,12 +101,16 @@ impl GapConfig {
 pub enum GapError {
     /// The sets-of-sets substrate failed (difference exceeded sizing).
     SetsOfSets(SosError),
+    /// The session layer failed: a frame did not decode or arrived out of
+    /// protocol order. Cannot happen on a faithful transport.
+    Session(&'static str),
 }
 
 impl fmt::Display for GapError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GapError::SetsOfSets(e) => write!(f, "sets-of-sets reconciliation failed: {e}"),
+            GapError::Session(what) => write!(f, "session layer failure: {what}"),
         }
     }
 }
@@ -152,54 +169,241 @@ impl<F: LshFamily> GapProtocol<F> {
         self.keyer.key(p)
     }
 
-    /// Runs the full four-round protocol.
-    ///
-    /// The message flow is Bob → Alice → Bob → Alice (rounds 1–3, the
-    /// sets-of-sets substrate) then Alice → Bob (round 4, far elements).
-    pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<GapOutcome, GapError> {
-        let alice_keys: Vec<GapKey> = alice.iter().map(|p| self.keyer.key(p)).collect();
-        let bob_keys: Vec<GapKey> = bob.iter().map(|p| self.keyer.key(p)).collect();
-
-        // Rounds 1–3: Alice recovers Bob's key multiset.
-        let sos_cfg = SosConfig {
+    /// The sets-of-sets configuration the protocol's rounds 1–3 use
+    /// (shared public coins).
+    fn sos_config(&self) -> SosConfig {
+        SosConfig {
             fp_cells: self.config.fp_cells,
             q: 3,
             seed: 0x6a90_5050,
             entry_bits: self.config.entry_bits,
-        };
-        let sos = reconcile(&alice_keys, &bob_keys, &sos_cfg)?;
-
-        // Alice classifies each of her keys: far iff it matches every Bob
-        // key in fewer than `close_threshold` entries.
-        let mut transmitted = Vec::new();
-        let mut far_keys = 0usize;
-        for (p, key) in alice.iter().zip(&alice_keys) {
-            let close = sos
-                .bob_multiset
-                .iter()
-                .any(|bk| BatchKeyer::<F>::matches(key, bk) >= self.config.close_threshold);
-            if !close {
-                far_keys += 1;
-                transmitted.push(p.clone());
-            }
         }
+    }
 
-        // Round 4: ship the far elements raw.
-        let round4_bits = transmitted.len() as u64 * self.space.universe().point_wire_bits() + 32;
-        let mut transcript = Transcript::new();
-        transcript.record("bob→alice: fingerprint IBLT", sos.round_bits.0);
-        transcript.record("alice→bob: requested fingerprints", sos.round_bits.1);
-        transcript.record("bob→alice: differing keys", sos.round_bits.2);
-        transcript.record("alice→bob: far elements", round4_bits);
+    /// Alice's session endpoint over `alice`'s points.
+    pub fn alice_session<'a>(&'a self, alice: &'a [Point]) -> GapAliceSession<'a, F> {
+        let keys: Vec<GapKey> = alice.iter().map(|p| self.keyer.key(p)).collect();
+        GapAliceSession {
+            proto: self,
+            alice,
+            keys,
+            state: AliceSessionState::AwaitRound1,
+            transmitted: None,
+            far_keys: 0,
+        }
+    }
 
-        let mut reconciled = bob.to_vec();
-        reconciled.extend(transmitted.iter().cloned());
+    /// Bob's session endpoint over `bob`'s points.
+    pub fn bob_session<'a>(&'a self, bob: &'a [Point]) -> GapBobSession<'a, F> {
+        let keys: Vec<GapKey> = bob.iter().map(|p| self.keyer.key(p)).collect();
+        GapBobSession {
+            proto: self,
+            bob,
+            keys,
+            state: BobSessionState::SendRound1,
+            reconciled: None,
+        }
+    }
+
+    /// Runs the full four-round protocol through the session layer.
+    ///
+    /// The message flow is Bob → Alice → Bob → Alice (rounds 1–3, the
+    /// sets-of-sets substrate) then Alice → Bob (round 4, far elements).
+    /// Every transcript entry is the measured size of the encoded frame.
+    pub fn run(&self, alice: &[Point], bob: &[Point]) -> Result<GapOutcome, GapError> {
+        let mut a = self.alice_session(alice);
+        let mut b = self.bob_session(bob);
+        let transcript = drive_in_memory(Party::Bob, &mut a, &mut b).map_err(|e| match e {
+            DriveError::Session(e) => e,
+            DriveError::Stalled => GapError::Session("sessions stalled"),
+        })?;
+        let reconciled = b.into_reconciled().expect("bob finished");
+        let (transmitted, far_keys) = a.into_transmitted().expect("alice finished");
         Ok(GapOutcome {
             reconciled,
             transmitted,
             far_keys,
             transcript,
         })
+    }
+}
+
+/// Alice's session states, in protocol order.
+enum AliceSessionState {
+    AwaitRound1,
+    SendRound2 { round2: Round2, state: AliceState },
+    AwaitRound3 { state: AliceState },
+    SendRound4 { far: Vec<Point> },
+    Done,
+}
+
+/// Alice's half of the Gap protocol: recover Bob's key multiset through
+/// rounds 1–3, classify her keys, ship the far elements.
+pub struct GapAliceSession<'a, F: LshFamily> {
+    proto: &'a GapProtocol<F>,
+    alice: &'a [Point],
+    keys: Vec<GapKey>,
+    state: AliceSessionState,
+    transmitted: Option<Vec<Point>>,
+    far_keys: usize,
+}
+
+impl<F: LshFamily> GapAliceSession<'_, F> {
+    /// The far elements Alice shipped plus her far-key count, once done.
+    pub fn into_transmitted(self) -> Option<(Vec<Point>, usize)> {
+        self.transmitted.map(|t| (t, self.far_keys))
+    }
+}
+
+impl<F: LshFamily> Session for GapAliceSession<'_, F> {
+    type Error = GapError;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, GapError> {
+        match std::mem::replace(&mut self.state, AliceSessionState::Done) {
+            AliceSessionState::SendRound2 { round2, state } => {
+                let mut w = BitWriter::new();
+                sos_wire::put_round2(&mut w, &round2);
+                self.state = AliceSessionState::AwaitRound3 { state };
+                Ok(Some(Frame::seal(GAP_LABELS[1], w)))
+            }
+            AliceSessionState::SendRound4 { far } => {
+                let mut w = BitWriter::new();
+                crate::wire::put_points(&mut w, &far, self.proto.space.universe());
+                self.far_keys = far.len();
+                self.transmitted = Some(far);
+                // `mem::replace` above already left the state at Done.
+                Ok(Some(Frame::seal(GAP_LABELS[3], w)))
+            }
+            other => {
+                self.state = other;
+                Ok(None)
+            }
+        }
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), GapError> {
+        match std::mem::replace(&mut self.state, AliceSessionState::Done) {
+            AliceSessionState::AwaitRound1 => {
+                let sos_cfg = self.proto.sos_config();
+                let r1 = frame
+                    .decode_exact(|r| sos_wire::get_round1(r, &sos_cfg))
+                    .ok_or(GapError::Session("round-1 frame did not decode"))?;
+                let (round2, state) =
+                    alice_round2(&self.keys, &r1, &sos_cfg).map_err(GapError::SetsOfSets)?;
+                self.state = AliceSessionState::SendRound2 { round2, state };
+                Ok(())
+            }
+            AliceSessionState::AwaitRound3 { state } => {
+                let sos_cfg = self.proto.sos_config();
+                let r3 = frame
+                    .decode_exact(sos_wire::get_round3)
+                    .ok_or(GapError::Session("round-3 frame did not decode"))?;
+                let bob_multiset = alice_finish(&self.keys, &state, &r3, &sos_cfg)
+                    .map_err(GapError::SetsOfSets)?;
+                // Classify: a key is far iff it matches every one of Bob's
+                // keys in fewer than `close_threshold` entries.
+                let threshold = self.proto.config.close_threshold;
+                let far: Vec<Point> = self
+                    .alice
+                    .iter()
+                    .zip(&self.keys)
+                    .filter(|(_, key)| {
+                        !bob_multiset
+                            .iter()
+                            .any(|bk| BatchKeyer::<F>::matches(key, bk) >= threshold)
+                    })
+                    .map(|(p, _)| p.clone())
+                    .collect();
+                self.state = AliceSessionState::SendRound4 { far };
+                Ok(())
+            }
+            _ => Err(GapError::Session("frame arrived out of protocol order")),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.state, AliceSessionState::Done) && self.transmitted.is_some()
+    }
+}
+
+/// Bob's session states, in protocol order.
+enum BobSessionState {
+    SendRound1,
+    AwaitRound2,
+    SendRound3 { round2: Round2 },
+    AwaitRound4,
+    Done,
+}
+
+/// Bob's half of the Gap protocol: summarize keys, answer the content
+/// request, absorb the far elements.
+pub struct GapBobSession<'a, F: LshFamily> {
+    proto: &'a GapProtocol<F>,
+    bob: &'a [Point],
+    keys: Vec<GapKey>,
+    state: BobSessionState,
+    reconciled: Option<Vec<Point>>,
+}
+
+impl<F: LshFamily> GapBobSession<'_, F> {
+    /// Bob's final set `S'_B = S_B ∪ T_A`, once the session is done.
+    pub fn into_reconciled(self) -> Option<Vec<Point>> {
+        self.reconciled
+    }
+}
+
+impl<F: LshFamily> Session for GapBobSession<'_, F> {
+    type Error = GapError;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, GapError> {
+        match std::mem::replace(&mut self.state, BobSessionState::Done) {
+            BobSessionState::SendRound1 => {
+                let r1 = bob_round1(&self.keys, &self.proto.sos_config());
+                let mut w = BitWriter::new();
+                sos_wire::put_round1(&mut w, &r1);
+                self.state = BobSessionState::AwaitRound2;
+                Ok(Some(Frame::seal(GAP_LABELS[0], w)))
+            }
+            BobSessionState::SendRound3 { round2 } => {
+                let r3 = bob_round3(&self.keys, &round2, &self.proto.sos_config())
+                    .map_err(GapError::SetsOfSets)?;
+                let mut w = BitWriter::new();
+                sos_wire::put_round3(&mut w, &r3, &self.proto.sos_config());
+                self.state = BobSessionState::AwaitRound4;
+                Ok(Some(Frame::seal(GAP_LABELS[2], w)))
+            }
+            other => {
+                self.state = other;
+                Ok(None)
+            }
+        }
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), GapError> {
+        match std::mem::replace(&mut self.state, BobSessionState::Done) {
+            BobSessionState::AwaitRound2 => {
+                let round2 = frame
+                    .decode_exact(sos_wire::get_round2)
+                    .ok_or(GapError::Session("round-2 frame did not decode"))?;
+                self.state = BobSessionState::SendRound3 { round2 };
+                Ok(())
+            }
+            BobSessionState::AwaitRound4 => {
+                let far = frame
+                    .decode_exact(|r| crate::wire::get_points(r, self.proto.space.universe()))
+                    .ok_or(GapError::Session("round-4 frame did not decode"))?;
+                let mut reconciled = self.bob.to_vec();
+                reconciled.extend(far);
+                self.reconciled = Some(reconciled);
+                // `mem::replace` above already left the state at Done.
+                Ok(())
+            }
+            _ => Err(GapError::Session("frame arrived out of protocol order")),
+        }
+    }
+
+    fn is_done(&self) -> bool {
+        matches!(self.state, BobSessionState::Done) && self.reconciled.is_some()
     }
 }
 

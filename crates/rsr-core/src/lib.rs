@@ -20,22 +20,40 @@
 //! * [`lower_bound`] — the Theorem 4.6 reduction from the index problem
 //!   (with a greedy Gilbert–Varshamov code standing in for Reed–Muller),
 //!   plus a one-round straw-man protocol to measure against.
-//! * [`transcript`] — bit-exact communication accounting.
+//! * [`transcript`] — bit-exact communication accounting (measured sizes,
+//!   message and round counts).
+//! * [`channel`] / [`session`] — the two-party message-passing substrate:
+//!   every protocol is an Alice/Bob pair of session state machines
+//!   exchanging encoded frames through a [`channel::Channel`]; the
+//!   `run(&alice, &bob)` entry points are thin drivers over it.
+//! * [`wire`] — codecs for non-table payloads (point lists, `u64` lists),
+//!   built on `rsr-iblt`'s shared bit codec.
 
+pub mod channel;
 pub mod emd_protocol;
 pub mod emd_scaled;
 pub mod gap_low_dim;
 pub mod gap_protocol;
 pub mod lower_bound;
 pub mod mlsh_select;
+pub mod session;
 pub mod set_recon;
 pub mod transcript;
 pub mod two_way;
+pub mod wire;
 
-pub use emd_protocol::{EmdFailure, EmdMessage, EmdOutcome, EmdProtocol, EmdProtocolConfig};
-pub use emd_scaled::ScaledEmdProtocol;
+pub use channel::{Channel, Frame, InMemoryChannel};
+pub use emd_protocol::{
+    EmdAliceSession, EmdBobSession, EmdFailure, EmdMessage, EmdOutcome, EmdProtocol,
+    EmdProtocolConfig,
+};
+pub use emd_scaled::{ScaledEmdAliceSession, ScaledEmdBobSession, ScaledEmdProtocol};
 pub use gap_low_dim::low_dim_gap_config;
-pub use gap_protocol::{verify_gap_guarantee, GapConfig, GapError, GapOutcome, GapProtocol};
+pub use gap_protocol::{
+    verify_gap_guarantee, GapAliceSession, GapBobSession, GapConfig, GapError, GapOutcome,
+    GapProtocol,
+};
+pub use session::{drive, drive_in_memory, DriveError, Session};
 pub use set_recon::{exact_reconcile, ExactOutcome, ExactReconError};
-pub use transcript::Transcript;
+pub use transcript::{Party, Transcript};
 pub use two_way::{two_way_emd, two_way_gap, TwoWayEmdOutcome, TwoWayGapOutcome};

@@ -1,0 +1,239 @@
+//! Two-party session state machines and the driver that runs them.
+//!
+//! Each protocol is split into an Alice-side and a Bob-side [`Session`]:
+//! poll-style state machines that *only* exchange encoded [`Frame`]s
+//! through a [`Channel`]. The in-memory [`drive`] loop alternates turns —
+//! drain everything the sending party has to say, deliver it, flip — and
+//! records every frame's measured bit length into a [`Transcript`], which
+//! is also where rounds are counted: one round per direction change, as
+//! actually observed on the channel.
+//!
+//! The legacy `run(&alice, &bob)` entry points are thin wrappers that
+//! build both sessions, [`drive`] them over an [`InMemoryChannel`], and
+//! assemble the outcome; a sharded or async transport only needs to
+//! replace the driver, not the sessions.
+
+use crate::channel::{Channel, Frame, InMemoryChannel};
+use crate::transcript::{Party, Transcript};
+use std::fmt;
+
+/// One party's half of a protocol, as a poll-style state machine.
+///
+/// The driver calls [`Session::poll_send`] until it returns `Ok(None)`
+/// (everything this party can say right now has been said), delivers the
+/// frames, then gives the peer the same treatment. A session signals
+/// completion through [`Session::is_done`]; a protocol-level failure (a
+/// table that does not decode, a malformed frame) surfaces as `Err` from
+/// either method and aborts the drive.
+pub trait Session {
+    /// Protocol-level error (e.g. [`crate::EmdFailure`]).
+    type Error;
+
+    /// The next frame this party wants to send, if it is its turn.
+    fn poll_send(&mut self) -> Result<Option<Frame>, Self::Error>;
+
+    /// Delivers an incoming frame.
+    fn on_frame(&mut self, frame: Frame) -> Result<(), Self::Error>;
+
+    /// True once this party's half of the protocol has finished.
+    fn is_done(&self) -> bool;
+}
+
+/// Why a [`drive`] call stopped early.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DriveError<E> {
+    /// A session reported a protocol error.
+    Session(E),
+    /// Neither party made progress for a full cycle of turns while at
+    /// least one was unfinished — a protocol logic bug, not a data error.
+    Stalled,
+}
+
+impl<E: fmt::Display> fmt::Display for DriveError<E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DriveError::Session(e) => write!(f, "session error: {e}"),
+            DriveError::Stalled => write!(f, "sessions stalled without finishing"),
+        }
+    }
+}
+
+impl<E: fmt::Debug + fmt::Display> std::error::Error for DriveError<E> {}
+
+/// Runs two sessions to completion over a channel, starting with `first`'s
+/// turn. Returns the transcript of every frame that crossed the channel,
+/// with measured sizes and channel-turn-driven round counts.
+pub fn drive<'a, E>(
+    channel: &mut dyn Channel,
+    first: Party,
+    alice: &'a mut dyn Session<Error = E>,
+    bob: &'a mut dyn Session<Error = E>,
+) -> Result<Transcript, DriveError<E>> {
+    let mut transcript = Transcript::new();
+    let mut turn = first;
+    let mut idle_turns = 0u32;
+    while !(alice.is_done() && bob.is_done()) {
+        let mut progressed = false;
+        {
+            let (sender, receiver) = match turn {
+                Party::Alice => (&mut *alice, &mut *bob),
+                Party::Bob => (&mut *bob, &mut *alice),
+            };
+            while let Some(frame) = sender.poll_send().map_err(DriveError::Session)? {
+                transcript.record_from(turn, frame.label.clone(), frame.bit_len);
+                channel.send(turn, frame);
+                progressed = true;
+            }
+            while let Some(frame) = channel.recv(turn.peer()) {
+                receiver.on_frame(frame).map_err(DriveError::Session)?;
+                progressed = true;
+            }
+        }
+        if progressed {
+            idle_turns = 0;
+        } else {
+            idle_turns += 1;
+            if idle_turns >= 2 {
+                return Err(DriveError::Stalled);
+            }
+        }
+        turn = turn.peer();
+    }
+    Ok(transcript)
+}
+
+/// [`drive`] over a fresh [`InMemoryChannel`] — the single-process path
+/// every `run(&alice, &bob)` wrapper uses.
+pub fn drive_in_memory<'a, E>(
+    first: Party,
+    alice: &'a mut dyn Session<Error = E>,
+    bob: &'a mut dyn Session<Error = E>,
+) -> Result<Transcript, DriveError<E>> {
+    let mut channel = InMemoryChannel::new();
+    drive(&mut channel, first, alice, bob)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_iblt::bits::BitWriter;
+
+    /// Sends `count` frames on its first turn, then waits for one reply.
+    struct Chatter {
+        to_send: usize,
+        got_reply: bool,
+        reply_when_done_sending: bool,
+        received: Vec<String>,
+    }
+
+    impl Session for Chatter {
+        type Error = String;
+
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            if self.to_send > 0 {
+                self.to_send -= 1;
+                let mut w = BitWriter::new();
+                w.write(self.to_send as u64, 16);
+                return Ok(Some(Frame::seal(format!("msg {}", self.to_send), w)));
+            }
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
+            self.received.push(frame.label);
+            if self.reply_when_done_sending {
+                self.to_send = 1;
+                self.reply_when_done_sending = false;
+            } else {
+                self.got_reply = true;
+            }
+            Ok(())
+        }
+
+        fn is_done(&self) -> bool {
+            self.to_send == 0 && (self.got_reply || !self.received.is_empty())
+        }
+    }
+
+    #[test]
+    fn burst_then_reply_counts_two_rounds() {
+        let mut alice = Chatter {
+            to_send: 3,
+            got_reply: false,
+            reply_when_done_sending: false,
+            received: vec![],
+        };
+        let mut bob = Chatter {
+            to_send: 0,
+            got_reply: true,
+            reply_when_done_sending: true,
+            received: vec![],
+        };
+        let t = drive_in_memory(Party::Alice, &mut alice, &mut bob).expect("completes");
+        // Alice's 3-frame burst is one round; Bob's reply is a second.
+        assert_eq!(t.num_messages(), 4);
+        assert_eq!(t.num_rounds(), 2);
+        assert_eq!(bob.received.len(), 3);
+        assert_eq!(alice.received.len(), 1);
+        assert_eq!(t.total_bits(), 4 * 16);
+    }
+
+    /// A session that claims to be unfinished but never sends.
+    struct Mute;
+
+    impl Session for Mute {
+        type Error = String;
+
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, _frame: Frame) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn stalled_sessions_are_detected() {
+        let mut a = Mute;
+        let mut b = Mute;
+        let err = drive_in_memory(Party::Alice, &mut a, &mut b).unwrap_err();
+        assert_eq!(err, DriveError::Stalled);
+    }
+
+    /// Errors from `on_frame` abort the drive.
+    struct Rejecting;
+
+    impl Session for Rejecting {
+        type Error = String;
+
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, _frame: Frame) -> Result<(), String> {
+            Err("bad frame".into())
+        }
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn session_errors_propagate() {
+        let mut alice = Chatter {
+            to_send: 1,
+            got_reply: true,
+            reply_when_done_sending: false,
+            received: vec![],
+        };
+        let mut bob = Rejecting;
+        let err = drive_in_memory(Party::Alice, &mut alice, &mut bob).unwrap_err();
+        assert_eq!(err, DriveError::Session("bad frame".into()));
+    }
+}

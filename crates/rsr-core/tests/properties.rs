@@ -120,7 +120,8 @@ proptest! {
         }
     }
 
-    /// Transcript totals always equal the sum of their entries.
+    /// Transcript totals always equal the sum of their entries, with bytes
+    /// rounded up per message (each message is its own byte buffer).
     #[test]
     fn transcript_sums(bits in prop::collection::vec(0u64..1_000_000, 0..10)) {
         let mut t = rsr_core::Transcript::new();
@@ -129,6 +130,7 @@ proptest! {
         }
         prop_assert_eq!(t.total_bits(), bits.iter().sum::<u64>());
         prop_assert_eq!(t.num_messages(), bits.len());
-        prop_assert_eq!(t.total_bytes(), t.total_bits().div_ceil(8));
+        prop_assert_eq!(t.num_rounds(), bits.len());
+        prop_assert_eq!(t.total_bytes(), bits.iter().map(|b| b.div_ceil(8)).sum::<u64>());
     }
 }

@@ -144,19 +144,50 @@ impl Iblt {
         self.cells.len() as u64 * crate::wire::CellWidths::xor(n_bound).per_cell(0)
     }
 
+    /// Writes the cell contents into an in-progress [`BitWriter`], so the
+    /// table can ride inside a larger protocol message. Adds exactly
+    /// [`Iblt::wire_bits`] bits.
+    pub fn write_to(&self, w: &mut crate::bits::BitWriter, n_bound: usize) {
+        let widths = crate::wire::CellWidths::xor(n_bound);
+        let before = w.bit_len();
+        for cell in &self.cells {
+            crate::wire::put_i64(w, cell.count, widths.count);
+            w.write(cell.key_xor, widths.key);
+            w.write(cell.check_xor, widths.check);
+        }
+        debug_assert_eq!(w.bit_len() - before, self.wire_bits(n_bound));
+    }
+
+    /// Reads a table previously written with [`Iblt::write_to`] from an
+    /// in-progress [`BitReader`], given the shared construction parameters.
+    /// Returns `None` on buffer exhaustion or a count exceeding `n_bound`.
+    pub fn read_from(
+        r: &mut crate::bits::BitReader<'_>,
+        min_cells: usize,
+        q: usize,
+        seed: u64,
+        n_bound: usize,
+    ) -> Option<Iblt> {
+        let mut table = Iblt::new(min_cells, q, seed);
+        let widths = crate::wire::CellWidths::xor(n_bound);
+        for cell in &mut table.cells {
+            let count = crate::wire::get_i64(r, widths.count)?;
+            if count.unsigned_abs() > n_bound as u64 {
+                return None;
+            }
+            cell.count = count;
+            cell.key_xor = r.read(widths.key)?;
+            cell.check_xor = r.read(widths.check)?;
+        }
+        Some(table)
+    }
+
     /// Serializes the cell contents. The construction parameters (cell
     /// count, `q`, seed) are shared via public coins and not resent; the
     /// peer rebuilds with [`Iblt::from_bytes`] and the same parameters.
     pub fn to_bytes(&self, n_bound: usize) -> Vec<u8> {
-        use crate::bits::BitWriter;
-        let widths = crate::wire::CellWidths::xor(n_bound);
-        let mut w = BitWriter::new();
-        for cell in &self.cells {
-            crate::wire::put_i64(&mut w, cell.count, widths.count);
-            w.write(cell.key_xor, widths.key);
-            w.write(cell.check_xor, widths.check);
-        }
-        debug_assert_eq!(w.bit_len(), self.wire_bits(n_bound));
+        let mut w = crate::bits::BitWriter::new();
+        self.write_to(&mut w, n_bound);
         w.finish()
     }
 
@@ -170,20 +201,8 @@ impl Iblt {
         seed: u64,
         n_bound: usize,
     ) -> Option<Iblt> {
-        use crate::bits::BitReader;
-        let mut table = Iblt::new(min_cells, q, seed);
-        let widths = crate::wire::CellWidths::xor(n_bound);
-        let mut r = BitReader::new(bytes);
-        for cell in &mut table.cells {
-            let count = crate::wire::get_i64(&mut r, widths.count)?;
-            if count.unsigned_abs() > n_bound as u64 {
-                return None;
-            }
-            cell.count = count;
-            cell.key_xor = r.read(widths.key)?;
-            cell.check_xor = r.read(widths.check)?;
-        }
-        Some(table)
+        let mut r = crate::bits::BitReader::new(bytes);
+        Iblt::read_from(&mut r, min_cells, q, seed, n_bound)
     }
 }
 

@@ -353,21 +353,56 @@ impl Riblt {
         self.cells.len() as u64 * widths.per_cell(self.config.dim)
     }
 
+    /// Writes the cell contents into an in-progress [`crate::bits::BitWriter`],
+    /// so the table can ride inside a larger protocol message (the EMD
+    /// message packs one table per level). Adds exactly
+    /// [`Riblt::wire_bits`] bits.
+    pub fn write_to(&self, w: &mut crate::bits::BitWriter, n_bound: usize) {
+        let widths = crate::wire::CellWidths::sum(n_bound, self.config.delta);
+        let before = w.bit_len();
+        for cell in &self.cells {
+            crate::wire::put_i64(w, cell.count, widths.count);
+            crate::wire::put_i128(w, cell.key_sum, widths.key);
+            crate::wire::put_i128(w, cell.check_sum, widths.check);
+            for &v in &cell.value_sum {
+                crate::wire::put_i64(w, v, widths.value);
+            }
+        }
+        debug_assert_eq!(w.bit_len() - before, self.wire_bits(n_bound));
+    }
+
+    /// Reads a table previously written with [`Riblt::write_to`] from an
+    /// in-progress [`crate::bits::BitReader`], given the shared
+    /// configuration. Returns `None` on buffer exhaustion or a count
+    /// exceeding `n_bound`.
+    pub fn read_from(
+        r: &mut crate::bits::BitReader<'_>,
+        config: RibltConfig,
+        n_bound: usize,
+    ) -> Option<Riblt> {
+        let mut table = Riblt::new(config);
+        table.ops = n_bound; // sizes the peel guard for received contents
+        let widths = crate::wire::CellWidths::sum(n_bound, config.delta);
+        for cell in &mut table.cells {
+            let count = crate::wire::get_i64(r, widths.count)?;
+            if count.unsigned_abs() > n_bound as u64 {
+                return None;
+            }
+            cell.count = count;
+            cell.key_sum = crate::wire::get_i128(r, widths.key)?;
+            cell.check_sum = crate::wire::get_i128(r, widths.check)?;
+            for v in cell.value_sum.iter_mut() {
+                *v = crate::wire::get_i64(r, widths.value)?;
+            }
+        }
+        Some(table)
+    }
+
     /// Serializes the cell contents (construction parameters travel as
     /// public coins; rebuild with [`Riblt::from_bytes`]).
     pub fn to_bytes(&self, n_bound: usize) -> Vec<u8> {
-        use crate::bits::BitWriter;
-        let widths = crate::wire::CellWidths::sum(n_bound, self.config.delta);
-        let mut w = BitWriter::new();
-        for cell in &self.cells {
-            crate::wire::put_i64(&mut w, cell.count, widths.count);
-            crate::wire::put_i128(&mut w, cell.key_sum, widths.key);
-            crate::wire::put_i128(&mut w, cell.check_sum, widths.check);
-            for &v in &cell.value_sum {
-                crate::wire::put_i64(&mut w, v, widths.value);
-            }
-        }
-        debug_assert_eq!(w.bit_len(), self.wire_bits(n_bound));
+        let mut w = crate::bits::BitWriter::new();
+        self.write_to(&mut w, n_bound);
         w.finish()
     }
 
@@ -375,24 +410,8 @@ impl Riblt {
     /// shared configuration. Returns `None` on truncated input or a
     /// count exceeding `n_bound`.
     pub fn from_bytes(bytes: &[u8], config: RibltConfig, n_bound: usize) -> Option<Riblt> {
-        use crate::bits::BitReader;
-        let mut table = Riblt::new(config);
-        table.ops = n_bound; // sizes the peel guard for received contents
-        let widths = crate::wire::CellWidths::sum(n_bound, config.delta);
-        let mut r = BitReader::new(bytes);
-        for cell in &mut table.cells {
-            let count = crate::wire::get_i64(&mut r, widths.count)?;
-            if count.unsigned_abs() > n_bound as u64 {
-                return None;
-            }
-            cell.count = count;
-            cell.key_sum = crate::wire::get_i128(&mut r, widths.key)?;
-            cell.check_sum = crate::wire::get_i128(&mut r, widths.check)?;
-            for v in cell.value_sum.iter_mut() {
-                *v = crate::wire::get_i64(&mut r, widths.value)?;
-            }
-        }
-        Some(table)
+        let mut r = crate::bits::BitReader::new(bytes);
+        Riblt::read_from(&mut r, config, n_bound)
     }
 }
 

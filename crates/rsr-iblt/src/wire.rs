@@ -1,4 +1,4 @@
-//! Byte-level serialization of IBLTs and RIBLTs.
+//! Byte-level serialization of IBLTs and RIBLTs — the shared wire codec.
 //!
 //! Protocol messages are not hypothetical: a table serializes into a
 //! buffer of exactly `ceil(wire_bits/8)` bytes and deserializes back,
@@ -6,6 +6,13 @@
 //! coins, not on the wire). One width table ([`CellWidths`]) feeds both
 //! the serializer and the `wire_bits` accounting, so the transcript
 //! numbers are the true message sizes by construction.
+//!
+//! The field codecs here ([`put_i64`], [`put_i128`], [`put_len`] and their
+//! readers) are public: every protocol message in the workspace — RIBLT
+//! levels, sets-of-sets rounds, far-point lists — is encoded through this
+//! module plus [`crate::bits`], and transcripts record the sizes *measured*
+//! from those encoders. Tables compose into larger messages via
+//! [`crate::Iblt::write_to`] / [`crate::Riblt::write_to`].
 
 use crate::bits::{unzigzag, unzigzag128, zigzag, zigzag128, BitReader, BitWriter};
 
@@ -60,23 +67,35 @@ impl CellWidths {
 }
 
 /// Serializes one signed 64-bit field.
-pub(crate) fn put_i64(w: &mut BitWriter, v: i64, width: u32) {
+pub fn put_i64(w: &mut BitWriter, v: i64, width: u32) {
     w.write(zigzag(v), width);
 }
 
 /// Deserializes one signed 64-bit field.
-pub(crate) fn get_i64(r: &mut BitReader<'_>, width: u32) -> Option<i64> {
+pub fn get_i64(r: &mut BitReader<'_>, width: u32) -> Option<i64> {
     r.read(width).map(unzigzag)
 }
 
 /// Serializes one signed 128-bit field.
-pub(crate) fn put_i128(w: &mut BitWriter, v: i128, width: u32) {
+pub fn put_i128(w: &mut BitWriter, v: i128, width: u32) {
     w.write128(zigzag128(v), width);
 }
 
 /// Deserializes one signed 128-bit field.
-pub(crate) fn get_i128(r: &mut BitReader<'_>, width: u32) -> Option<i128> {
+pub fn get_i128(r: &mut BitReader<'_>, width: u32) -> Option<i128> {
     r.read128(width).map(unzigzag128)
+}
+
+/// Serializes an unsigned length/count field as 32 bits. Panics if the
+/// value exceeds `u32::MAX` (no protocol message carries that many items).
+pub fn put_len(w: &mut BitWriter, len: usize) {
+    assert!(len <= u32::MAX as usize, "length {len} exceeds u32 range");
+    w.write(len as u64, 32);
+}
+
+/// Deserializes a 32-bit length/count field.
+pub fn get_len(r: &mut BitReader<'_>) -> Option<usize> {
+    r.read(32).map(|v| v as usize)
 }
 
 #[cfg(test)]

@@ -142,6 +142,97 @@ proptest! {
 }
 
 proptest! {
+    /// A random symmetric difference *within the decoding threshold* of an
+    /// Algorithm-1-sized table round-trips exactly: the table is sized via
+    /// `RibltConfig::for_pairs(k, …)` for up to `4k` surviving pairs, we
+    /// load at most `k` per side on top of a cancelled shared bulk, and
+    /// decoding must recover exactly the planted difference.
+    #[test]
+    fn riblt_difference_within_threshold_roundtrips(
+        seed in 0u64..400,
+        k_total in 1usize..12,
+        shared in 0usize..60,
+        a_keys in prop::collection::btree_set(0u64..50_000, 0..12),
+        b_keys in prop::collection::btree_set(50_000u64..100_000, 0..12),
+    ) {
+        let k = k_total.max(a_keys.len()).max(b_keys.len());
+        let config = RibltConfig::for_pairs(k, 3, 1, 1000, seed);
+        let mut t = Riblt::new(config);
+        for i in 0..shared as u64 {
+            let v = Point::new(vec![(i % 1000) as i64]);
+            t.insert(200_000 + i, &v);
+            t.delete(200_000 + i, &v);
+        }
+        // Values derived from keys: distinct keys per side, exact values.
+        let value_of = |key: u64| Point::new(vec![(key.wrapping_mul(31) % 1000) as i64]);
+        let mut want_a: Vec<(u64, Point)> = a_keys.iter().map(|&key| (key, value_of(key))).collect();
+        let mut want_b: Vec<(u64, Point)> = b_keys.iter().map(|&key| (key, value_of(key))).collect();
+        for (key, v) in &want_a {
+            t.insert(*key, v);
+        }
+        for (key, v) in &want_b {
+            t.delete(*key, v);
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xdead);
+        let d = t.decode(&mut rng);
+        prop_assert!(d.complete, "within-threshold difference must decode");
+        prop_assert_eq!(d.contaminated, 0);
+        let mut got_a: Vec<_> = d.inserted.iter().map(|x| (x.key, x.value.clone())).collect();
+        let mut got_b: Vec<_> = d.deleted.iter().map(|x| (x.key, x.value.clone())).collect();
+        got_a.sort();
+        got_b.sort();
+        want_a.sort();
+        want_b.sort();
+        prop_assert_eq!(got_a, want_a);
+        prop_assert_eq!(got_b, want_b);
+    }
+
+    /// An *oversized* difference fails cleanly: decode reports incomplete
+    /// (or, rarely, still succeeds) but never fabricates — every recovered
+    /// key is a planted key with its exact planted value, never a blend.
+    #[test]
+    fn riblt_oversized_difference_fails_cleanly(
+        seed in 0u64..400,
+        overload_factor in 3usize..10,
+    ) {
+        let k = 4;
+        let config = RibltConfig::for_pairs(k, 3, 1, 1000, seed);
+        let n = overload_factor * config.min_cells;
+        let mut t = Riblt::new(config);
+        let planted: std::collections::BTreeMap<u64, i64> =
+            (0..n as u64).map(|i| (i * 7 + 1, (i as i64 * 13) % 1000)).collect();
+        for (&key, &v) in &planted {
+            t.insert(key, &Point::new(vec![v]));
+        }
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xbeef);
+        let d = t.decode(&mut rng);
+        // Massive overload: the 2-core is nonempty w.h.p. — and whatever
+        // *was* peeled must be genuine.
+        prop_assert!(!d.complete, "decode must report failure when overloaded");
+        prop_assert!(d.deleted.is_empty());
+        for pair in &d.inserted {
+            let want = planted.get(&pair.key);
+            prop_assert!(want.is_some(), "fabricated key {}", pair.key);
+            prop_assert_eq!(pair.value.coord(0), *want.unwrap(), "blended value for key {}", pair.key);
+        }
+    }
+
+    /// The XOR IBLT under the same overload: no fabricated keys either.
+    #[test]
+    fn iblt_oversized_never_fabricates(seed in 0u64..400, extra in 2usize..8) {
+        let cells = 24;
+        let mut t = Iblt::new(cells, 3, seed);
+        let planted: BTreeSet<u64> = (0..(extra * cells) as u64).map(|i| i * 11 + 3).collect();
+        for &key in &planted {
+            t.insert(key);
+        }
+        let d = t.decode();
+        prop_assert!(!d.complete);
+        for key in d.inserted.iter().chain(&d.deleted) {
+            prop_assert!(planted.contains(key), "fabricated key {key}");
+        }
+    }
+
     /// Serialization round-trips: the reconstructed IBLT decodes to the
     /// same result, and the buffer length is exactly the accounted bits
     /// rounded up to bytes.

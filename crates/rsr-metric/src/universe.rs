@@ -42,11 +42,16 @@ impl GridUniverse {
         self.dim as f64 * (self.delta as f64).log2().max(1.0)
     }
 
+    /// Number of bits used by the wire encoding of one coordinate:
+    /// `ceil(log2 Δ)`, at least 1.
+    pub fn coord_wire_bits(&self) -> u32 {
+        (64 - (self.delta.max(2) as u64 - 1).leading_zeros()).max(1)
+    }
+
     /// Number of bits used by the wire encoding of one point: coordinates
-    /// are packed with `ceil(log2 Δ)` bits each (at least 1).
+    /// are packed with [`GridUniverse::coord_wire_bits`] bits each.
     pub fn point_wire_bits(&self) -> u64 {
-        let per_coord = (64 - (self.delta.max(2) as u64 - 1).leading_zeros()) as u64;
-        self.dim as u64 * per_coord.max(1)
+        self.dim as u64 * u64::from(self.coord_wire_bits())
     }
 
     /// True if `p` is a member of the universe.

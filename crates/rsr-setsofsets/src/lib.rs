@@ -34,6 +34,7 @@
 //! 3-round structure. See DESIGN.md §2.
 
 pub mod protocol;
+pub mod wire;
 
 pub use protocol::{
     estimate_fp_cells, reconcile, AliceState, ChildSet, Round1, Round2, Round3, SosConfig,

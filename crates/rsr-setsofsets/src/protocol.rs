@@ -65,21 +65,28 @@ impl std::error::Error for SosError {}
 /// Round-1 message (Bob → Alice).
 #[derive(Clone, Debug)]
 pub struct Round1 {
-    iblt: Iblt,
-    num_children: usize,
+    pub(crate) iblt: Iblt,
+    pub(crate) num_children: usize,
 }
 
 /// Round-2 message (Alice → Bob): tagged fingerprints only Bob has.
 #[derive(Clone, Debug)]
 pub struct Round2 {
-    requested: Vec<u64>,
+    pub(crate) requested: Vec<u64>,
+}
+
+impl Round2 {
+    /// Number of requested children (sizes Bob's round-3 reply).
+    pub fn num_requested(&self) -> usize {
+        self.requested.len()
+    }
 }
 
 /// Round-3 message (Bob → Alice): contents of the requested children.
 #[derive(Clone, Debug)]
 pub struct Round3 {
     /// `(tagged fingerprint, child contents)` pairs.
-    children: Vec<(u64, ChildSet)>,
+    pub(crate) children: Vec<(u64, ChildSet)>,
 }
 
 /// Alice's state between rounds 2 and the finish.
@@ -135,7 +142,11 @@ fn tagged_fingerprints(seed: u64, children: &[ChildSet]) -> Vec<u64> {
 
 /// Round 1: Bob summarizes his tagged fingerprints in an IBLT.
 pub fn bob_round1(bob: &[ChildSet], cfg: &SosConfig) -> Round1 {
-    let mut iblt = Iblt::new(cfg.fp_cells, cfg.q, cfg.seed ^ 0xb0b1);
+    let mut iblt = Iblt::new(
+        cfg.fp_cells,
+        cfg.q,
+        cfg.seed ^ crate::wire::FP_IBLT_SEED_TWEAK,
+    );
     for tfp in tagged_fingerprints(cfg.seed, bob) {
         iblt.insert(tfp);
     }
@@ -223,24 +234,20 @@ pub fn alice_finish(
 
 /// Runs the full 3-round protocol and accounts communication.
 ///
-/// `child_len` is the (maximum) number of entries per child set, used for
-/// wire accounting of round 3.
+/// The per-round bit counts are *measured*: each round message is encoded
+/// through [`crate::wire`] and the encoder's exact bit length is reported,
+/// so the accounting cannot drift from the bytes a transport would carry.
 pub fn reconcile(
     alice: &[ChildSet],
     bob: &[ChildSet],
     cfg: &SosConfig,
 ) -> Result<SosOutcome, SosError> {
     let r1 = bob_round1(bob, cfg);
-    let r1_bits = r1.iblt.wire_bits(r1.num_children) + 64;
+    let r1_bits = crate::wire::round1_wire_bits(&r1);
     let (r2, state) = alice_round2(alice, &r1, cfg)?;
-    let r2_bits = 64 * r2.requested.len() as u64 + 32;
+    let r2_bits = crate::wire::round2_wire_bits(&r2);
     let r3 = bob_round3(bob, &r2, cfg)?;
-    let r3_bits = r3
-        .children
-        .iter()
-        .map(|(_, c)| 64 + c.len() as u64 * u64::from(cfg.entry_bits))
-        .sum::<u64>()
-        + 32;
+    let r3_bits = crate::wire::round3_wire_bits(&r3, cfg);
     let bob_multiset = alice_finish(alice, &state, &r3, cfg)?;
     Ok(SosOutcome {
         bob_multiset,
