@@ -1,0 +1,9 @@
+//! Regenerates the `net` experiment table (see DESIGN.md index).
+//! Pass `--quick` for a reduced-trial smoke run.
+
+fn main() {
+    println!(
+        "{}",
+        rsr_bench::experiments::net::run(rsr_bench::quick_flag())
+    );
+}

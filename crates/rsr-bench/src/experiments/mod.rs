@@ -13,6 +13,7 @@ pub mod hypergraph;
 pub mod iblt_threshold;
 pub mod lower_bound;
 pub mod mlsh_collision;
+pub mod net;
 pub mod riblt_error;
 pub mod setsofsets;
 
@@ -39,6 +40,7 @@ pub fn all() -> Vec<Experiment> {
         ("T10", "setsofsets", setsofsets::run),
         ("T11", "hypergraph", hypergraph::run),
         ("T12", "exact_recon", exact_recon::run),
+        ("N1", "net", net::run),
         ("A1/A2", "ablation_peel", ablation_peel::run),
         ("A3", "ablation_dsbf", ablation_dsbf::run),
     ]

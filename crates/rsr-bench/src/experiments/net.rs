@@ -1,0 +1,292 @@
+//! N1 — the TCP transport: many multiplexed sessions over one
+//! connection, replaying one trace across transports.
+//!
+//! Claims measured: a single [`ReconServer`] connection carries ≥ 64
+//! concurrently multiplexed sessions of all three protocols; every
+//! session's outcome and measured transcript bits over TCP loopback are
+//! identical to the in-memory driver's; the wire overhead beyond the
+//! payload is just the record headers. Reports sessions/sec on loopback
+//! vs in memory.
+//!
+//! The session batch comes from `rsr-workloads`' replayable trace
+//! format: the trace is written out, parsed back, and both transports
+//! replay the parsed copy — the first use of the ROADMAP's "replayable
+//! trace format" item.
+
+use crate::table::Table;
+use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use rsr_core::gap_protocol::{GapConfig, GapProtocol};
+use rsr_core::ScaledEmdProtocol;
+use rsr_hash::lsh::LshParams;
+use rsr_hash::BitSamplingFamily;
+use rsr_metric::{MetricSpace, Point};
+use rsr_net::{NetSession, ReconClient, ReconServer, SessionFactory};
+use rsr_workloads::trace::{read_trace, sample_trace, write_trace, TraceEntry, TraceProtocol};
+use rsr_workloads::{planted_emd, sensor_pairs};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// One buildable, runnable protocol instance from a trace entry. Owns
+/// the protocol object (public coins) and both parties' points; sessions
+/// are borrowed views, so the same instance can back the in-memory
+/// baseline, the server factory, and the client batch.
+pub enum Instance {
+    /// Algorithm 1 on a Hamming cube.
+    Emd {
+        /// The protocol (public coins shared by both parties).
+        proto: EmdProtocol,
+        /// Alice's points.
+        alice: Vec<Point>,
+        /// Bob's points.
+        bob: Vec<Point>,
+    },
+    /// The interval-scaled protocol on an ℓ2 grid.
+    ScaledEmd {
+        /// The protocol.
+        proto: ScaledEmdProtocol,
+        /// Alice's points.
+        alice: Vec<Point>,
+        /// Bob's points.
+        bob: Vec<Point>,
+    },
+    /// The Gap Guarantee protocol on a Hamming cube.
+    Gap {
+        /// The protocol.
+        proto: GapProtocol<BitSamplingFamily>,
+        /// Alice's points.
+        alice: Vec<Point>,
+        /// Bob's points.
+        bob: Vec<Point>,
+    },
+}
+
+impl Instance {
+    /// Deterministically regenerates the instance a trace entry pins:
+    /// same entry, same workload, same public coins — anywhere.
+    pub fn build(entry: &TraceEntry) -> Instance {
+        let TraceEntry {
+            protocol,
+            n,
+            k,
+            dim,
+            seed,
+        } = *entry;
+        match protocol {
+            TraceProtocol::Emd => {
+                let space = MetricSpace::hamming(dim);
+                let w = planted_emd(space, n, k, 1, seed);
+                let cfg = EmdProtocolConfig::for_space(&space, n, k);
+                Instance::Emd {
+                    proto: EmdProtocol::new(space, cfg, seed ^ 0x5e55),
+                    alice: w.alice,
+                    bob: w.bob,
+                }
+            }
+            TraceProtocol::ScaledEmd => {
+                let space = MetricSpace::l2(256, dim);
+                let w = planted_emd(space, n, k, 1, seed);
+                Instance::ScaledEmd {
+                    proto: ScaledEmdProtocol::new(space, n, k, seed ^ 0xa1a1),
+                    alice: w.alice,
+                    bob: w.bob,
+                }
+            }
+            TraceProtocol::Gap => {
+                let space = MetricSpace::hamming(dim);
+                let (r1, r2) = (2.0, 44.0 * dim as f64 / 128.0);
+                let family = BitSamplingFamily::new(dim, dim as f64);
+                let params = LshParams::new(r1, r2, 1.0 - r1 / dim as f64, 1.0 - r2 / dim as f64);
+                let w = sensor_pairs(space, n, k, r1, r2, seed);
+                let cfg = GapConfig::for_params(params, n, k);
+                Instance::Gap {
+                    proto: GapProtocol::new(space, &family, cfg, seed ^ 0x6a6a),
+                    alice: w.alice,
+                    bob: w.bob,
+                }
+            }
+        }
+    }
+
+    /// Runs the instance through the in-memory driver; `Ok` carries the
+    /// measured total transcript bits.
+    pub fn run_in_memory(&self) -> Result<u64, String> {
+        match self {
+            Instance::Emd { proto, alice, bob } => proto
+                .run(alice, bob)
+                .map(|o| o.transcript.total_bits())
+                .map_err(|e| e.to_string()),
+            Instance::ScaledEmd { proto, alice, bob } => proto
+                .run(alice, bob)
+                .map(|o| o.transcript.total_bits())
+                .map_err(|e| e.to_string()),
+            Instance::Gap { proto, alice, bob } => proto
+                .run(alice, bob)
+                .map(|o| o.transcript.total_bits())
+                .map_err(|e| e.to_string()),
+        }
+    }
+
+    /// The client-side (Alice) session over this instance.
+    pub fn alice_session(&self) -> Box<dyn NetSession + '_> {
+        match self {
+            Instance::Emd { proto, alice, .. } => Box::new(proto.alice_session(alice)),
+            Instance::ScaledEmd { proto, alice, .. } => Box::new(proto.alice_session(alice)),
+            Instance::Gap { proto, alice, .. } => Box::new(proto.alice_session(alice)),
+        }
+    }
+
+    /// The server-side (Bob) session over this instance.
+    pub fn bob_session(&self) -> Box<dyn NetSession + '_> {
+        match self {
+            Instance::Emd { proto, bob, .. } => Box::new(proto.bob_session(bob)),
+            Instance::ScaledEmd { proto, bob, .. } => Box::new(proto.bob_session(bob)),
+            Instance::Gap { proto, bob, .. } => Box::new(proto.bob_session(bob)),
+        }
+    }
+}
+
+/// Serves the Bob half of every instance of a trace, by session id =
+/// trace position.
+pub struct TraceFactory {
+    /// The built instances, indexed by session id.
+    pub instances: Vec<Instance>,
+}
+
+impl SessionFactory for TraceFactory {
+    fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>> {
+        self.instances
+            .get(session_id as usize)
+            .map(|inst| inst.bob_session())
+    }
+}
+
+/// Runs the experiment.
+pub fn run(quick: bool) -> String {
+    let count = if quick { 64 } else { 128 };
+    let trace_seed = 0xbea7_1e55;
+
+    // Pin the batch through the trace format itself: write, parse back,
+    // replay the parsed copy.
+    let mut text = Vec::new();
+    write_trace(&mut text, &sample_trace(count, trace_seed)).expect("in-memory write");
+    let entries = read_trace(&mut text.as_slice()).expect("own trace parses");
+    let factory = Arc::new(TraceFactory {
+        instances: entries.iter().map(Instance::build).collect(),
+    });
+
+    // Transport A: the in-memory driver, one session at a time.
+    let t0 = Instant::now();
+    let baseline: Vec<Result<u64, String>> = factory
+        .instances
+        .iter()
+        .map(Instance::run_in_memory)
+        .collect();
+    let mem_elapsed = t0.elapsed();
+
+    // Transport B: every session multiplexed over ONE TCP connection.
+    let server = ReconServer::bind("127.0.0.1:0", Arc::clone(&factory)).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let server_thread = std::thread::spawn(move || server.serve_one());
+    let client = ReconClient::connect(addr).expect("connect loopback");
+    // A wedged session must fail the run, not hang CI until its timeout.
+    client
+        .set_read_timeout(Some(std::time::Duration::from_secs(120)))
+        .expect("set timeout");
+    let t0 = Instant::now();
+    let sessions: Vec<(u64, Box<dyn NetSession + '_>)> = factory
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| (i as u64, inst.alice_session()))
+        .collect();
+    let batch = client.run_batch(sessions).expect("batch completes");
+    let tcp_elapsed = t0.elapsed();
+    let conn = server_thread
+        .join()
+        .expect("server thread")
+        .expect("connection served");
+
+    // The transports must agree session by session: same success, same
+    // measured bits, on the client, the server, and the baseline.
+    assert_eq!(batch.sessions.len(), entries.len());
+    assert_eq!(conn.sessions.len(), entries.len());
+    let mut agreeing = 0;
+    let mut failed_on_both = 0;
+    for (i, (mem, net)) in baseline.iter().zip(&batch.sessions).enumerate() {
+        let srv = &conn.sessions[i];
+        match mem {
+            Ok(bits) => {
+                assert!(
+                    net.is_ok(),
+                    "session {i}: in-memory ok but tcp failed: {:?}",
+                    net.error
+                );
+                assert_eq!(*bits, net.transcript.total_bits(), "session {i} bits");
+                assert_eq!(
+                    *bits,
+                    srv.transcript.total_bits(),
+                    "session {i} server bits"
+                );
+                agreeing += 1;
+            }
+            Err(_) => {
+                assert!(!net.is_ok(), "session {i}: in-memory failed but tcp ok");
+                failed_on_both += 1;
+            }
+        }
+    }
+
+    let mem_rate = count as f64 / mem_elapsed.as_secs_f64();
+    let tcp_rate = count as f64 / tcp_elapsed.as_secs_f64();
+    let payload_bytes = batch
+        .sessions
+        .iter()
+        .flat_map(|s| s.transcript.entries().map(|(_, bits)| bits.div_ceil(8)))
+        .sum::<u64>();
+    let wire_bytes = batch.wire_bytes_out + batch.wire_bytes_in;
+
+    let mut table = Table::new(&[
+        "transport",
+        "sessions",
+        "connections",
+        "completed",
+        "payload bytes",
+        "wire bytes",
+        "elapsed ms",
+        "sessions/sec",
+    ]);
+    table.row(vec![
+        "in-memory".into(),
+        count.to_string(),
+        "—".into(),
+        baseline.iter().filter(|r| r.is_ok()).count().to_string(),
+        payload_bytes.to_string(),
+        "—".into(),
+        format!("{:.1}", mem_elapsed.as_secs_f64() * 1e3),
+        format!("{mem_rate:.0}"),
+    ]);
+    table.row(vec![
+        "tcp loopback".into(),
+        count.to_string(),
+        "1".into(),
+        batch.completed().to_string(),
+        payload_bytes.to_string(),
+        wire_bytes.to_string(),
+        format!("{:.1}", tcp_elapsed.as_secs_f64() * 1e3),
+        format!("{tcp_rate:.0}"),
+    ]);
+
+    format!(
+        "## N1 — TCP transport: multiplexed sessions vs in-memory driver\n\n\
+         Replayed one {count}-session trace (seed {trace_seed:#x}; emd/semd/gap \
+         mix) over both transports; {agreeing} completed sessions agree \
+         bit-for-bit with the in-memory driver on both endpoints and \
+         {failed_on_both} failed identically on both. The single server \
+         connection multiplexed {count} sessions ({} frames in, {} frames out); \
+         framing overhead was {} bytes over the {payload_bytes}-byte payload.\n\n{}",
+        conn.frames_in,
+        conn.frames_out,
+        wire_bytes - payload_bytes,
+        table.render()
+    )
+}

@@ -10,13 +10,18 @@
 
 use crate::transcript::Party;
 use rsr_iblt::bits::{BitReader, BitWriter};
+use std::borrow::Cow;
 use std::collections::VecDeque;
 
 /// One encoded protocol message in flight.
+///
+/// The label is a `Cow<'static, str>` because almost every frame carries
+/// one of a handful of fixed protocol labels; only computed labels (e.g.
+/// the scaled-EMD per-interval ones) pay for an owned `String`.
 #[derive(Clone, Debug)]
 pub struct Frame {
     /// Transcript label, e.g. `"alice→bob: RIBLTs"`.
-    pub label: String,
+    pub label: Cow<'static, str>,
     /// The encoded bytes (the final byte may be zero-padded).
     pub payload: Vec<u8>,
     /// Exact encoded length in bits; `payload.len() == bit_len.div_ceil(8)`.
@@ -25,7 +30,7 @@ pub struct Frame {
 
 impl Frame {
     /// Seals a finished encoder into a frame, measuring its size.
-    pub fn seal(label: impl Into<String>, writer: BitWriter) -> Frame {
+    pub fn seal(label: impl Into<Cow<'static, str>>, writer: BitWriter) -> Frame {
         let bit_len = writer.bit_len();
         let payload = writer.finish();
         debug_assert_eq!(payload.len() as u64, bit_len.div_ceil(8));
@@ -65,7 +70,95 @@ pub trait Channel {
     fn send(&mut self, from: Party, frame: Frame);
 
     /// Dequeues the next frame addressed *to* `to`, if any.
+    ///
+    /// In-process channels return `None` when the queue is momentarily
+    /// empty; transports over real streams block until a frame arrives and
+    /// return `None` only when the peer is gone for good (clean shutdown
+    /// or transport failure). Drivers treat `None` while a session is
+    /// unfinished as a stall either way.
     fn recv(&mut self, to: Party) -> Option<Frame>;
+}
+
+/// Frame/byte/bit totals for one direction of traffic, so transports
+/// share one accounting implementation instead of each reimplementing
+/// the transcript bookkeeping.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ChannelCounters {
+    /// Frames counted.
+    pub frames: usize,
+    /// Payload bytes counted (each frame's byte buffer).
+    pub bytes: u64,
+    /// Exact encoded bits counted; `bytes` is this with every frame
+    /// rounded up to whole bytes.
+    pub bits: u64,
+}
+
+impl ChannelCounters {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        ChannelCounters::default()
+    }
+
+    /// Adds one frame's payload to the totals.
+    pub fn note(&mut self, frame: &Frame) {
+        self.frames += 1;
+        self.bytes += frame.payload.len() as u64;
+        self.bits += frame.bit_len;
+    }
+}
+
+/// Wraps any [`Channel`] with sent/received [`ChannelCounters`], so a
+/// transport with no accounting of its own can still be checked against a
+/// session's transcript.
+#[derive(Debug, Default)]
+pub struct CountingChannel<C> {
+    inner: C,
+    sent: ChannelCounters,
+    received: ChannelCounters,
+}
+
+impl<C: Channel> CountingChannel<C> {
+    /// Wraps `inner` with zeroed counters.
+    pub fn new(inner: C) -> Self {
+        CountingChannel {
+            inner,
+            sent: ChannelCounters::new(),
+            received: ChannelCounters::new(),
+        }
+    }
+
+    /// Totals over every frame pushed through [`Channel::send`].
+    pub fn sent(&self) -> &ChannelCounters {
+        &self.sent
+    }
+
+    /// Totals over every frame handed out by [`Channel::recv`].
+    pub fn received(&self) -> &ChannelCounters {
+        &self.received
+    }
+
+    /// The wrapped channel.
+    pub fn get_ref(&self) -> &C {
+        &self.inner
+    }
+
+    /// Unwraps, dropping the counters.
+    pub fn into_inner(self) -> C {
+        self.inner
+    }
+}
+
+impl<C: Channel> Channel for CountingChannel<C> {
+    fn send(&mut self, from: Party, frame: Frame) {
+        self.sent.note(&frame);
+        self.inner.send(from, frame);
+    }
+
+    fn recv(&mut self, to: Party) -> Option<Frame> {
+        let frame = self.inner.recv(to)?;
+        self.received.note(&frame);
+        Some(frame)
+    }
 }
 
 /// The in-process transport: two FIFO queues plus delivery counters, so
@@ -75,9 +168,7 @@ pub trait Channel {
 pub struct InMemoryChannel {
     to_alice: VecDeque<Frame>,
     to_bob: VecDeque<Frame>,
-    frames_sent: usize,
-    bytes_sent: u64,
-    bits_sent: u64,
+    sent: ChannelCounters,
 }
 
 impl InMemoryChannel {
@@ -88,26 +179,24 @@ impl InMemoryChannel {
 
     /// Number of frames sent so far (both directions).
     pub fn frames_sent(&self) -> usize {
-        self.frames_sent
+        self.sent.frames
     }
 
     /// Total payload bytes sent so far (both directions).
     pub fn bytes_sent(&self) -> u64 {
-        self.bytes_sent
+        self.sent.bytes
     }
 
     /// Total encoded bits sent so far (both directions); `bytes_sent` is
     /// this quantity with every frame rounded up to whole bytes.
     pub fn bits_sent(&self) -> u64 {
-        self.bits_sent
+        self.sent.bits
     }
 }
 
 impl Channel for InMemoryChannel {
     fn send(&mut self, from: Party, frame: Frame) {
-        self.frames_sent += 1;
-        self.bytes_sent += frame.payload.len() as u64;
-        self.bits_sent += frame.bit_len;
+        self.sent.note(&frame);
         match from {
             Party::Alice => self.to_bob.push_back(frame),
             Party::Bob => self.to_alice.push_back(frame),
@@ -126,7 +215,7 @@ impl Channel for InMemoryChannel {
 mod tests {
     use super::*;
 
-    fn frame(label: &str, bits: u64) -> Frame {
+    fn frame(label: &'static str, bits: u64) -> Frame {
         let mut w = BitWriter::new();
         w.write128(0, (bits % 128) as u32);
         for _ in 0..bits / 128 {
@@ -182,6 +271,24 @@ mod tests {
         let mut bad = f.clone();
         bad.payload.push(0xFF);
         assert_eq!(bad.decode_exact(|r| r.read(32)), None);
+    }
+
+    #[test]
+    fn counting_channel_tracks_both_directions() {
+        let mut ch = CountingChannel::new(InMemoryChannel::new());
+        ch.send(Party::Alice, frame("a", 9));
+        ch.send(Party::Bob, frame("b", 130));
+        assert_eq!(ch.sent().frames, 2);
+        assert_eq!(ch.sent().bits, 139);
+        assert_eq!(ch.sent().bytes, 2 + 17);
+        assert_eq!(*ch.received(), ChannelCounters::new());
+        // Receiving moves frames into the received totals.
+        assert!(ch.recv(Party::Bob).is_some());
+        assert_eq!(ch.received().frames, 1);
+        assert_eq!(ch.received().bits, 9);
+        // The wrapped channel's own counters agree.
+        assert_eq!(ch.get_ref().bits_sent(), 139);
+        assert_eq!(ch.into_inner().frames_sent(), 2);
     }
 
     #[test]

@@ -42,7 +42,7 @@ pub mod transcript;
 pub mod two_way;
 pub mod wire;
 
-pub use channel::{Channel, Frame, InMemoryChannel};
+pub use channel::{Channel, ChannelCounters, CountingChannel, Frame, InMemoryChannel};
 pub use emd_protocol::{
     EmdAliceSession, EmdBobSession, EmdFailure, EmdMessage, EmdOutcome, EmdProtocol,
     EmdProtocolConfig,
@@ -53,7 +53,7 @@ pub use gap_protocol::{
     verify_gap_guarantee, GapAliceSession, GapBobSession, GapConfig, GapError, GapOutcome,
     GapProtocol,
 };
-pub use session::{drive, drive_in_memory, DriveError, Session};
+pub use session::{drive, drive_channel, drive_in_memory, DriveError, Session};
 pub use set_recon::{exact_reconcile, ExactOutcome, ExactReconError};
 pub use transcript::{Party, Transcript};
 pub use two_way::{two_way_emd, two_way_gap, TwoWayEmdOutcome, TwoWayGapOutcome};

@@ -102,6 +102,48 @@ pub fn drive<'a, E>(
     Ok(transcript)
 }
 
+/// Runs *one* party's session over a channel whose other end lives
+/// elsewhere (another thread, another process across a socket). Unlike
+/// [`drive`] there is no turn alternation to orchestrate: this party says
+/// everything it can, then blocks on [`Channel::recv`] for the peer's next
+/// frame, until its own session completes.
+///
+/// The transcript records **both** directions — frames this party sent
+/// (attributed to `me`) and frames it received (attributed to the peer) —
+/// in the order they crossed the channel, so on either endpoint it is
+/// entry-for-entry identical to the transcript an in-memory [`drive`] of
+/// the same session pair produces.
+///
+/// A `None` from [`Channel::recv`] while the session is unfinished means
+/// the peer is gone (clean shutdown, transport failure, or an empty
+/// in-memory queue) and surfaces as [`DriveError::Stalled`]; transports
+/// carry the underlying cause out of band (e.g. `TcpChannel::take_error`
+/// in `rsr-net`).
+pub fn drive_channel<E>(
+    channel: &mut dyn Channel,
+    me: Party,
+    session: &mut dyn Session<Error = E>,
+) -> Result<Transcript, DriveError<E>> {
+    let mut transcript = Transcript::new();
+    while !session.is_done() {
+        while let Some(frame) = session.poll_send().map_err(DriveError::Session)? {
+            transcript.record_from(me, frame.label.clone(), frame.bit_len);
+            channel.send(me, frame);
+        }
+        if session.is_done() {
+            break;
+        }
+        match channel.recv(me) {
+            Some(frame) => {
+                transcript.record_from(me.peer(), frame.label.clone(), frame.bit_len);
+                session.on_frame(frame).map_err(DriveError::Session)?;
+            }
+            None => return Err(DriveError::Stalled),
+        }
+    }
+    Ok(transcript)
+}
+
 /// [`drive`] over a fresh [`InMemoryChannel`] — the single-process path
 /// every `run(&alice, &bob)` wrapper uses.
 pub fn drive_in_memory<'a, E>(
@@ -140,7 +182,7 @@ mod tests {
         }
 
         fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
-            self.received.push(frame.label);
+            self.received.push(frame.label.into_owned());
             if self.reply_when_done_sending {
                 self.to_send = 1;
                 self.reply_when_done_sending = false;
@@ -176,6 +218,38 @@ mod tests {
         assert_eq!(bob.received.len(), 3);
         assert_eq!(alice.received.len(), 1);
         assert_eq!(t.total_bits(), 4 * 16);
+    }
+
+    #[test]
+    fn drive_channel_records_both_directions() {
+        // Pre-seed the peer's reply, then drive only Alice's endpoint:
+        // she sends her burst, receives the reply, and her single-party
+        // transcript covers both directions in channel order.
+        let mut channel = InMemoryChannel::new();
+        channel.send(Party::Bob, Frame::seal("reply", BitWriter::new()));
+        let mut alice = Chatter {
+            to_send: 2,
+            got_reply: false,
+            reply_when_done_sending: false,
+            received: vec![],
+        };
+        let t = drive_channel(&mut channel, Party::Alice, &mut alice).expect("completes");
+        assert_eq!(alice.received, vec!["reply"]);
+        assert_eq!(t.num_messages(), 3);
+        assert_eq!(t.num_rounds(), 2);
+        let senders: Vec<_> = t.entries_with_sender().map(|(s, _, _)| s).collect();
+        assert_eq!(
+            senders,
+            vec![Some(Party::Alice), Some(Party::Alice), Some(Party::Bob)]
+        );
+    }
+
+    #[test]
+    fn drive_channel_stalls_on_dry_channel() {
+        let mut channel = InMemoryChannel::new();
+        let mut mute = Mute;
+        let err = drive_channel(&mut channel, Party::Alice, &mut mute).unwrap_err();
+        assert_eq!(err, DriveError::Stalled);
     }
 
     /// A session that claims to be unfinished but never sends.

@@ -15,6 +15,7 @@
 //! [`Transcript::num_rounds`] counts direction changes as observed on the
 //! channel.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// One of the two protocol parties. Sessions are written from a fixed
@@ -53,7 +54,7 @@ struct Entry {
     /// Sender, when the message went through the session layer. Legacy
     /// single-shot accounting records `None`.
     from: Option<Party>,
-    label: String,
+    label: Cow<'static, str>,
     bits: u64,
 }
 
@@ -74,7 +75,7 @@ impl Transcript {
     /// Records a message of `bits` bits with no sender attribution. Each
     /// such message counts as its own round (the pre-session behaviour,
     /// kept for single-message accounting like exact reconciliation).
-    pub fn record(&mut self, label: impl Into<String>, bits: u64) {
+    pub fn record(&mut self, label: impl Into<Cow<'static, str>>, bits: u64) {
         self.entries.push(Entry {
             from: None,
             label: label.into(),
@@ -87,7 +88,7 @@ impl Transcript {
     /// Records a message sent by `from`. Consecutive messages from the
     /// same party belong to one round; the round counter advances exactly
     /// when the channel changes direction.
-    pub fn record_from(&mut self, from: Party, label: impl Into<String>, bits: u64) {
+    pub fn record_from(&mut self, from: Party, label: impl Into<Cow<'static, str>>, bits: u64) {
         if self.last_from != Some(from) {
             self.rounds += 1;
             self.last_from = Some(from);
@@ -124,7 +125,7 @@ impl Transcript {
 
     /// Iterates over `(label, bits)` entries.
     pub fn entries(&self) -> impl Iterator<Item = (&str, u64)> {
-        self.entries.iter().map(|e| (e.label.as_str(), e.bits))
+        self.entries.iter().map(|e| (e.label.as_ref(), e.bits))
     }
 
     /// Iterates over `(sender, label, bits)` entries; the sender is `None`
@@ -132,7 +133,7 @@ impl Transcript {
     pub fn entries_with_sender(&self) -> impl Iterator<Item = (Option<Party>, &str, u64)> {
         self.entries
             .iter()
-            .map(|e| (e.from, e.label.as_str(), e.bits))
+            .map(|e| (e.from, e.label.as_ref(), e.bits))
     }
 }
 

@@ -1,0 +1,360 @@
+//! [`ReconClient`]: batch many Alice sessions over one connection.
+//!
+//! The client plays **Alice** for every session it runs. A batch works
+//! in two phases: first every session is `OPEN`ed and everything each
+//! Alice can already say is written — the frames of different sessions
+//! interleave on the wire — then the client routes the server's records
+//! to sessions by id, pumping whatever replies they unlock, until the
+//! server has said `DONE` for every session. A dedicated reader thread
+//! drains the server's records for the whole lifetime of the batch, so
+//! a server speaking first for many sessions at once (the Gap protocol's
+//! round 1) can never fill both socket buffers and deadlock against the
+//! client's own writing.
+//!
+//! A session-level failure (local decode error, server error status)
+//! marks that one session failed and the batch carries on; only
+//! transport-level failures abort the whole batch.
+
+use crate::codec::{read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR};
+use crate::server::NetSession;
+use rsr_core::transcript::{Party, Transcript};
+use std::collections::HashMap;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
+use std::sync::mpsc;
+use std::thread;
+use std::time::Duration;
+
+/// One session's client-side record within a [`BatchReport`].
+#[derive(Clone, Debug)]
+pub struct SessionReport {
+    /// The session id used on the wire.
+    pub id: u64,
+    /// Both directions of the session's traffic with measured bit sizes —
+    /// entry-for-entry the transcript the in-memory driver produces.
+    pub transcript: Transcript,
+    /// `None` if both halves completed; the first error otherwise.
+    pub error: Option<String>,
+}
+
+impl SessionReport {
+    /// True when both the local Alice half and the server's Bob half
+    /// finished cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// What one [`ReconClient::run_batch`] call did.
+#[derive(Debug, Default)]
+pub struct BatchReport {
+    /// Per-session reports, in the order the batch supplied them.
+    pub sessions: Vec<SessionReport>,
+    /// Frames sent to the server (all sessions).
+    pub frames_out: usize,
+    /// Frames received from the server (all sessions).
+    pub frames_in: usize,
+    /// Raw bytes written, record headers included.
+    pub wire_bytes_out: u64,
+    /// Raw bytes read, record headers included.
+    pub wire_bytes_in: u64,
+}
+
+impl BatchReport {
+    /// Sessions that completed on both endpoints.
+    pub fn completed(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_ok()).count()
+    }
+
+    /// Sessions that failed (locally or server-side).
+    pub fn failed(&self) -> usize {
+        self.sessions.len() - self.completed()
+    }
+
+    /// Total payload bits across every session transcript.
+    pub fn payload_bits(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.transcript.total_bits())
+            .sum()
+    }
+}
+
+struct ClientSlot<'s> {
+    id: u64,
+    session: Box<dyn NetSession + 's>,
+    transcript: Transcript,
+    error: Option<String>,
+    /// The server sent `DONE` (or we abandoned the session): nothing
+    /// further is expected on the wire for it.
+    settled: bool,
+}
+
+/// The client end of a multiplexed reconciliation connection. One batch
+/// per connection: [`ReconClient::run_batch`] consumes the client and
+/// shuts the connection down when the batch settles.
+pub struct ReconClient {
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+}
+
+impl ReconClient {
+    /// Connects to a [`ReconServer`](crate::server::ReconServer).
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ReconClient> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(ReconClient {
+            reader,
+            writer: BufWriter::new(stream),
+        })
+    }
+
+    /// Bounds how long the batch blocks on a silent server before the
+    /// batch fails with a transport error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// Runs a batch of `(session id, Alice session)` pairs over this
+    /// connection, multiplexed, to completion. Ids must be unique within
+    /// the batch and mean something to the server's factory.
+    pub fn run_batch<'s>(
+        self,
+        sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
+    ) -> Result<BatchReport, NetError> {
+        let ReconClient { reader, mut writer } = self;
+        let mut report = BatchReport::default();
+        let mut slots: Vec<ClientSlot<'s>> = Vec::with_capacity(sessions.len());
+        let mut index: HashMap<u64, usize> = HashMap::with_capacity(sessions.len());
+        for (id, session) in sessions {
+            if index.insert(id, slots.len()).is_some() {
+                return Err(NetError::Malformed("duplicate session id in batch"));
+            }
+            slots.push(ClientSlot {
+                id,
+                session,
+                transcript: Transcript::new(),
+                error: None,
+                settled: false,
+            });
+        }
+
+        // The reader thread forwards the server's records for the whole
+        // batch, so incoming traffic drains even while we are writing.
+        let (tx, rx) = mpsc::channel();
+        let _reader_thread = thread::spawn(move || {
+            let mut reader = reader;
+            loop {
+                match read_record(&mut reader) {
+                    Ok(Some(item)) => {
+                        if tx.send(Ok(Some(item))).is_err() {
+                            return; // batch is gone; stop reading
+                        }
+                    }
+                    terminal => {
+                        let _ = tx.send(terminal);
+                        return;
+                    }
+                }
+            }
+        });
+        let mut closed = false;
+
+        let outcome = run_phases(
+            &mut writer,
+            &rx,
+            &mut report,
+            &mut slots,
+            &index,
+            &mut closed,
+        );
+
+        // Nothing more to say (or the transport died): close our write
+        // half so the server's handler sees EOF, finishes, and releases
+        // the connection. On a transport error also shut the read half,
+        // which unblocks the reader thread so it exits instead of
+        // leaking, blocked in read(), for the life of the process.
+        writer.flush().ok();
+        match &outcome {
+            Ok(()) => {
+                writer.get_ref().shutdown(Shutdown::Write).ok();
+            }
+            Err(_) => {
+                writer.get_ref().shutdown(Shutdown::Both).ok();
+            }
+        }
+        outcome?;
+
+        report.sessions = slots
+            .into_iter()
+            .map(|s| SessionReport {
+                id: s.id,
+                transcript: s.transcript,
+                error: s.error,
+            })
+            .collect();
+        Ok(report)
+    }
+}
+
+/// Both phases of a batch; split out so [`ReconClient::run_batch`] can
+/// run connection teardown on every exit path.
+fn run_phases<'s>(
+    writer: &mut BufWriter<TcpStream>,
+    rx: &mpsc::Receiver<Result<Option<(Record, u64)>, NetError>>,
+    report: &mut BatchReport,
+    slots: &mut Vec<ClientSlot<'s>>,
+    index: &HashMap<u64, usize>,
+    closed: &mut bool,
+) -> Result<(), NetError> {
+    // Phase 1: open everything and say everything we already can — this
+    // is where the sessions' opening frames interleave. Between sessions,
+    // handle whatever the server has already answered; once the server is
+    // known gone, every remaining session is already marked failed and
+    // writing to the dead socket would only turn those per-session
+    // reports into a whole-batch transport error.
+    for i in 0..slots.len() {
+        if *closed {
+            break;
+        }
+        report.wire_bytes_out += write_record(
+            writer,
+            &Record::Open {
+                session: slots[i].id,
+            },
+        )?;
+        pump_slot(writer, report, &mut slots[i])?;
+        writer.flush()?;
+        while let Ok(msg) = rx.try_recv() {
+            dispatch(msg, writer, report, slots, index, closed)?;
+        }
+    }
+
+    // Phase 2: route the server's records until every session settles.
+    while !*closed && slots.iter().any(|s| !s.settled) {
+        let msg = rx.recv().unwrap_or(Ok(None));
+        dispatch(msg, writer, report, slots, index, closed)?;
+    }
+    writer.flush()?;
+    Ok(())
+}
+
+/// Handles one message from the reader thread.
+fn dispatch(
+    msg: Result<Option<(Record, u64)>, NetError>,
+    writer: &mut BufWriter<TcpStream>,
+    report: &mut BatchReport,
+    slots: &mut [ClientSlot<'_>],
+    index: &HashMap<u64, usize>,
+    closed: &mut bool,
+) -> Result<(), NetError> {
+    let record = match msg {
+        Err(e) => return Err(e),
+        Ok(None) => {
+            *closed = true;
+            for slot in slots.iter_mut().filter(|s| !s.settled) {
+                slot.settled = true;
+                slot.error
+                    .get_or_insert_with(|| "connection closed before session settled".into());
+            }
+            return Ok(());
+        }
+        Ok(Some((record, n))) => {
+            report.wire_bytes_in += n;
+            record
+        }
+    };
+    let slot_of = |id: u64| {
+        index.get(&id).copied().ok_or(NetError::Malformed(
+            "record for a session id not in the batch",
+        ))
+    };
+    match record {
+        Record::Open { .. } => {
+            return Err(NetError::Malformed("server sent an open record"));
+        }
+        Record::Frame { session: id, frame } => {
+            let slot = &mut slots[slot_of(id)?];
+            if slot.settled || slot.error.is_some() {
+                return Ok(()); // stale frame for a dead session
+            }
+            report.frames_in += 1;
+            slot.transcript
+                .record_from(Party::Bob, frame.label.clone(), frame.bit_len);
+            if let Err(e) = slot.session.on_frame(frame) {
+                abandon(writer, report, slot, e)?;
+            } else {
+                pump_slot(writer, report, slot)?;
+            }
+            writer.flush()?;
+        }
+        Record::Done {
+            session: id,
+            status,
+            message,
+        } => {
+            let slot = &mut slots[slot_of(id)?];
+            slot.settled = true;
+            if status != STATUS_OK {
+                slot.error
+                    .get_or_insert(format!("server status {status}: {message}"));
+            } else if !slot.session.is_done() {
+                slot.error.get_or_insert_with(|| {
+                    "server finished but the local session is incomplete".into()
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Sends everything `slot`'s Alice half can currently say.
+fn pump_slot(
+    writer: &mut BufWriter<TcpStream>,
+    report: &mut BatchReport,
+    slot: &mut ClientSlot<'_>,
+) -> Result<(), NetError> {
+    if slot.error.is_some() {
+        return Ok(());
+    }
+    loop {
+        match slot.session.poll_send() {
+            Ok(Some(frame)) => {
+                slot.transcript
+                    .record_from(Party::Alice, frame.label.clone(), frame.bit_len);
+                report.frames_out += 1;
+                report.wire_bytes_out += write_record(
+                    writer,
+                    &Record::Frame {
+                        session: slot.id,
+                        frame,
+                    },
+                )?;
+            }
+            Ok(None) => return Ok(()),
+            Err(e) => return abandon(writer, report, slot, e),
+        }
+    }
+}
+
+/// Marks the session failed locally and tells the server to drop its
+/// half, so a Bob blocked on this Alice cannot wedge the connection.
+fn abandon(
+    writer: &mut BufWriter<TcpStream>,
+    report: &mut BatchReport,
+    slot: &mut ClientSlot<'_>,
+    error: String,
+) -> Result<(), NetError> {
+    report.wire_bytes_out += write_record(
+        writer,
+        &Record::Done {
+            session: slot.id,
+            status: STATUS_SESSION_ERROR,
+            message: error.clone(),
+        },
+    )?;
+    slot.error = Some(error);
+    slot.settled = true;
+    Ok(())
+}

@@ -1,0 +1,462 @@
+//! The length-prefixed record codec every `rsr-net` transport speaks.
+//!
+//! A TCP stream carries a sequence of *records*, each one length-prefixed
+//! so a reader can frame the stream without understanding its contents:
+//!
+//! ```text
+//! u32  body_len   big-endian count of the bytes that follow
+//! u8   kind       0 = OPEN, 1 = FRAME, 2 = DONE
+//! u64  session    session id (multiplexing key), big-endian
+//! ...  kind-specific body (see below)
+//! ```
+//!
+//! * `OPEN` — no further body. The client announces a session so the
+//!   server can create its half and speak first if the protocol starts
+//!   server-side (the Gap protocol's round 1 is Bob's).
+//! * `FRAME` — `u16` label length, the UTF-8 label, `u64` exact bit
+//!   length, then the payload bytes (exactly `bit_len.div_ceil(8)` of
+//!   them). This is a [`Frame`] as the session layer knows it; the label
+//!   and bit length travel so the receiving side's transcript accounting
+//!   is identical to the sender's.
+//! * `DONE` — `u8` status ([`STATUS_OK`], [`STATUS_SESSION_ERROR`],
+//!   [`STATUS_UNKNOWN_SESSION`]), `u16` message length, UTF-8 message.
+//!   Sent by the server when a session's server half finishes (or fails),
+//!   and by the client to abandon a session it cannot continue.
+//!
+//! Decoding is strict: a record whose body disagrees with its length
+//! prefix, whose frame payload disagrees with its bit length, or whose
+//! claimed length exceeds [`MAX_RECORD_BYTES`] is a [`NetError`], never a
+//! silent truncation — and the oversize check runs *before* any
+//! allocation, so a hostile length prefix cannot balloon memory.
+
+use rsr_core::channel::Frame;
+use std::borrow::Cow;
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Upper bound on one record's body (64 MiB). Far above any real frame
+/// (the protocols' messages are `O(k·d·log n)` bits) while keeping a
+/// malformed or hostile length prefix from driving a huge allocation.
+pub const MAX_RECORD_BYTES: u32 = 1 << 26;
+
+/// `DONE` status: the server half of the session completed.
+pub const STATUS_OK: u8 = 0;
+/// `DONE` status: a session reported a protocol error.
+pub const STATUS_SESSION_ERROR: u8 = 1;
+/// `DONE` status: the session id is not known to the server's factory.
+pub const STATUS_UNKNOWN_SESSION: u8 = 2;
+
+const KIND_OPEN: u8 = 0;
+const KIND_FRAME: u8 = 1;
+const KIND_DONE: u8 = 2;
+
+/// Everything that can go wrong on an `rsr-net` transport.
+#[derive(Debug)]
+pub enum NetError {
+    /// The underlying stream failed.
+    Io(io::Error),
+    /// The byte stream violates the record grammar.
+    Malformed(&'static str),
+    /// A length prefix claims a body larger than [`MAX_RECORD_BYTES`].
+    Oversized {
+        /// The claimed body length.
+        claimed: u32,
+    },
+    /// A record kind byte this codec does not know.
+    UnknownKind(u8),
+    /// The remote endpoint reported a session failure via `DONE`.
+    Remote {
+        /// The session the failure belongs to.
+        session: u64,
+        /// The remote error message.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "transport i/o error: {e}"),
+            NetError::Malformed(what) => write!(f, "malformed record stream: {what}"),
+            NetError::Oversized { claimed } => write!(
+                f,
+                "record body of {claimed} bytes exceeds the {MAX_RECORD_BYTES}-byte cap"
+            ),
+            NetError::UnknownKind(kind) => write!(f, "unknown record kind {kind:#04x}"),
+            NetError::Remote { session, message } => {
+                write!(f, "remote failure on session {session}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            NetError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for NetError {
+    fn from(e: io::Error) -> Self {
+        NetError::Io(e)
+    }
+}
+
+/// One unit of the connection protocol.
+#[derive(Clone, Debug)]
+pub enum Record {
+    /// Client announces a session; the server creates its half.
+    Open {
+        /// The session being opened.
+        session: u64,
+    },
+    /// One protocol frame, tagged with its session.
+    Frame {
+        /// The session the frame belongs to.
+        session: u64,
+        /// The session-layer frame, label and exact bit length included.
+        frame: Frame,
+    },
+    /// A session's sender is finished with it (status [`STATUS_OK`]) or
+    /// had to give up on it (any other status).
+    Done {
+        /// The session being closed.
+        session: u64,
+        /// One of the `STATUS_*` codes.
+        status: u8,
+        /// Human-readable detail for non-OK statuses.
+        message: String,
+    },
+}
+
+impl Record {
+    /// The session id every record variant carries.
+    pub fn session(&self) -> u64 {
+        match *self {
+            Record::Open { session }
+            | Record::Frame { session, .. }
+            | Record::Done { session, .. } => session,
+        }
+    }
+
+    fn body_len(&self) -> usize {
+        1 + 8
+            + match self {
+                Record::Open { .. } => 0,
+                Record::Frame { frame, .. } => 2 + frame.label.len() + 8 + frame.payload.len(),
+                Record::Done { message, .. } => 1 + 2 + message.len(),
+            }
+    }
+
+    /// Bytes this record occupies on the wire, length prefix included.
+    pub fn wire_len(&self) -> u64 {
+        4 + self.body_len() as u64
+    }
+}
+
+/// Writes one record. Returns the wire bytes written (prefix included).
+/// Does not flush; callers flush before blocking on a read. Every
+/// validation failure happens *before* the first byte is written, so an
+/// unencodable record never leaves a half-emitted header corrupting the
+/// stream for its successors.
+pub fn write_record<W: Write>(w: &mut W, record: &Record) -> Result<u64, NetError> {
+    let body_len = record.body_len();
+    if body_len > MAX_RECORD_BYTES as usize {
+        return Err(NetError::Oversized {
+            claimed: body_len.min(u32::MAX as usize) as u32,
+        });
+    }
+    match record {
+        Record::Open { .. } => {}
+        Record::Frame { frame, .. } => {
+            if frame.label.len() > u16::MAX as usize {
+                return Err(NetError::Malformed("frame label longer than u16"));
+            }
+            debug_assert_eq!(frame.payload.len() as u64, frame.bit_len.div_ceil(8));
+        }
+        Record::Done { message, .. } => {
+            if message.len() > u16::MAX as usize {
+                return Err(NetError::Malformed("done message longer than u16"));
+            }
+        }
+    }
+    w.write_all(&(body_len as u32).to_be_bytes())?;
+    match record {
+        Record::Open { session } => {
+            w.write_all(&[KIND_OPEN])?;
+            w.write_all(&session.to_be_bytes())?;
+        }
+        Record::Frame { session, frame } => {
+            let label = frame.label.as_bytes();
+            w.write_all(&[KIND_FRAME])?;
+            w.write_all(&session.to_be_bytes())?;
+            w.write_all(&(label.len() as u16).to_be_bytes())?;
+            w.write_all(label)?;
+            w.write_all(&frame.bit_len.to_be_bytes())?;
+            w.write_all(&frame.payload)?;
+        }
+        Record::Done {
+            session,
+            status,
+            message,
+        } => {
+            w.write_all(&[KIND_DONE])?;
+            w.write_all(&session.to_be_bytes())?;
+            w.write_all(&[*status])?;
+            w.write_all(&(message.len() as u16).to_be_bytes())?;
+            w.write_all(message.as_bytes())?;
+        }
+    }
+    Ok(4 + body_len as u64)
+}
+
+/// Reads one record. Returns `Ok(None)` on a clean end of stream (EOF at
+/// a record boundary); EOF anywhere else is `Malformed`, a length prefix
+/// over [`MAX_RECORD_BYTES`] is `Oversized` (detected before allocating).
+/// On success also returns the wire bytes consumed.
+pub fn read_record<R: Read>(r: &mut R) -> Result<Option<(Record, u64)>, NetError> {
+    let mut prefix = [0u8; 4];
+    match read_full(r, &mut prefix)? {
+        0 => return Ok(None),
+        4 => {}
+        _ => return Err(NetError::Malformed("truncated length prefix")),
+    }
+    let body_len = u32::from_be_bytes(prefix);
+    if body_len > MAX_RECORD_BYTES {
+        return Err(NetError::Oversized { claimed: body_len });
+    }
+    if body_len < 9 {
+        return Err(NetError::Malformed("record body shorter than its header"));
+    }
+    let mut body = vec![0u8; body_len as usize];
+    if read_full(r, &mut body)? != body.len() {
+        return Err(NetError::Malformed("truncated record body"));
+    }
+    let record = parse_body(&body)?;
+    Ok(Some((record, 4 + body_len as u64)))
+}
+
+/// Reads until `buf` is full or EOF; returns the bytes read.
+fn read_full<R: Read>(r: &mut R, buf: &mut [u8]) -> Result<usize, NetError> {
+    let mut filled = 0;
+    while filled < buf.len() {
+        match r.read(&mut buf[filled..]) {
+            Ok(0) => break,
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(NetError::Io(e)),
+        }
+    }
+    Ok(filled)
+}
+
+fn parse_body(body: &[u8]) -> Result<Record, NetError> {
+    let mut cur = Cursor(body);
+    let kind = cur.u8().expect("length checked");
+    let session = cur.u64().expect("length checked");
+    const TRUNCATED: NetError = NetError::Malformed("record body ends mid-field");
+    let record = match kind {
+        KIND_OPEN => {
+            if !cur.rest().is_empty() {
+                return Err(NetError::Malformed("trailing bytes after open record"));
+            }
+            Record::Open { session }
+        }
+        KIND_FRAME => {
+            let label_len = cur.u16().ok_or(TRUNCATED)? as usize;
+            let label = cur.bytes(label_len).ok_or(TRUNCATED)?;
+            let label = std::str::from_utf8(label)
+                .map_err(|_| NetError::Malformed("frame label is not utf-8"))?
+                .to_owned();
+            let bit_len = cur.u64().ok_or(TRUNCATED)?;
+            let payload = cur.rest().to_vec();
+            if payload.len() as u64 != bit_len.div_ceil(8) {
+                return Err(NetError::Malformed(
+                    "frame payload length disagrees with its bit length",
+                ));
+            }
+            Record::Frame {
+                session,
+                frame: Frame {
+                    label: Cow::Owned(label),
+                    payload,
+                    bit_len,
+                },
+            }
+        }
+        KIND_DONE => {
+            let status = cur.u8().ok_or(TRUNCATED)?;
+            let msg_len = cur.u16().ok_or(TRUNCATED)? as usize;
+            let message = cur.bytes(msg_len).ok_or(TRUNCATED)?;
+            let message = std::str::from_utf8(message)
+                .map_err(|_| NetError::Malformed("done message is not utf-8"))?
+                .to_owned();
+            if !cur.rest().is_empty() {
+                return Err(NetError::Malformed("trailing bytes after done record"));
+            }
+            Record::Done {
+                session,
+                status,
+                message,
+            }
+        }
+        other => return Err(NetError::UnknownKind(other)),
+    };
+    Ok(record)
+}
+
+/// A tiny byte cursor; every accessor returns `None` past the end.
+struct Cursor<'a>(&'a [u8]);
+
+impl<'a> Cursor<'a> {
+    fn bytes(&mut self, n: usize) -> Option<&'a [u8]> {
+        let (head, tail) = self.0.split_at_checked(n)?;
+        self.0 = tail;
+        Some(head)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        Some(self.bytes(1)?[0])
+    }
+
+    fn u16(&mut self) -> Option<u16> {
+        Some(u16::from_be_bytes(self.bytes(2)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Option<u64> {
+        Some(u64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
+    }
+
+    fn rest(&mut self) -> &'a [u8] {
+        std::mem::take(&mut self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(record: Record) -> Record {
+        let mut buf = Vec::new();
+        let written = write_record(&mut buf, &record).expect("encodes");
+        assert_eq!(written, record.wire_len());
+        assert_eq!(written as usize, buf.len());
+        let mut r = &buf[..];
+        let (decoded, consumed) = read_record(&mut r).expect("decodes").expect("not eof");
+        assert_eq!(consumed, written);
+        assert!(r.is_empty());
+        decoded
+    }
+
+    #[test]
+    fn open_round_trips() {
+        match roundtrip(Record::Open { session: 42 }) {
+            Record::Open { session } => assert_eq!(session, 42),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frame_round_trips_label_payload_and_bit_len() {
+        let frame = Frame {
+            label: Cow::Borrowed("alice→bob: RIBLTs"),
+            payload: vec![0xAB, 0xCD, 0x80],
+            bit_len: 17,
+        };
+        match roundtrip(Record::Frame { session: 7, frame }) {
+            Record::Frame { session, frame } => {
+                assert_eq!(session, 7);
+                assert_eq!(frame.label, "alice→bob: RIBLTs");
+                assert_eq!(frame.payload, vec![0xAB, 0xCD, 0x80]);
+                assert_eq!(frame.bit_len, 17);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn done_round_trips() {
+        let rec = Record::Done {
+            session: u64::MAX,
+            status: STATUS_SESSION_ERROR,
+            message: "no RIBLT level decoded".into(),
+        };
+        match roundtrip(rec) {
+            Record::Done {
+                session,
+                status,
+                message,
+            } => {
+                assert_eq!(session, u64::MAX);
+                assert_eq!(status, STATUS_SESSION_ERROR);
+                assert_eq!(message, "no RIBLT level decoded");
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn open_record_with_trailing_bytes_is_malformed() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::Open { session: 3 }).unwrap();
+        buf.push(0xEE);
+        let new_len = (buf.len() as u32 - 4).to_be_bytes();
+        buf[..4].copy_from_slice(&new_len);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_record(&mut r),
+            Err(NetError::Malformed("trailing bytes after open record"))
+        ));
+    }
+
+    #[test]
+    fn unencodable_record_writes_nothing() {
+        // An oversized DONE message must fail before the length prefix,
+        // or it would leave a headless record corrupting the stream.
+        let mut buf = Vec::new();
+        let rec = Record::Done {
+            session: 1,
+            status: STATUS_SESSION_ERROR,
+            message: "x".repeat(u16::MAX as usize + 1),
+        };
+        assert!(matches!(
+            write_record(&mut buf, &rec),
+            Err(NetError::Malformed("done message longer than u16"))
+        ));
+        assert!(buf.is_empty(), "no bytes may precede validation");
+    }
+
+    #[test]
+    fn eof_at_record_boundary_is_none() {
+        let mut empty: &[u8] = &[];
+        assert!(read_record(&mut empty).expect("clean eof").is_none());
+    }
+
+    #[test]
+    fn concatenated_records_frame_correctly() {
+        let mut buf = Vec::new();
+        write_record(&mut buf, &Record::Open { session: 1 }).unwrap();
+        write_record(
+            &mut buf,
+            &Record::Done {
+                session: 1,
+                status: STATUS_OK,
+                message: String::new(),
+            },
+        )
+        .unwrap();
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_record(&mut r).unwrap().unwrap().0,
+            Record::Open { session: 1 }
+        ));
+        assert!(matches!(
+            read_record(&mut r).unwrap().unwrap().0,
+            Record::Done { session: 1, .. }
+        ));
+        assert!(read_record(&mut r).unwrap().is_none());
+    }
+}

@@ -1,0 +1,40 @@
+//! A real TCP transport behind `rsr-core`'s [`Channel`] trait, plus a
+//! multi-session reconciliation server and client.
+//!
+//! PR 2 split every protocol into Alice/Bob session state machines that
+//! only exchange byte-exact [`Frame`](rsr_core::channel::Frame)s over a
+//! [`Channel`](rsr_core::channel::Channel); this crate is the first real
+//! transport behind that seam. Three layers, std-only:
+//!
+//! * [`codec`] — the length-prefixed record grammar: every record carries
+//!   a session id, and a `FRAME` record carries a session-layer `Frame`
+//!   (label, payload, exact bit length) verbatim, so transcript
+//!   accounting on the two endpoints agrees bit for bit.
+//! * [`TcpChannel`] — one endpoint of a point-to-point connection,
+//!   implementing `Channel` over `std::net::TcpStream`. Each process
+//!   runs its own party's session with
+//!   [`drive_channel`](rsr_core::session::drive_channel); the sessions
+//!   themselves are unchanged from the in-memory path.
+//! * [`ReconServer`] / [`ReconClient`] — many concurrent sessions
+//!   multiplexed over **one** connection. The server holds the Bob half
+//!   of every session (created on demand by a [`SessionFactory`]) in a
+//!   thread-per-connection accept loop; the client batches N Alice
+//!   sessions and interleaves their frames. Both sides keep per-session
+//!   [`Transcript`](rsr_core::transcript::Transcript)s and
+//!   per-connection byte counters that must — and are tested to — agree
+//!   with the in-memory driver's accounting.
+//!
+//! See `docs/transport.md` for the wire layout and error-handling rules.
+
+pub mod client;
+pub mod codec;
+pub mod server;
+pub mod tcp;
+
+pub use client::{BatchReport, ReconClient, SessionReport};
+pub use codec::{
+    read_record, write_record, NetError, Record, MAX_RECORD_BYTES, STATUS_OK, STATUS_SESSION_ERROR,
+    STATUS_UNKNOWN_SESSION,
+};
+pub use server::{ConnectionReport, NetSession, ReconServer, SessionFactory, SessionSummary};
+pub use tcp::TcpChannel;

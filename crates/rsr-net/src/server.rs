@@ -1,0 +1,363 @@
+//! [`ReconServer`]: many reconciliation sessions multiplexed over each
+//! accepted connection.
+//!
+//! The server plays **Bob** for every session. A [`SessionFactory`]
+//! supplies the Bob half on demand: when a connection `OPEN`s a session
+//! id (or sends its first `FRAME` for one), the factory builds the
+//! session, the server pumps everything Bob can say immediately — for
+//! Bob-initiated protocols like the Gap protocol that is round 1 — and
+//! from then on frames are routed by session id. When a session's Bob
+//! half finishes, the server reports `DONE` with [`STATUS_OK`]; a
+//! protocol error is reported with [`STATUS_SESSION_ERROR`] and the
+//! session dropped, leaving every other session on the connection
+//! untouched. An id the factory does not know gets
+//! [`STATUS_UNKNOWN_SESSION`].
+//!
+//! Each connection runs in its own thread (`serve`), or inline on the
+//! caller's thread (`serve_one`); either way the handler keeps one
+//! [`Transcript`] per session — entry-for-entry what the in-memory driver
+//! would have recorded — plus whole-connection frame and wire-byte
+//! counters, returned as a [`ConnectionReport`].
+
+use crate::codec::{
+    read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR,
+    STATUS_UNKNOWN_SESSION,
+};
+use rsr_core::channel::Frame;
+use rsr_core::session::Session;
+use rsr_core::transcript::{Party, Transcript};
+use std::collections::HashMap;
+use std::fmt;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::Arc;
+use std::thread;
+
+/// A [`Session`] with its error type erased to `String`, so one server
+/// can hold sessions of different protocols behind one object type.
+/// Blanket-implemented for every `Session` whose error displays.
+pub trait NetSession {
+    /// See [`Session::poll_send`].
+    fn poll_send(&mut self) -> Result<Option<Frame>, String>;
+    /// See [`Session::on_frame`].
+    fn on_frame(&mut self, frame: Frame) -> Result<(), String>;
+    /// See [`Session::is_done`].
+    fn is_done(&self) -> bool;
+}
+
+impl<S> NetSession for S
+where
+    S: Session,
+    S::Error: fmt::Display,
+{
+    fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+        Session::poll_send(self).map_err(|e| e.to_string())
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
+        Session::on_frame(self, frame).map_err(|e| e.to_string())
+    }
+
+    fn is_done(&self) -> bool {
+        Session::is_done(self)
+    }
+}
+
+/// Builds the server-side (Bob) half of a session on demand. The boxed
+/// session may borrow from the factory — protocol objects and point sets
+/// live in the factory, sessions are views over them.
+pub trait SessionFactory: Send + Sync {
+    /// The Bob session for `session_id`, or `None` if the id is unknown.
+    fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>>;
+}
+
+/// One session's server-side record within a [`ConnectionReport`].
+#[derive(Clone, Debug)]
+pub struct SessionSummary {
+    /// The session id the connection used.
+    pub id: u64,
+    /// Every frame that crossed the connection for this session, both
+    /// directions, with measured bit sizes — the same transcript the
+    /// in-memory driver would produce.
+    pub transcript: Transcript,
+    /// `None` if the session completed; the protocol or protocol-order
+    /// error otherwise.
+    pub error: Option<String>,
+}
+
+/// Aggregate accounting for one served connection.
+#[derive(Debug, Default)]
+pub struct ConnectionReport {
+    /// Per-session summaries, in the order sessions were opened.
+    pub sessions: Vec<SessionSummary>,
+    /// Frames received from the client (all sessions).
+    pub frames_in: usize,
+    /// Frames sent to the client (all sessions).
+    pub frames_out: usize,
+    /// Raw bytes read from the socket, record headers included.
+    pub wire_bytes_in: u64,
+    /// Raw bytes written to the socket, record headers included.
+    pub wire_bytes_out: u64,
+}
+
+impl ConnectionReport {
+    /// Sessions that ran to completion.
+    pub fn completed(&self) -> usize {
+        self.sessions.iter().filter(|s| s.error.is_none()).count()
+    }
+
+    /// Sessions that ended in an error.
+    pub fn failed(&self) -> usize {
+        self.sessions.len() - self.completed()
+    }
+
+    /// Total payload bits across every session transcript; the wire-byte
+    /// counters exceed the byte form of this only by record headers.
+    pub fn payload_bits(&self) -> u64 {
+        self.sessions
+            .iter()
+            .map(|s| s.transcript.total_bits())
+            .sum()
+    }
+}
+
+struct Slot<'f> {
+    session: Box<dyn NetSession + 'f>,
+    transcript: Transcript,
+    error: Option<String>,
+    /// A `DONE` has been sent; the session no longer accepts frames.
+    closed: bool,
+}
+
+/// Serves every session the client multiplexes onto `stream`, until the
+/// client closes the connection. Returns the per-connection accounting;
+/// `Err` only for transport-level failures (the connection is then dead),
+/// never for per-session protocol errors.
+pub fn handle_connection<F: SessionFactory + ?Sized>(
+    factory: &F,
+    stream: TcpStream,
+) -> Result<ConnectionReport, NetError> {
+    stream.set_nodelay(true).ok();
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut slots: HashMap<u64, Slot<'_>> = HashMap::new();
+    let mut order: Vec<u64> = Vec::new();
+    let mut report = ConnectionReport::default();
+    loop {
+        // Everything queued goes out before we block on the client.
+        writer.flush()?;
+        let Some((record, n)) = read_record(&mut reader)? else {
+            break;
+        };
+        report.wire_bytes_in += n;
+        match record {
+            Record::Open { session: id } => {
+                if slots.contains_key(&id) {
+                    send_done(
+                        &mut writer,
+                        &mut report,
+                        id,
+                        STATUS_SESSION_ERROR,
+                        "session opened twice",
+                    )?;
+                    continue;
+                }
+                match factory.open(id) {
+                    Some(session) => {
+                        order.push(id);
+                        let mut slot = Slot {
+                            session,
+                            transcript: Transcript::new(),
+                            error: None,
+                            closed: false,
+                        };
+                        pump(&mut writer, &mut report, id, &mut slot)?;
+                        slots.insert(id, slot);
+                    }
+                    None => send_done(
+                        &mut writer,
+                        &mut report,
+                        id,
+                        STATUS_UNKNOWN_SESSION,
+                        "unknown session id",
+                    )?,
+                }
+            }
+            Record::Frame { session: id, frame } => {
+                // A first frame without OPEN implicitly opens the session
+                // (Alice-initiated protocols over a bare TcpChannel).
+                if let std::collections::hash_map::Entry::Vacant(entry) = slots.entry(id) {
+                    match factory.open(id) {
+                        Some(session) => {
+                            order.push(id);
+                            entry.insert(Slot {
+                                session,
+                                transcript: Transcript::new(),
+                                error: None,
+                                closed: false,
+                            });
+                        }
+                        None => {
+                            send_done(
+                                &mut writer,
+                                &mut report,
+                                id,
+                                STATUS_UNKNOWN_SESSION,
+                                "unknown session id",
+                            )?;
+                            continue;
+                        }
+                    }
+                }
+                let slot = slots.get_mut(&id).expect("just ensured");
+                if slot.closed {
+                    // Stale frame for a finished/failed session: drop it.
+                    continue;
+                }
+                report.frames_in += 1;
+                slot.transcript
+                    .record_from(Party::Alice, frame.label.clone(), frame.bit_len);
+                if let Err(e) = slot.session.on_frame(frame) {
+                    slot.error = Some(e.clone());
+                    slot.closed = true;
+                    send_done(&mut writer, &mut report, id, STATUS_SESSION_ERROR, &e)?;
+                    continue;
+                }
+                pump(&mut writer, &mut report, id, slot)?;
+            }
+            Record::Done { session: id, .. } => {
+                // The client gave up on the session; drop our half.
+                if let Some(slot) = slots.get_mut(&id) {
+                    if !slot.closed {
+                        slot.closed = true;
+                        slot.error = Some("abandoned by client".into());
+                    }
+                }
+            }
+        }
+    }
+    writer.flush()?;
+    for id in order {
+        let slot = slots.remove(&id).expect("every opened id has a slot");
+        let error = match (&slot.error, slot.session.is_done()) {
+            (Some(e), _) => Some(e.clone()),
+            (None, true) => None,
+            (None, false) => Some("connection closed mid-session".into()),
+        };
+        report.sessions.push(SessionSummary {
+            id,
+            transcript: slot.transcript,
+            error,
+        });
+    }
+    Ok(report)
+}
+
+/// Sends everything the slot's session can say, then `DONE` if that
+/// finished it.
+fn pump(
+    writer: &mut BufWriter<TcpStream>,
+    report: &mut ConnectionReport,
+    id: u64,
+    slot: &mut Slot<'_>,
+) -> Result<(), NetError> {
+    loop {
+        match slot.session.poll_send() {
+            Ok(Some(frame)) => {
+                slot.transcript
+                    .record_from(Party::Bob, frame.label.clone(), frame.bit_len);
+                report.frames_out += 1;
+                report.wire_bytes_out +=
+                    write_record(writer, &Record::Frame { session: id, frame })?;
+            }
+            Ok(None) => break,
+            Err(e) => {
+                slot.error = Some(e.clone());
+                slot.closed = true;
+                send_done(writer, report, id, STATUS_SESSION_ERROR, &e)?;
+                return Ok(());
+            }
+        }
+    }
+    if slot.session.is_done() && !slot.closed {
+        slot.closed = true;
+        send_done(writer, report, id, STATUS_OK, "")?;
+    }
+    Ok(())
+}
+
+fn send_done(
+    writer: &mut BufWriter<TcpStream>,
+    report: &mut ConnectionReport,
+    id: u64,
+    status: u8,
+    message: &str,
+) -> Result<(), NetError> {
+    report.wire_bytes_out += write_record(
+        writer,
+        &Record::Done {
+            session: id,
+            status,
+            message: message.to_owned(),
+        },
+    )?;
+    Ok(())
+}
+
+/// A listening reconciliation server: one [`SessionFactory`] shared by
+/// every connection, one thread (or inline call) per connection.
+pub struct ReconServer<F: SessionFactory> {
+    listener: TcpListener,
+    factory: Arc<F>,
+}
+
+impl<F: SessionFactory> ReconServer<F> {
+    /// Binds `addr` (use port 0 for an ephemeral port).
+    pub fn bind(addr: impl ToSocketAddrs, factory: Arc<F>) -> io::Result<ReconServer<F>> {
+        Ok(ReconServer {
+            listener: TcpListener::bind(addr)?,
+            factory,
+        })
+    }
+
+    /// The bound address — needed after binding port 0.
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts one connection and serves it to completion on the calling
+    /// thread.
+    pub fn serve_one(&self) -> Result<ConnectionReport, NetError> {
+        let (stream, _peer) = self.listener.accept()?;
+        handle_connection(&*self.factory, stream)
+    }
+}
+
+impl<F: SessionFactory + 'static> ReconServer<F> {
+    /// Accept loop: a thread per connection, at most `max_conns`
+    /// connections (`None` = until the listener fails). A bounded loop
+    /// joins its connection threads before returning; the run-forever
+    /// mode detaches them (an unbounded handle list would grow with
+    /// every connection ever accepted). Connection reports are discarded
+    /// here — use [`ReconServer::serve_one`] when the caller wants them.
+    pub fn serve(&self, max_conns: Option<usize>) -> io::Result<()> {
+        let mut handles = Vec::new();
+        for (accepted, conn) in self.listener.incoming().enumerate() {
+            let stream = conn?;
+            let factory = Arc::clone(&self.factory);
+            let handle = thread::spawn(move || {
+                let _ = handle_connection(&*factory, stream);
+            });
+            if let Some(max) = max_conns {
+                handles.push(handle);
+                if accepted + 1 >= max {
+                    break;
+                }
+            }
+        }
+        for handle in handles {
+            let _ = handle.join();
+        }
+        Ok(())
+    }
+}

@@ -1,0 +1,294 @@
+//! [`TcpChannel`]: one endpoint of a point-to-point socket connection,
+//! implementing `rsr-core`'s [`Channel`] trait so the existing protocol
+//! sessions run unmodified across a network.
+//!
+//! A `TcpChannel` is *one party's* end: `send` writes `FRAME` records to
+//! the socket, `recv` blocks until the peer's next frame arrives. Each
+//! process drives its own session with
+//! [`drive_channel`](rsr_core::session::drive_channel); the peer process
+//! does the same with the opposite party. Because the [`Channel`] trait
+//! has no error channel of its own, transport failures are latched: the
+//! first error makes `recv` return `None` (which the driver surfaces as
+//! `DriveError::Stalled`) and [`TcpChannel::take_error`] tells the caller
+//! why.
+
+use crate::codec::{read_record, write_record, NetError, Record, STATUS_OK};
+use rsr_core::channel::{Channel, ChannelCounters, Frame};
+use rsr_core::transcript::Party;
+use std::io::{self, BufReader, BufWriter, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A [`Channel`] endpoint over one `TcpStream`, speaking the record
+/// grammar of [`crate::codec`] with a fixed session id (0 unless
+/// [`TcpChannel::with_session`] changes it).
+#[derive(Debug)]
+pub struct TcpChannel {
+    me: Party,
+    session: u64,
+    reader: BufReader<TcpStream>,
+    writer: BufWriter<TcpStream>,
+    sent: ChannelCounters,
+    received: ChannelCounters,
+    wire_bytes_out: u64,
+    wire_bytes_in: u64,
+    error: Option<NetError>,
+}
+
+impl TcpChannel {
+    /// Connects to `addr` and becomes party `me` on the new connection.
+    pub fn connect(addr: impl ToSocketAddrs, me: Party) -> io::Result<TcpChannel> {
+        TcpChannel::from_stream(TcpStream::connect(addr)?, me)
+    }
+
+    /// Wraps an accepted or connected stream as party `me`.
+    pub fn from_stream(stream: TcpStream, me: Party) -> io::Result<TcpChannel> {
+        // Frames are request/response-sized, not bulk: never Nagle-delay.
+        stream.set_nodelay(true).ok();
+        let reader = BufReader::new(stream.try_clone()?);
+        Ok(TcpChannel {
+            me,
+            session: 0,
+            reader,
+            writer: BufWriter::new(stream),
+            sent: ChannelCounters::new(),
+            received: ChannelCounters::new(),
+            wire_bytes_out: 0,
+            wire_bytes_in: 0,
+            error: None,
+        })
+    }
+
+    /// Tags every outgoing frame with `session` and accepts only incoming
+    /// frames so tagged (default 0).
+    pub fn with_session(mut self, session: u64) -> TcpChannel {
+        self.session = session;
+        self
+    }
+
+    /// Bounds how long `recv` blocks before latching a timeout error.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
+    }
+
+    /// The party this endpoint plays.
+    pub fn party(&self) -> Party {
+        self.me
+    }
+
+    /// Totals over frames written to the socket (payload accounting, the
+    /// same quantities a [`Transcript`](rsr_core::transcript::Transcript)
+    /// measures).
+    pub fn sent(&self) -> &ChannelCounters {
+        &self.sent
+    }
+
+    /// Totals over frames read from the socket.
+    pub fn received(&self) -> &ChannelCounters {
+        &self.received
+    }
+
+    /// Raw wire bytes `(out, in)` including record headers — what the
+    /// network actually carried, as opposed to the payload counters.
+    pub fn wire_bytes(&self) -> (u64, u64) {
+        (self.wire_bytes_out, self.wire_bytes_in)
+    }
+
+    /// The latched transport error, if any, leaving it in place.
+    pub fn last_error(&self) -> Option<&NetError> {
+        self.error.as_ref()
+    }
+
+    /// Takes the latched transport error. After any error the channel is
+    /// dead: sends are dropped and `recv` keeps returning `None`.
+    pub fn take_error(&mut self) -> Option<NetError> {
+        self.error.take()
+    }
+
+    fn latch(&mut self, e: NetError) {
+        if self.error.is_none() {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl Channel for TcpChannel {
+    fn send(&mut self, from: Party, frame: Frame) {
+        if from != self.me {
+            self.latch(NetError::Malformed(
+                "send() for the remote party on a TcpChannel endpoint",
+            ));
+            return;
+        }
+        if self.error.is_some() {
+            return;
+        }
+        self.sent.note(&frame);
+        let record = Record::Frame {
+            session: self.session,
+            frame,
+        };
+        match write_record(&mut self.writer, &record) {
+            Ok(n) => {
+                self.wire_bytes_out += n;
+                if let Err(e) = self.writer.flush() {
+                    self.latch(NetError::Io(e));
+                }
+            }
+            Err(e) => self.latch(e),
+        }
+    }
+
+    fn recv(&mut self, to: Party) -> Option<Frame> {
+        if to != self.me || self.error.is_some() {
+            return None;
+        }
+        match read_record(&mut self.reader) {
+            Ok(None) => None, // clean shutdown by the peer
+            Ok(Some((record, n))) => {
+                self.wire_bytes_in += n;
+                match record {
+                    Record::Frame { session, frame } if session == self.session => {
+                        self.received.note(&frame);
+                        Some(frame)
+                    }
+                    Record::Frame { .. } => {
+                        self.latch(NetError::Malformed(
+                            "frame for a different session on a single-session channel",
+                        ));
+                        None
+                    }
+                    Record::Open { .. } => {
+                        self.latch(NetError::Malformed(
+                            "open record on a single-session channel",
+                        ));
+                        None
+                    }
+                    Record::Done {
+                        session,
+                        status,
+                        message,
+                    } => {
+                        // The peer closed the session; an error status
+                        // carries the reason out of band.
+                        if status != STATUS_OK {
+                            self.latch(NetError::Remote { session, message });
+                        }
+                        None
+                    }
+                }
+            }
+            Err(e) => {
+                self.latch(e);
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_core::session::{drive_channel, Session};
+    use rsr_iblt::bits::BitWriter;
+    use std::net::TcpListener;
+
+    /// Echoes `pings` frames: sends one, waits for the peer's, repeat.
+    struct PingPong {
+        name: &'static str,
+        to_send: usize,
+        to_recv: usize,
+        my_turn: bool,
+    }
+
+    impl Session for PingPong {
+        type Error = String;
+
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            if self.my_turn && self.to_send > 0 {
+                self.to_send -= 1;
+                self.my_turn = false;
+                let mut w = BitWriter::new();
+                w.write(self.to_send as u64, 24);
+                return Ok(Some(Frame::seal(self.name, w)));
+            }
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
+            if frame.bit_len != 24 {
+                return Err(format!("unexpected frame: {}", frame.label));
+            }
+            self.to_recv -= 1;
+            self.my_turn = true;
+            Ok(())
+        }
+
+        fn is_done(&self) -> bool {
+            self.to_send == 0 && self.to_recv == 0
+        }
+    }
+
+    #[test]
+    fn ping_pong_across_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut ch = TcpChannel::from_stream(stream, Party::Bob).unwrap();
+            let mut bob = PingPong {
+                name: "pong",
+                to_send: 3,
+                to_recv: 3,
+                my_turn: false,
+            };
+            let t = drive_channel(&mut ch, Party::Bob, &mut bob).expect("bob completes");
+            (t, ch.sent().bits, ch.received().bits)
+        });
+        let mut ch = TcpChannel::connect(addr, Party::Alice).unwrap();
+        let mut alice = PingPong {
+            name: "ping",
+            to_send: 3,
+            to_recv: 3,
+            my_turn: true,
+        };
+        let t_alice = drive_channel(&mut ch, Party::Alice, &mut alice).expect("alice completes");
+        let (t_bob, bob_sent, bob_received) = server.join().unwrap();
+
+        // Six frames alternating: both transcripts see all of them.
+        assert_eq!(t_alice.num_messages(), 6);
+        assert_eq!(t_bob.num_messages(), 6);
+        assert_eq!(t_alice.num_rounds(), 6);
+        assert_eq!(t_alice.total_bits(), 6 * 24);
+        assert_eq!(t_bob.total_bits(), 6 * 24);
+        // Channel counters agree with the transcripts, crosswise.
+        assert_eq!(ch.sent().bits, 3 * 24);
+        assert_eq!(ch.received().bits, bob_sent);
+        assert_eq!(bob_received, ch.sent().bits);
+        assert!(ch.last_error().is_none());
+    }
+
+    #[test]
+    fn peer_shutdown_surfaces_as_stall_not_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            drop(stream); // peer vanishes without a word
+        });
+        let mut ch = TcpChannel::connect(addr, Party::Alice).unwrap();
+        server.join().unwrap();
+        assert!(ch.recv(Party::Alice).is_none());
+        assert!(ch.take_error().is_none(), "clean EOF is not an error");
+    }
+
+    #[test]
+    fn sending_for_the_wrong_party_latches_an_error() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let _server = std::thread::spawn(move || listener.accept().map(|(s, _)| s));
+        let mut ch = TcpChannel::connect(addr, Party::Alice).unwrap();
+        ch.send(Party::Bob, Frame::seal("wrong", BitWriter::new()));
+        assert!(matches!(ch.take_error(), Some(NetError::Malformed(_))));
+    }
+}

@@ -1,0 +1,330 @@
+//! Malformed-stream behaviour: a broken, truncated, oversized, or
+//! out-of-contract byte stream must fail *cleanly* — a typed error or an
+//! error `DONE` status, never a panic, hang, or huge allocation.
+
+use rsr_core::channel::Frame;
+use rsr_core::session::{drive_channel, DriveError, Session};
+use rsr_core::transcript::Party;
+use rsr_net::{
+    read_record, write_record, NetError, ReconClient, ReconServer, Record, SessionFactory,
+    TcpChannel, MAX_RECORD_BYTES, STATUS_OK, STATUS_UNKNOWN_SESSION,
+};
+use std::io::Write;
+use std::net::{TcpListener, TcpStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn encoded(record: &Record) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_record(&mut buf, record).expect("encodes");
+    buf
+}
+
+fn open_record(session: u64) -> Vec<u8> {
+    encoded(&Record::Open { session })
+}
+
+// ---------------------------------------------------------------- codec
+
+#[test]
+fn truncated_length_prefix_is_malformed() {
+    // 2 of the 4 length-prefix bytes, then EOF.
+    let mut bytes: &[u8] = &open_record(1)[..2];
+    assert!(matches!(
+        read_record(&mut bytes),
+        Err(NetError::Malformed("truncated length prefix"))
+    ));
+}
+
+#[test]
+fn truncated_body_is_malformed() {
+    let full = open_record(1);
+    let mut bytes: &[u8] = &full[..full.len() - 3];
+    assert!(matches!(
+        read_record(&mut bytes),
+        Err(NetError::Malformed("truncated record body"))
+    ));
+}
+
+#[test]
+fn oversized_length_prefix_fails_before_allocating() {
+    // Claims a body just past the cap; only the 4 prefix bytes exist, so
+    // an implementation that allocated/read first would error differently
+    // (or OOM on u32::MAX) instead of rejecting by policy.
+    for claimed in [MAX_RECORD_BYTES + 1, u32::MAX] {
+        let mut bytes: &[u8] = &claimed.to_be_bytes();
+        match read_record(&mut bytes) {
+            Err(NetError::Oversized { claimed: got }) => assert_eq!(got, claimed),
+            other => panic!("expected Oversized, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn record_shorter_than_its_header_is_malformed() {
+    let mut bytes: &[u8] = &3u32.to_be_bytes();
+    assert!(matches!(
+        read_record(&mut bytes),
+        Err(NetError::Malformed(_))
+    ));
+}
+
+#[test]
+fn unknown_record_kind_is_rejected() {
+    let mut bytes = open_record(1);
+    bytes[4] = 0x7F; // corrupt the kind byte
+    let mut r: &[u8] = &bytes;
+    assert!(matches!(
+        read_record(&mut r),
+        Err(NetError::UnknownKind(0x7F))
+    ));
+}
+
+#[test]
+fn frame_payload_must_match_its_bit_length() {
+    let frame = Frame {
+        label: "m".into(),
+        payload: vec![0xFF; 4],
+        bit_len: 17, // needs 3 bytes, not 4
+    };
+    let mut bytes = Vec::new();
+    // The writer debug-asserts this invariant, so craft the bytes via a
+    // release-mode-compatible path: encode a valid record then break the
+    // declared bit length.
+    let mut valid = frame.clone();
+    valid.bit_len = 32;
+    write_record(
+        &mut bytes,
+        &Record::Frame {
+            session: 0,
+            frame: valid,
+        },
+    )
+    .unwrap();
+    // bit_len field sits right before the payload: last 4 payload bytes,
+    // preceded by 8 bit-length bytes.
+    let len = bytes.len();
+    bytes[len - 12..len - 4].copy_from_slice(&17u64.to_be_bytes());
+    let mut r: &[u8] = &bytes;
+    assert!(matches!(
+        read_record(&mut r),
+        Err(NetError::Malformed(
+            "frame payload length disagrees with its bit length"
+        ))
+    ));
+}
+
+#[test]
+fn non_utf8_label_is_rejected() {
+    let frame = Frame {
+        label: "ab".into(),
+        payload: vec![],
+        bit_len: 0,
+    };
+    let mut bytes = Vec::new();
+    write_record(&mut bytes, &Record::Frame { session: 0, frame }).unwrap();
+    // The two label bytes follow kind (1) + session (8) + label len (2).
+    bytes[4 + 11] = 0xFF;
+    bytes[4 + 12] = 0xFE;
+    let mut r: &[u8] = &bytes;
+    assert!(matches!(
+        read_record(&mut r),
+        Err(NetError::Malformed("frame label is not utf-8"))
+    ));
+}
+
+// ------------------------------------------------------------ transport
+
+#[test]
+fn tcp_channel_surfaces_truncation_as_stall_plus_error() {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let peer = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // Half a length prefix, then hang up mid-record.
+        stream.write_all(&[0, 0]).unwrap();
+    });
+    let mut ch = TcpChannel::connect(addr, Party::Alice).unwrap();
+    peer.join().unwrap();
+
+    /// Expects one frame that never (fully) arrives.
+    struct WaitingForever;
+    impl Session for WaitingForever {
+        type Error = String;
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            Ok(None)
+        }
+        fn on_frame(&mut self, _: Frame) -> Result<(), String> {
+            Ok(())
+        }
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+    let err = drive_channel(&mut ch, Party::Alice, &mut WaitingForever).unwrap_err();
+    assert_eq!(err, DriveError::Stalled);
+    assert!(matches!(
+        ch.take_error(),
+        Some(NetError::Malformed("truncated length prefix"))
+    ));
+}
+
+// --------------------------------------------------------------- server
+
+/// Accepts exactly one frame, sends nothing.
+struct OneFrameSink {
+    got: bool,
+}
+
+impl Session for OneFrameSink {
+    type Error = String;
+
+    fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+        Ok(None)
+    }
+
+    fn on_frame(&mut self, _: Frame) -> Result<(), String> {
+        self.got = true;
+        Ok(())
+    }
+
+    fn is_done(&self) -> bool {
+        self.got
+    }
+}
+
+/// Knows sessions 0..4 only.
+struct SmallFactory;
+
+impl SessionFactory for SmallFactory {
+    fn open(&self, session_id: u64) -> Option<Box<dyn rsr_net::NetSession + '_>> {
+        (session_id < 4)
+            .then(|| Box::new(OneFrameSink { got: false }) as Box<dyn rsr_net::NetSession>)
+    }
+}
+
+fn spawn_server() -> (std::net::SocketAddr, std::thread::JoinHandle<()>) {
+    let server = ReconServer::bind("127.0.0.1:0", Arc::new(SmallFactory)).unwrap();
+    let addr = server.local_addr().unwrap();
+    let handle = std::thread::spawn(move || {
+        let _ = server.serve_one();
+    });
+    (addr, handle)
+}
+
+#[test]
+fn unknown_session_id_gets_an_error_done_not_a_dead_connection() {
+    let (addr, server) = spawn_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // A frame for an unknown session, then a valid one: the server must
+    // answer the first with STATUS_UNKNOWN_SESSION and still serve the
+    // second.
+    let frame = Frame {
+        label: "m".into(),
+        payload: vec![0xAA],
+        bit_len: 8,
+    };
+    let mut bytes = encoded(&Record::Frame {
+        session: 99,
+        frame: frame.clone(),
+    });
+    bytes.extend(encoded(&Record::Frame { session: 2, frame }));
+    stream.write_all(&bytes).unwrap();
+
+    let (first, _) = read_record(&mut stream).unwrap().expect("a reply");
+    match first {
+        Record::Done {
+            session, status, ..
+        } => {
+            assert_eq!(session, 99);
+            assert_eq!(status, STATUS_UNKNOWN_SESSION);
+        }
+        other => panic!("expected DONE for session 99, got {other:?}"),
+    }
+    let (second, _) = read_record(&mut stream).unwrap().expect("a reply");
+    match second {
+        Record::Done {
+            session, status, ..
+        } => {
+            assert_eq!(session, 2);
+            assert_eq!(status, STATUS_OK);
+        }
+        other => panic!("expected DONE for session 2, got {other:?}"),
+    }
+    drop(stream);
+    server.join().unwrap();
+}
+
+#[test]
+fn garbage_stream_closes_the_connection_cleanly() {
+    let (addr, server) = spawn_server();
+    let mut stream = TcpStream::connect(addr).unwrap();
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // An oversized length prefix: the server must drop the connection
+    // (we observe EOF), not hang or allocate.
+    stream.write_all(&u32::MAX.to_be_bytes()).unwrap();
+    stream.write_all(&[0u8; 64]).unwrap();
+    assert!(
+        read_record(&mut stream).unwrap().is_none(),
+        "server should close the connection"
+    );
+    server.join().unwrap();
+}
+
+#[test]
+fn client_reports_unknown_sessions_without_poisoning_the_batch() {
+    let (addr, server) = spawn_server();
+    let client = ReconClient::connect(addr).unwrap();
+    client
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    // Session 7 is unknown to the factory; 0 and 1 are fine. The frame
+    // each sink expects comes from this one-frame Alice.
+    struct OneFrameSource {
+        sent: bool,
+    }
+    impl Session for OneFrameSource {
+        type Error = String;
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            if self.sent {
+                return Ok(None);
+            }
+            self.sent = true;
+            Ok(Some(Frame {
+                label: "m".into(),
+                payload: vec![0xAA],
+                bit_len: 8,
+            }))
+        }
+        fn on_frame(&mut self, _: Frame) -> Result<(), String> {
+            Err("unexpected frame".into())
+        }
+        fn is_done(&self) -> bool {
+            self.sent
+        }
+    }
+    let batch: Vec<(u64, Box<dyn rsr_net::NetSession + '_>)> = [0u64, 7, 1]
+        .into_iter()
+        .map(|id| {
+            (
+                id,
+                Box::new(OneFrameSource { sent: false }) as Box<dyn rsr_net::NetSession + '_>,
+            )
+        })
+        .collect();
+    let report = client.run_batch(batch).expect("transport stays healthy");
+    server.join().unwrap();
+    assert_eq!(report.completed(), 2);
+    assert_eq!(report.failed(), 1);
+    let failed = report.sessions.iter().find(|s| s.id == 7).unwrap();
+    assert!(
+        failed.error.as_deref().unwrap().contains("unknown session"),
+        "unexpected error: {:?}",
+        failed.error
+    );
+}

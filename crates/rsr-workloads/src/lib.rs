@@ -11,9 +11,13 @@
 //!   workload (experiments T3–T6);
 //! * [`sensor_pairs`] — the Gap-model variant with guaranteed `r1`/`r2`
 //!   separation (experiments T7, T8);
+//! * [`trace`] — a line-based, seedable trace format so the same session
+//!   batch can be replayed across transports and machines;
 //! * [`stats`] — small summary-statistics helpers for the harness.
 
 pub mod generators;
 pub mod stats;
+pub mod trace;
 
 pub use generators::{planted_emd, planted_emd_sparse, sensor_pairs, GapWorkload, Workload};
+pub use trace::{read_trace, sample_trace, write_trace, TraceEntry, TraceProtocol};

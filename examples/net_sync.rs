@@ -1,0 +1,191 @@
+//! Two-process reconciliation over a real TCP connection.
+//!
+//! Server and client agree on a session batch by sharing two numbers —
+//! a session count and a trace seed — from which both deterministically
+//! regenerate the same protocol instances (workloads and public coins),
+//! exactly as two replicas sharing a configuration would. The server
+//! holds every Bob half behind a `SessionFactory`; the client batches
+//! the Alice halves and multiplexes all of them over one connection.
+//!
+//! Run in two terminals:
+//!
+//! ```text
+//! cargo run --release --example net_sync -- --serve 127.0.0.1:7171 --once
+//! cargo run --release --example net_sync -- --connect 127.0.0.1:7171
+//! ```
+//!
+//! `--serve` without `--once` keeps accepting connections (thread per
+//! connection) until killed. `--sessions N` and `--trace-seed S` must
+//! match on both sides.
+
+use robust_set_recon::net::{NetSession, ReconClient, ReconServer};
+use rsr_bench::experiments::net::{Instance, TraceFactory};
+use rsr_workloads::sample_trace;
+use std::process::exit;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    serve: Option<String>,
+    connect: Option<String>,
+    once: bool,
+    sessions: usize,
+    trace_seed: u64,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        serve: None,
+        connect: None,
+        once: false,
+        sessions: 64,
+        trace_seed: 0xbea7,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| it.next().unwrap_or_else(|| usage(name));
+        match arg.as_str() {
+            "--serve" => args.serve = Some(value("--serve ADDR")),
+            "--connect" => args.connect = Some(value("--connect ADDR")),
+            "--once" => args.once = true,
+            "--sessions" => {
+                args.sessions = value("--sessions N").parse().unwrap_or_else(|_| usage("N"))
+            }
+            "--trace-seed" => {
+                args.trace_seed = value("--trace-seed S")
+                    .parse()
+                    .unwrap_or_else(|_| usage("S"))
+            }
+            other => usage(other),
+        }
+    }
+    if args.serve.is_some() == args.connect.is_some() {
+        usage("exactly one of --serve/--connect");
+    }
+    args
+}
+
+fn usage(what: &str) -> ! {
+    eprintln!("net_sync: bad or missing argument: {what}");
+    eprintln!(
+        "usage: net_sync (--serve ADDR [--once] | --connect ADDR) \
+         [--sessions N] [--trace-seed S]"
+    );
+    exit(2)
+}
+
+fn build_factory(sessions: usize, trace_seed: u64) -> TraceFactory {
+    let entries = sample_trace(sessions, trace_seed);
+    TraceFactory {
+        instances: entries.iter().map(Instance::build).collect(),
+    }
+}
+
+fn main() {
+    let args = parse_args();
+    let factory = build_factory(args.sessions, args.trace_seed);
+
+    if let Some(addr) = args.serve {
+        let server = ReconServer::bind(addr.as_str(), Arc::new(factory)).unwrap_or_else(|e| {
+            eprintln!("net_sync: cannot bind {addr}: {e}");
+            exit(1)
+        });
+        println!(
+            "serving {} bob sessions (trace seed {:#x}) on {addr}",
+            args.sessions, args.trace_seed
+        );
+        if args.once {
+            let report = server.serve_one().unwrap_or_else(|e| {
+                eprintln!("net_sync: connection failed: {e}");
+                exit(1)
+            });
+            println!(
+                "connection done: {}/{} sessions completed, {} frames in / {} out, \
+                 {} wire bytes in / {} out",
+                report.completed(),
+                report.sessions.len(),
+                report.frames_in,
+                report.frames_out,
+                report.wire_bytes_in,
+                report.wire_bytes_out,
+            );
+            if report.failed() > 0 {
+                for s in report.sessions.iter().filter(|s| s.error.is_some()) {
+                    eprintln!("  session {}: {}", s.id, s.error.as_deref().unwrap());
+                }
+                exit(1);
+            }
+        } else {
+            server.serve(None).unwrap_or_else(|e| {
+                eprintln!("net_sync: accept loop failed: {e}");
+                exit(1)
+            });
+        }
+        return;
+    }
+
+    let addr = args.connect.expect("checked in parse_args");
+    // The server may still be starting (CI launches it in the
+    // background): retry briefly before giving up.
+    let mut client = None;
+    for _ in 0..40 {
+        match ReconClient::connect(addr.as_str()) {
+            Ok(c) => {
+                client = Some(c);
+                break;
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(250)),
+        }
+    }
+    let Some(client) = client else {
+        eprintln!("net_sync: cannot connect to {addr}");
+        exit(1)
+    };
+    client.set_read_timeout(Some(Duration::from_secs(60))).ok();
+
+    let t0 = Instant::now();
+    let batch: Vec<(u64, Box<dyn NetSession + '_>)> = factory
+        .instances
+        .iter()
+        .enumerate()
+        .map(|(i, inst)| (i as u64, inst.alice_session()))
+        .collect();
+    let report = client.run_batch(batch).unwrap_or_else(|e| {
+        eprintln!("net_sync: batch failed: {e}");
+        exit(1)
+    });
+    let elapsed = t0.elapsed();
+
+    println!(
+        "{} sessions multiplexed over one connection in {:.1} ms ({:.0} sessions/sec)",
+        report.sessions.len(),
+        elapsed.as_secs_f64() * 1e3,
+        report.sessions.len() as f64 / elapsed.as_secs_f64(),
+    );
+    println!(
+        "completed {}/{}; {} payload bits in {}+{} wire bytes (out+in)",
+        report.completed(),
+        report.sessions.len(),
+        report.payload_bits(),
+        report.wire_bytes_out,
+        report.wire_bytes_in,
+    );
+    for s in report.sessions.iter().take(4) {
+        println!(
+            "  session {:>3}: {:>8} bits in {} messages / {} rounds",
+            s.id,
+            s.transcript.total_bits(),
+            s.transcript.num_messages(),
+            s.transcript.num_rounds(),
+        );
+    }
+    if report.sessions.len() > 4 {
+        println!("  … and {} more", report.sessions.len() - 4);
+    }
+    if report.failed() > 0 {
+        for s in report.sessions.iter().filter(|s| s.error.is_some()) {
+            eprintln!("  session {}: {}", s.id, s.error.as_deref().unwrap());
+        }
+        exit(1);
+    }
+}

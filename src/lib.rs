@@ -24,7 +24,10 @@
 //!   (Algorithm 1), the Gap-Guarantee protocol (Theorem 4.2) and its
 //!   low-dimension variant (Theorem 4.5), plus exact set reconciliation
 //!   and the one-round lower-bound reduction (Theorem 4.6).
-//! * [`workloads`] — synthetic workload generators for the experiments.
+//! * [`net`] — the TCP transport behind the session layer's `Channel`
+//!   trait, plus the multi-session reconciliation server and client.
+//! * [`workloads`] — synthetic workload generators for the experiments,
+//!   and the replayable session-trace format.
 //!
 //! ## Quickstart
 //!
@@ -50,6 +53,7 @@ pub use rsr_emd as emd;
 pub use rsr_hash as hash;
 pub use rsr_iblt as iblt;
 pub use rsr_metric as metric;
+pub use rsr_net as net;
 pub use rsr_quadtree as quadtree;
 pub use rsr_setsofsets as setsofsets;
 pub use rsr_workloads as workloads;
