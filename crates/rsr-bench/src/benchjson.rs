@@ -1,0 +1,249 @@
+//! Machine-readable benchmark reports: the `BENCH_*.json` format.
+//!
+//! Experiments that measure throughput emit a [`BenchReport`] next to
+//! their markdown table when run with `--json`. The schema is flat by
+//! design — one metrics object of `"key": number` pairs — so CI can
+//! compare a fresh run against the committed baseline without a JSON
+//! library on either side:
+//!
+//! ```json
+//! {
+//!   "bench": "net",
+//!   "quick": true,
+//!   "metrics": {
+//!     "sessions": 64,
+//!     "serial_wall_ms": 152.1,
+//!     "serial_sessions_per_sec": 420.7
+//!   }
+//! }
+//! ```
+//!
+//! Keys ending in `_per_sec` are throughputs: [`regressions`] flags any
+//! of them that dropped by more than the tolerance against a baseline
+//! (slower wall times follow from lower throughput, so only the rates
+//! are gated). The emitter writes one key per line and the parser reads
+//! exactly that shape — this module is the single owner of both sides.
+
+use std::fmt::Write as _;
+
+/// One experiment's machine-readable results.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BenchReport {
+    /// Which experiment produced this (e.g. `"net"`).
+    pub bench: String,
+    /// Whether the reduced-trial `--quick` mode produced it; baselines
+    /// and fresh runs must agree on this or the numbers are not
+    /// comparable.
+    pub quick: bool,
+    /// `(key, value)` metrics in emission order.
+    pub metrics: Vec<(String, f64)>,
+}
+
+impl BenchReport {
+    /// An empty report for `bench`.
+    pub fn new(bench: impl Into<String>, quick: bool) -> BenchReport {
+        BenchReport {
+            bench: bench.into(),
+            quick,
+            metrics: Vec::new(),
+        }
+    }
+
+    /// Appends a metric. Keys must be unique; the parser keeps the first.
+    pub fn push(&mut self, key: impl Into<String>, value: f64) {
+        self.metrics.push((key.into(), value));
+    }
+
+    /// Looks a metric up by key.
+    pub fn metric(&self, key: &str) -> Option<f64> {
+        self.metrics.iter().find(|(k, _)| k == key).map(|&(_, v)| v)
+    }
+
+    /// Renders the report as the canonical one-key-per-line JSON.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"bench\": \"{}\",", self.bench);
+        let _ = writeln!(out, "  \"quick\": {},", self.quick);
+        let _ = writeln!(out, "  \"metrics\": {{");
+        for (i, (key, value)) in self.metrics.iter().enumerate() {
+            let comma = if i + 1 < self.metrics.len() { "," } else { "" };
+            let _ = writeln!(out, "    \"{key}\": {value}{comma}");
+        }
+        out.push_str("  }\n}\n");
+        out
+    }
+
+    /// Parses the canonical format back. Tolerates whitespace and key
+    /// order but not structural deviations; unknown non-numeric values
+    /// are an error so a corrupted baseline fails loudly.
+    pub fn parse(text: &str) -> Result<BenchReport, String> {
+        let mut bench: Option<String> = None;
+        let mut quick: Option<bool> = None;
+        let mut metrics: Vec<(String, f64)> = Vec::new();
+        for line in text.lines() {
+            let line = line.trim().trim_end_matches(',');
+            let Some(rest) = line.strip_prefix('"') else {
+                continue; // braces and blank lines
+            };
+            let Some((key, rest)) = rest.split_once('"') else {
+                return Err(format!("unterminated key on line: {line}"));
+            };
+            let Some(value) = rest.trim_start().strip_prefix(':') else {
+                return Err(format!("missing ':' after key {key:?}"));
+            };
+            let value = value.trim();
+            match key {
+                "bench" => {
+                    bench = Some(
+                        value
+                            .strip_prefix('"')
+                            .and_then(|v| v.strip_suffix('"'))
+                            .ok_or_else(|| format!("bench value is not a string: {value}"))?
+                            .to_owned(),
+                    );
+                }
+                "quick" => match value {
+                    "true" => quick = Some(true),
+                    "false" => quick = Some(false),
+                    other => return Err(format!("quick value is not a bool: {other}")),
+                },
+                "metrics" => {} // the opening brace of the metrics object
+                key => {
+                    let parsed: f64 = value
+                        .parse()
+                        .map_err(|_| format!("metric {key:?} is not a number: {value}"))?;
+                    if !metrics.iter().any(|(k, _)| k == key) {
+                        metrics.push((key.to_owned(), parsed));
+                    }
+                }
+            }
+        }
+        Ok(BenchReport {
+            bench: bench.ok_or("missing \"bench\" field")?,
+            quick: quick.ok_or("missing \"quick\" field")?,
+            metrics,
+        })
+    }
+}
+
+/// One throughput metric that fell below the tolerated floor.
+#[derive(Clone, Debug)]
+pub struct Regression {
+    /// The metric key.
+    pub key: String,
+    /// The committed baseline value.
+    pub baseline: f64,
+    /// The fresh measurement.
+    pub fresh: f64,
+}
+
+impl Regression {
+    /// Fractional drop, e.g. `0.42` for a 42% slowdown.
+    pub fn drop_fraction(&self) -> f64 {
+        1.0 - self.fresh / self.baseline
+    }
+}
+
+/// Compares every baseline `_per_sec` metric against the fresh report
+/// and returns those where `fresh < baseline * (1 - tolerance)`. A
+/// baseline throughput key *missing* from the fresh report is treated
+/// as `fresh = 0` and always flagged — a renamed or dropped metric must
+/// fail CI loudly, never silently leave a path ungated. Fresh-only
+/// metrics are ignored (an experiment may grow new rows).
+pub fn regressions(baseline: &BenchReport, fresh: &BenchReport, tolerance: f64) -> Vec<Regression> {
+    baseline
+        .metrics
+        .iter()
+        .filter(|(k, _)| k.ends_with("_per_sec"))
+        .map(|(key, base)| Regression {
+            key: key.clone(),
+            baseline: *base,
+            fresh: fresh.metric(key).unwrap_or(0.0),
+        })
+        .filter(|r| r.fresh < r.baseline * (1.0 - tolerance))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> BenchReport {
+        let mut r = BenchReport::new("net", true);
+        r.push("sessions", 64.0);
+        r.push("serial_wall_ms", 152.25);
+        r.push("serial_sessions_per_sec", 420.5);
+        r.push("shards4_sessions_per_sec", 1300.0);
+        r
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let report = sample();
+        let text = report.to_json();
+        assert_eq!(BenchReport::parse(&text).expect("parses"), report);
+    }
+
+    #[test]
+    fn parse_rejects_non_numeric_metrics() {
+        let text = "{\n\"bench\": \"net\",\n\"quick\": false,\n\"metrics\": {\n\"x\": oops\n}\n}";
+        assert!(BenchReport::parse(text).is_err());
+    }
+
+    #[test]
+    fn parse_requires_header_fields() {
+        assert!(BenchReport::parse("{\n\"quick\": true\n}").is_err());
+        assert!(BenchReport::parse("{\n\"bench\": \"x\"\n}").is_err());
+    }
+
+    #[test]
+    fn regressions_gate_only_per_sec_drops() {
+        let baseline = sample();
+        let mut fresh = sample();
+        // Wall time exploding alone is not gated…
+        fresh.metrics[1].1 = 1e6;
+        assert!(regressions(&baseline, &fresh, 0.3).is_empty());
+        // …a small throughput dip within tolerance passes…
+        fresh.metrics[2].1 = 420.5 * 0.8;
+        assert!(regressions(&baseline, &fresh, 0.3).is_empty());
+        // …a drop past the tolerance is flagged.
+        fresh.metrics[2].1 = 420.5 * 0.5;
+        let regs = regressions(&baseline, &fresh, 0.3);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "serial_sessions_per_sec");
+        assert!((regs[0].drop_fraction() - 0.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_metric_sets_fail_loudly() {
+        let baseline = sample();
+        let mut fresh = BenchReport::new("net", true);
+        fresh.push("renamed_sessions_per_sec", 9e9);
+        let regs = regressions(&baseline, &fresh, 0.3);
+        assert_eq!(regs.len(), 2, "every baseline throughput is flagged");
+    }
+
+    #[test]
+    fn single_missing_throughput_key_is_flagged() {
+        // One renamed/dropped key must fail even when other throughput
+        // keys still match — a partial overlap is not a pass.
+        let baseline = sample();
+        let mut fresh = sample();
+        fresh
+            .metrics
+            .retain(|(k, _)| k != "shards4_sessions_per_sec");
+        let regs = regressions(&baseline, &fresh, 0.3);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "shards4_sessions_per_sec");
+        assert_eq!(regs[0].fresh, 0.0);
+    }
+
+    #[test]
+    fn improvements_never_flag() {
+        let baseline = sample();
+        let mut fresh = sample();
+        fresh.metrics[2].1 *= 10.0;
+        fresh.metrics[3].1 *= 10.0;
+        assert!(regressions(&baseline, &fresh, 0.3).is_empty());
+    }
+}

@@ -1,0 +1,102 @@
+//! Gates a fresh `BENCH_*.json` against a committed baseline.
+//!
+//! ```text
+//! bench_check <baseline.json> <fresh.json> [--tolerance 0.30]
+//! ```
+//!
+//! Exits non-zero if any shared `_per_sec` metric in the fresh run is
+//! more than the tolerance below the baseline (default 30%), if the two
+//! files describe different benches or modes, or if either file fails
+//! to parse. Improvements and non-throughput metrics never fail the
+//! check; a baseline whose throughput keys are all missing from the
+//! fresh run fails loudly (a silent rename must not pass as green).
+
+use rsr_bench::{regressions, BenchReport};
+use std::process::exit;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut paths = Vec::new();
+    let mut tolerance = 0.30f64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--tolerance" {
+            tolerance = it
+                .next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| usage("--tolerance takes a fraction like 0.30"));
+        } else {
+            paths.push(arg.clone());
+        }
+    }
+    let [baseline_path, fresh_path] = paths.as_slice() else {
+        usage("expected exactly two file arguments");
+    };
+
+    let baseline = load(baseline_path);
+    let fresh = load(fresh_path);
+    if baseline.bench != fresh.bench {
+        eprintln!(
+            "bench_check: comparing different benches: baseline {:?} vs fresh {:?}",
+            baseline.bench, fresh.bench
+        );
+        exit(1);
+    }
+    if baseline.quick != fresh.quick {
+        eprintln!(
+            "bench_check: mode mismatch: baseline quick={} vs fresh quick={}",
+            baseline.quick, fresh.quick
+        );
+        exit(1);
+    }
+
+    println!(
+        "bench {} ({} mode), tolerance {:.0}%:",
+        baseline.bench,
+        if baseline.quick { "quick" } else { "full" },
+        tolerance * 100.0
+    );
+    for (key, base) in &baseline.metrics {
+        match fresh.metric(key) {
+            Some(now) => println!("  {key}: baseline {base:.3} -> fresh {now:.3}"),
+            None => println!("  {key}: baseline {base:.3} -> (absent)"),
+        }
+    }
+
+    let regs = regressions(&baseline, &fresh, tolerance);
+    if regs.is_empty() {
+        println!(
+            "ok: no throughput regression beyond {:.0}%",
+            tolerance * 100.0
+        );
+        return;
+    }
+    for r in &regs {
+        eprintln!(
+            "REGRESSION {}: {:.3} -> {:.3} ({:.0}% drop, tolerance {:.0}%)",
+            r.key,
+            r.baseline,
+            r.fresh,
+            r.drop_fraction() * 100.0,
+            tolerance * 100.0
+        );
+    }
+    exit(1);
+}
+
+fn load(path: &str) -> BenchReport {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot read {path}: {e}");
+        exit(1)
+    });
+    BenchReport::parse(&text).unwrap_or_else(|e| {
+        eprintln!("bench_check: cannot parse {path}: {e}");
+        exit(1)
+    })
+}
+
+fn usage(what: &str) -> ! {
+    eprintln!("bench_check: {what}");
+    eprintln!("usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.30]");
+    exit(2)
+}

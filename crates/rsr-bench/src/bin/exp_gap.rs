@@ -1,9 +1,17 @@
 //! Regenerates the `gap` experiment table (see DESIGN.md index).
-//! Pass `--quick` for a reduced-trial smoke run.
+//! Pass `--quick` for a reduced-trial smoke run; `--json` additionally
+//! writes `BENCH_gap.json` (`--json-out PATH` to redirect it).
 
 fn main() {
-    println!(
-        "{}",
-        rsr_bench::experiments::gap::run(rsr_bench::quick_flag())
-    );
+    let quick = rsr_bench::quick_flag();
+    match rsr_bench::json_out("BENCH_gap.json") {
+        Some(path) => {
+            let (report, bench) = rsr_bench::experiments::gap::run_with_json(quick);
+            std::fs::write(&path, bench.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+            println!("{report}");
+        }
+        None => println!("{}", rsr_bench::experiments::gap::run(quick)),
+    }
 }

@@ -4,15 +4,27 @@
 //! satisfied with probability ≥ 1 − 1/n; communication beating the naive
 //! n·d transfer for large d; the far-point term ≈ k·log|U|.
 
+use crate::benchjson::BenchReport;
 use crate::table::{f, Table};
 use rsr_core::gap_protocol::{verify_gap_guarantee, GapConfig, GapProtocol};
 use rsr_hash::lsh::LshParams;
 use rsr_hash::BitSamplingFamily;
 use rsr_metric::MetricSpace;
 use rsr_workloads::sensor_pairs;
+use std::time::Instant;
 
-/// Runs the experiment.
+/// Runs the experiment, discarding the machine-readable report.
 pub fn run(quick: bool) -> String {
+    run_with_json(quick).0
+}
+
+/// Runs the experiment; returns the markdown section and the
+/// `BENCH_gap.json` report (wall time and *completed* protocol runs/sec
+/// over the whole trial grid — failed trials don't count, so a
+/// regression that makes runs fail fast lowers the rate rather than
+/// inflating it; session construction and drive are included, as that
+/// *is* the protocol's unit of work).
+pub fn run_with_json(quick: bool) -> (String, BenchReport) {
     let trials = if quick { 3 } else { 10 };
     let mut table = Table::new(&[
         "n",
@@ -37,6 +49,9 @@ pub fn run(quick: bool) -> String {
             (100, 256, 6),
         ]
     };
+    let mut total_runs = 0usize;
+    let mut sum_bits = 0u64;
+    let t0 = Instant::now();
     for &(n, d, k) in configs {
         let space = MetricSpace::hamming(d);
         let (r1, r2) = (2.0, (d / 3) as f64);
@@ -70,6 +85,8 @@ pub fn run(quick: bool) -> String {
                 guarantee_ok += 1;
             }
         }
+        total_runs += runs;
+        sum_bits += bits;
         table.row(vec![
             n.to_string(),
             d.to_string(),
@@ -82,7 +99,14 @@ pub fn run(quick: bool) -> String {
             rounds.to_string(),
         ]);
     }
-    format!(
+    let elapsed = t0.elapsed();
+    let mut bench = BenchReport::new("gap", quick);
+    bench.push("configs", configs.len() as f64);
+    bench.push("trials_per_config", trials as f64);
+    bench.push("wall_ms", elapsed.as_secs_f64() * 1e3);
+    bench.push("runs_per_sec", total_runs as f64 / elapsed.as_secs_f64());
+    bench.push("sum_total_bits", sum_bits as f64);
+    let report = format!(
         "## T7 — Gap Guarantee protocol on Hamming space (Thm 4.2 / Cor 4.3)\n\n\
          r1 = 2, r2 = d/3, {trials} seeds per row. Expected: all far \
          points recovered, guarantee satisfied in every run, total bits \
@@ -90,7 +114,8 @@ pub fn run(quick: bool) -> String {
          term; slightly above 1 when close points are false-positive \
          transmitted).\n\n{}",
         table.render()
-    )
+    );
+    (report, bench)
 }
 
 #[cfg(test)]

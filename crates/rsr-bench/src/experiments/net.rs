@@ -1,20 +1,27 @@
-//! N1 — the TCP transport: many multiplexed sessions over one
-//! connection, replaying one trace across transports.
+//! N1 — session throughput across drivers: the serial in-memory loop,
+//! the sharded executor at 1→2→4→8 workers, and executor-driven TCP,
+//! all replaying one trace.
 //!
-//! Claims measured: a single [`ReconServer`] connection carries ≥ 64
-//! concurrently multiplexed sessions of all three protocols; every
-//! session's outcome and measured transcript bits over TCP loopback are
-//! identical to the in-memory driver's; the wire overhead beyond the
-//! payload is just the record headers. Reports sessions/sec on loopback
-//! vs in memory.
+//! Claims measured: every driver produces bit-identical per-session
+//! transcripts and identical per-session outcomes; a single
+//! [`ReconServer`] connection carries the whole trace concurrently; the
+//! wire overhead beyond the payload is just the record headers; and the
+//! sharded executor's sessions/sec scales with the worker count (on
+//! multi-core hosts — the sweep reports whatever the hardware gives).
+//! Timing covers **only the drive loops**: trace parsing, instance
+//! construction, and socket setup all happen outside the clocks, so the
+//! shard-count comparison is apples-to-apples.
 //!
 //! The session batch comes from `rsr-workloads`' replayable trace
-//! format: the trace is written out, parsed back, and both transports
-//! replay the parsed copy — the first use of the ROADMAP's "replayable
-//! trace format" item.
+//! format: the trace is written out, parsed back, and every driver
+//! replays the parsed copy. With `--json` the measured rates are also
+//! emitted as a `BENCH_net.json` [`BenchReport`] that CI gates against
+//! the committed baseline.
 
+use crate::benchjson::BenchReport;
 use crate::table::Table;
 use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+use rsr_core::executor::{drive_batch, DynSession, DEFAULT_STALL_TIMEOUT};
 use rsr_core::gap_protocol::{GapConfig, GapProtocol};
 use rsr_core::ScaledEmdProtocol;
 use rsr_hash::lsh::LshParams;
@@ -110,18 +117,24 @@ impl Instance {
     /// Runs the instance through the in-memory driver; `Ok` carries the
     /// measured total transcript bits.
     pub fn run_in_memory(&self) -> Result<u64, String> {
+        self.run_in_memory_transcript().map(|t| t.total_bits())
+    }
+
+    /// Runs the instance through the in-memory driver and returns the
+    /// full transcript, for entry-level (bit-for-bit) comparisons.
+    pub fn run_in_memory_transcript(&self) -> Result<rsr_core::Transcript, String> {
         match self {
             Instance::Emd { proto, alice, bob } => proto
                 .run(alice, bob)
-                .map(|o| o.transcript.total_bits())
+                .map(|o| o.transcript)
                 .map_err(|e| e.to_string()),
             Instance::ScaledEmd { proto, alice, bob } => proto
                 .run(alice, bob)
-                .map(|o| o.transcript.total_bits())
+                .map(|o| o.transcript)
                 .map_err(|e| e.to_string()),
             Instance::Gap { proto, alice, bob } => proto
                 .run(alice, bob)
-                .map(|o| o.transcript.total_bits())
+                .map(|o| o.transcript)
                 .map_err(|e| e.to_string()),
         }
     }
@@ -160,13 +173,23 @@ impl SessionFactory for TraceFactory {
     }
 }
 
-/// Runs the experiment.
+/// Runs the experiment, discarding the machine-readable report.
 pub fn run(quick: bool) -> String {
-    let count = if quick { 64 } else { 128 };
+    run_with_json(quick).0
+}
+
+/// Runs the experiment; returns the markdown section and the
+/// `BENCH_net.json` report.
+pub fn run_with_json(quick: bool) -> (String, BenchReport) {
+    let count = if quick { 64 } else { 256 };
+    let shard_sweep: &[usize] = if quick { &[1, 4] } else { &[1, 2, 4, 8] };
+    let tcp_shards = *shard_sweep.last().expect("non-empty sweep");
     let trace_seed = 0xbea7_1e55;
+    let mut bench = BenchReport::new("net", quick);
+    bench.push("sessions", count as f64);
 
     // Pin the batch through the trace format itself: write, parse back,
-    // replay the parsed copy.
+    // replay the parsed copy. None of this is timed.
     let mut text = Vec::new();
     write_trace(&mut text, &sample_trace(count, trace_seed)).expect("in-memory write");
     let entries = read_trace(&mut text.as_slice()).expect("own trace parses");
@@ -174,39 +197,125 @@ pub fn run(quick: bool) -> String {
         instances: entries.iter().map(Instance::build).collect(),
     });
 
-    // Transport A: the in-memory driver, one session at a time.
+    // Driver A: the serial in-memory loop, one session at a time — the
+    // reference for both correctness and throughput.
     let t0 = Instant::now();
     let baseline: Vec<Result<u64, String>> = factory
         .instances
         .iter()
         .map(Instance::run_in_memory)
         .collect();
-    let mem_elapsed = t0.elapsed();
+    let serial_elapsed = t0.elapsed();
+    let serial_rate = count as f64 / serial_elapsed.as_secs_f64();
+    bench.push("serial_wall_ms", serial_elapsed.as_secs_f64() * 1e3);
+    bench.push("serial_sessions_per_sec", serial_rate);
 
-    // Transport B: every session multiplexed over ONE TCP connection.
-    let server = ReconServer::bind("127.0.0.1:0", Arc::clone(&factory)).expect("bind loopback");
+    let mut table = Table::new(&[
+        "driver",
+        "shards",
+        "sessions",
+        "completed",
+        "wire bytes",
+        "elapsed ms",
+        "sessions/sec",
+        "vs serial",
+    ]);
+    let completed = baseline.iter().filter(|r| r.is_ok()).count();
+    table.row(vec![
+        "serial in-memory".into(),
+        "—".into(),
+        count.to_string(),
+        completed.to_string(),
+        "—".into(),
+        format!("{:.1}", serial_elapsed.as_secs_f64() * 1e3),
+        format!("{serial_rate:.0}"),
+        "1.00x".into(),
+    ]);
+
+    // Driver B: the sharded executor's in-process drive_batch, over the
+    // same instances, at each worker count. Pair construction (cheap
+    // borrowed views) happens outside the clock; the drive is timed.
+    for &shards in shard_sweep {
+        let pairs: Vec<(Box<dyn DynSession + '_>, Box<dyn DynSession + '_>)> = factory
+            .instances
+            .iter()
+            .map(|inst| (inst.alice_session(), inst.bob_session()))
+            .collect();
+        let t0 = Instant::now();
+        let outcomes = drive_batch(shards, trace_seed, pairs, DEFAULT_STALL_TIMEOUT);
+        let elapsed = t0.elapsed();
+        let rate = count as f64 / elapsed.as_secs_f64();
+        for (i, (mem, out)) in baseline.iter().zip(&outcomes).enumerate() {
+            match mem {
+                Ok(bits) => {
+                    assert!(
+                        out.is_ok(),
+                        "session {i}: serial ok but {shards}-shard executor failed: {:?}",
+                        out.error
+                    );
+                    assert_eq!(
+                        *bits,
+                        out.transcript.total_bits(),
+                        "session {i} bits at {shards} shards"
+                    );
+                }
+                Err(_) => assert!(
+                    !out.is_ok(),
+                    "session {i}: serial failed but {shards}-shard executor ok"
+                ),
+            }
+        }
+        table.row(vec![
+            "executor in-memory".into(),
+            shards.to_string(),
+            count.to_string(),
+            outcomes.iter().filter(|o| o.is_ok()).count().to_string(),
+            "—".into(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!("{rate:.0}"),
+            format!("{:.2}x", rate / serial_rate),
+        ]);
+        bench.push(
+            format!("shards{shards}_wall_ms"),
+            elapsed.as_secs_f64() * 1e3,
+        );
+        bench.push(format!("shards{shards}_sessions_per_sec"), rate);
+    }
+
+    // Driver C: every session multiplexed over ONE TCP connection, both
+    // endpoints executor-driven at the widest sweep setting. Socket
+    // setup and session-view construction stay outside the clock.
+    let server = ReconServer::bind("127.0.0.1:0", Arc::clone(&factory))
+        .expect("bind loopback")
+        .with_shards(tcp_shards);
     let addr = server.local_addr().expect("bound address");
     let server_thread = std::thread::spawn(move || server.serve_one());
-    let client = ReconClient::connect(addr).expect("connect loopback");
+    let client = ReconClient::connect(addr)
+        .expect("connect loopback")
+        .with_shards(tcp_shards);
     // A wedged session must fail the run, not hang CI until its timeout.
     client
         .set_read_timeout(Some(std::time::Duration::from_secs(120)))
         .expect("set timeout");
-    let t0 = Instant::now();
     let sessions: Vec<(u64, Box<dyn NetSession + '_>)> = factory
         .instances
         .iter()
         .enumerate()
         .map(|(i, inst)| (i as u64, inst.alice_session()))
         .collect();
+    let t0 = Instant::now();
     let batch = client.run_batch(sessions).expect("batch completes");
     let tcp_elapsed = t0.elapsed();
     let conn = server_thread
         .join()
         .expect("server thread")
         .expect("connection served");
+    let tcp_rate = count as f64 / tcp_elapsed.as_secs_f64();
+    bench.push("tcp_shards", tcp_shards as f64);
+    bench.push("tcp_wall_ms", tcp_elapsed.as_secs_f64() * 1e3);
+    bench.push("tcp_sessions_per_sec", tcp_rate);
 
-    // The transports must agree session by session: same success, same
+    // Every driver must agree session by session: same success, same
     // measured bits, on the client, the server, and the baseline.
     assert_eq!(batch.sessions.len(), entries.len());
     assert_eq!(conn.sessions.len(), entries.len());
@@ -236,57 +345,41 @@ pub fn run(quick: bool) -> String {
         }
     }
 
-    let mem_rate = count as f64 / mem_elapsed.as_secs_f64();
-    let tcp_rate = count as f64 / tcp_elapsed.as_secs_f64();
     let payload_bytes = batch
         .sessions
         .iter()
         .flat_map(|s| s.transcript.entries().map(|(_, bits)| bits.div_ceil(8)))
         .sum::<u64>();
     let wire_bytes = batch.wire_bytes_out + batch.wire_bytes_in;
-
-    let mut table = Table::new(&[
-        "transport",
-        "sessions",
-        "connections",
-        "completed",
-        "payload bytes",
-        "wire bytes",
-        "elapsed ms",
-        "sessions/sec",
-    ]);
+    bench.push("payload_bits", batch.payload_bits() as f64);
+    bench.push("wire_bits", (wire_bytes * 8) as f64);
     table.row(vec![
-        "in-memory".into(),
+        "executor tcp loopback".into(),
+        tcp_shards.to_string(),
         count.to_string(),
-        "—".into(),
-        baseline.iter().filter(|r| r.is_ok()).count().to_string(),
-        payload_bytes.to_string(),
-        "—".into(),
-        format!("{:.1}", mem_elapsed.as_secs_f64() * 1e3),
-        format!("{mem_rate:.0}"),
-    ]);
-    table.row(vec![
-        "tcp loopback".into(),
-        count.to_string(),
-        "1".into(),
         batch.completed().to_string(),
-        payload_bytes.to_string(),
         wire_bytes.to_string(),
         format!("{:.1}", tcp_elapsed.as_secs_f64() * 1e3),
         format!("{tcp_rate:.0}"),
+        format!("{:.2}x", tcp_rate / serial_rate),
     ]);
 
-    format!(
-        "## N1 — TCP transport: multiplexed sessions vs in-memory driver\n\n\
+    let report = format!(
+        "## N1 — session throughput: serial vs sharded executor vs TCP\n\n\
          Replayed one {count}-session trace (seed {trace_seed:#x}; emd/semd/gap \
-         mix) over both transports; {agreeing} completed sessions agree \
-         bit-for-bit with the in-memory driver on both endpoints and \
-         {failed_on_both} failed identically on both. The single server \
-         connection multiplexed {count} sessions ({} frames in, {} frames out); \
-         framing overhead was {} bytes over the {payload_bytes}-byte payload.\n\n{}",
+         mix) over every driver; each executor width and both TCP endpoints \
+         agree bit-for-bit with the serial driver on all {agreeing} completed \
+         sessions and {failed_on_both} failed identically everywhere. Timing \
+         covers only the drive loops (no trace parsing, instance building, or \
+         socket setup). The single server connection multiplexed {count} \
+         sessions ({} frames in, {} frames out) across {tcp_shards} worker \
+         shards per endpoint; framing overhead was {} bytes over the \
+         {payload_bytes}-byte payload. Two-choice placement spread the \
+         sessions over the shards; scaling depends on available cores.\n\n{}",
         conn.frames_in,
         conn.frames_out,
         wire_bytes - payload_bytes,
         table.render()
-    )
+    );
+    (report, bench)
 }

@@ -10,12 +10,44 @@
 //! `quick` mode shrinks trial counts so the whole suite stays in CI
 //! budgets; the full mode is what EXPERIMENTS.md reports.
 
+pub mod benchjson;
 pub mod experiments;
 pub mod table;
 
+pub use benchjson::{regressions, BenchReport, Regression};
 pub use table::Table;
 
 /// Parses the conventional `--quick` flag from process args.
 pub fn quick_flag() -> bool {
     std::env::args().any(|a| a == "--quick")
+}
+
+/// Parses the conventional `--json` flag: `Some(path)` when present,
+/// writing to `default_name` in the working directory unless
+/// `--json-out PATH` overrides it (so CI can compare a fresh run
+/// against a committed baseline of the same name). A `--json-out` with
+/// no following path aborts instead of silently writing to the default
+/// location — a CI step expecting the redirected file must not compare
+/// a stale one.
+pub fn json_out(default_name: &str) -> Option<std::path::PathBuf> {
+    let mut args = std::env::args();
+    let mut path = None;
+    let mut wanted = false;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => wanted = true,
+            "--json-out" => {
+                wanted = true;
+                match args.next() {
+                    Some(p) => path = Some(std::path::PathBuf::from(p)),
+                    None => {
+                        eprintln!("--json-out requires a PATH argument");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    wanted.then(|| path.unwrap_or_else(|| std::path::PathBuf::from(default_name)))
 }

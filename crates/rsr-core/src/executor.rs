@@ -1,0 +1,794 @@
+//! A sharded, fixed-size worker-pool executor for poll-style sessions.
+//!
+//! The serial drivers in [`crate::session`] run one session (or one
+//! Alice/Bob pair) at a time. This module drives *many* sessions
+//! concurrently over a small fixed pool of worker shards:
+//!
+//! * **Placement** — each session is assigned to a shard by the
+//!   power-of-two-choices rule ([`Placement`]): hash the session id into
+//!   two candidate shards and take the currently lighter one. The
+//!   balanced-allocation literature shows this keeps per-shard load
+//!   near-uniform without any global coordination, which is exactly what
+//!   a transport that opens sessions on the fly needs.
+//! * **Ready queues** — each shard owns one FIFO mailbox, which *is* its
+//!   ready queue: an entry wakes exactly the session it addresses
+//!   ([`ShardMsg`] carries the session id), so a session blocked waiting
+//!   for its peer simply has no entries and can never stall its shard.
+//! * **Wake-on-frame** — delivering a frame ([`Injector::deliver`])
+//!   enqueues a wake for that one session; the shard worker runs its
+//!   `on_frame`, then pumps `poll_send` until the session has nothing
+//!   more to say, emitting every produced frame as an [`ExecEvent`].
+//!
+//! The executor never touches a socket: frames *out of* sessions surface
+//! on the [`Events`] stream and frames *into* sessions enter through the
+//! [`Injector`], so the same engine drives the in-process
+//! [`drive_batch`] driver and `rsr-net`'s multiplexed connections.
+//! Workers keep one [`Transcript`] per session, recording both
+//! directions in processing order — entry-for-entry what the serial
+//! drivers record for the same session.
+
+use crate::channel::Frame;
+use crate::session::Session;
+use crate::transcript::{Party, Transcript};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::mpsc;
+use std::thread::Scope;
+use std::time::Duration;
+
+/// A [`Session`] with its error type erased to `String` and a `Send`
+/// bound so it can move onto a worker shard. Blanket-implemented for
+/// every sendable `Session` whose error displays; `rsr-net` re-exports
+/// this trait as `NetSession`.
+pub trait DynSession: Send {
+    /// See [`Session::poll_send`].
+    fn poll_send(&mut self) -> Result<Option<Frame>, String>;
+    /// See [`Session::on_frame`].
+    fn on_frame(&mut self, frame: Frame) -> Result<(), String>;
+    /// See [`Session::is_done`].
+    fn is_done(&self) -> bool;
+}
+
+impl<S> DynSession for S
+where
+    S: Session + Send,
+    S::Error: fmt::Display,
+{
+    fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+        Session::poll_send(self).map_err(|e| e.to_string())
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
+        Session::on_frame(self, frame).map_err(|e| e.to_string())
+    }
+
+    fn is_done(&self) -> bool {
+        Session::is_done(self)
+    }
+}
+
+/// `splitmix64` — a cheap, well-mixed hash for shard candidate choice.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+/// Power-of-two-choices session→shard placement.
+///
+/// `place` hashes the session id (salted two ways) into two candidate
+/// shards and picks whichever currently holds fewer sessions, ties going
+/// to the first candidate. Placement is deterministic in the sequence of
+/// `place` calls: same seed, same ids, same order — same shards,
+/// anywhere.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    seed: u64,
+    loads: Vec<usize>,
+}
+
+impl Placement {
+    /// A placement over `shards` shards (at least one), all empty.
+    pub fn new(shards: usize, seed: u64) -> Placement {
+        assert!(shards >= 1, "placement needs at least one shard");
+        Placement {
+            seed,
+            loads: vec![0; shards],
+        }
+    }
+
+    /// Number of shards.
+    pub fn shards(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// Sessions placed on each shard so far.
+    pub fn loads(&self) -> &[usize] {
+        &self.loads
+    }
+
+    /// The two candidate shards for `id` (may coincide).
+    pub fn candidates(&self, id: u64) -> (usize, usize) {
+        let n = self.loads.len() as u64;
+        let a = splitmix64(id ^ self.seed) % n;
+        let b = splitmix64(id.rotate_left(32) ^ self.seed ^ 0x5bf0_3635_dee1_91b5) % n;
+        (a as usize, b as usize)
+    }
+
+    /// Places `id` on the lighter of its two candidates and records the
+    /// load.
+    pub fn place(&mut self, id: u64) -> usize {
+        let (a, b) = self.candidates(id);
+        let shard = if self.loads[b] < self.loads[a] { b } else { a };
+        self.loads[shard] += 1;
+        shard
+    }
+
+    /// Records a session placed on an explicitly chosen shard (used when
+    /// a caller pins related sessions together).
+    pub fn note_pinned(&mut self, shard: usize) {
+        self.loads[shard] += 1;
+    }
+}
+
+/// What the executor tells its consumer.
+#[derive(Debug)]
+pub enum ExecEvent {
+    /// A session produced a frame for its peer. The frame is already
+    /// recorded in the session's transcript.
+    Frame {
+        /// The producing session.
+        id: u64,
+        /// The produced frame.
+        frame: Frame,
+    },
+    /// A session left the executor: it finished (`error: None`), hit a
+    /// protocol error, or was closed via [`Injector::close`]. Carries
+    /// the session's transcript — both directions, processing order.
+    Done {
+        /// The finished session.
+        id: u64,
+        /// Everything that crossed the session, with measured sizes.
+        transcript: Transcript,
+        /// `None` on clean completion.
+        error: Option<String>,
+    },
+    /// The executor shut down (every [`Injector`] clone dropped) while
+    /// this session was still live. Its transcript is what had crossed
+    /// so far.
+    Stranded {
+        /// The abandoned session.
+        id: u64,
+        /// The partial transcript.
+        transcript: Transcript,
+    },
+    /// Passed through verbatim from [`Injector::inject`]; the executor
+    /// itself never produces this. Lets a producer thread serialize its
+    /// own control decisions (e.g. a transport rejecting an unknown
+    /// session id, or reporting end-of-stream) into the one event stream
+    /// the consumer already drains.
+    Injected {
+        /// Producer-chosen session id (or sentinel).
+        id: u64,
+        /// Producer-chosen discriminant.
+        code: u32,
+        /// Producer-chosen detail.
+        note: String,
+    },
+}
+
+/// One entry in a shard's ready queue.
+enum ShardMsg<'env> {
+    /// Adopt a session and pump its opening say.
+    Open {
+        id: u64,
+        party: Party,
+        session: Box<dyn DynSession + 'env>,
+    },
+    /// Wake `id` with an incoming frame.
+    Frame { id: u64, frame: Frame },
+    /// Drop `id`, reporting `reason`; stale ids are ignored.
+    Close { id: u64, reason: String },
+}
+
+/// The feeding half of a running executor: submits sessions, delivers
+/// frames, closes sessions, and injects consumer-defined events.
+pub struct Injector<'env> {
+    shard_txs: Vec<mpsc::Sender<ShardMsg<'env>>>,
+    event_tx: mpsc::Sender<ExecEvent>,
+    placement: Placement,
+    shard_of: HashMap<u64, usize>,
+}
+
+impl<'env> Injector<'env> {
+    /// Submits a session under a fresh id, placing it by two-choice, and
+    /// returns the chosen shard. `party` is the side this session plays:
+    /// frames it produces are recorded in its transcript as sent by
+    /// `party`, frames delivered to it as sent by `party.peer()`. The
+    /// worker immediately pumps everything the session can already say.
+    ///
+    /// Panics if `id` was already submitted — id allocation is the
+    /// caller's contract (transports check before submitting).
+    pub fn submit(&mut self, id: u64, party: Party, session: Box<dyn DynSession + 'env>) -> usize {
+        let shard = self.placement.place(id);
+        self.submit_placed(shard, id, party, session);
+        shard
+    }
+
+    /// Submits a session pinned to an explicit shard — used to co-locate
+    /// related sessions (e.g. the two halves of an in-process pair).
+    pub fn submit_on(
+        &mut self,
+        shard: usize,
+        id: u64,
+        party: Party,
+        session: Box<dyn DynSession + 'env>,
+    ) {
+        self.placement.note_pinned(shard);
+        self.submit_placed(shard, id, party, session);
+    }
+
+    fn submit_placed(
+        &mut self,
+        shard: usize,
+        id: u64,
+        party: Party,
+        session: Box<dyn DynSession + 'env>,
+    ) {
+        let previous = self.shard_of.insert(id, shard);
+        assert!(previous.is_none(), "session id {id} submitted twice");
+        // A send only fails if the worker died; its panic resurfaces when
+        // the executor scope joins, so losing the message is moot.
+        let _ = self.shard_txs[shard].send(ShardMsg::Open { id, party, session });
+    }
+
+    /// Wakes `id` with an incoming frame. Returns `false` if the id was
+    /// never submitted (the frame is dropped); frames for sessions that
+    /// already finished are silently dropped by the worker as stale.
+    pub fn deliver(&self, id: u64, frame: Frame) -> bool {
+        match self.shard_of.get(&id) {
+            Some(&shard) => {
+                let _ = self.shard_txs[shard].send(ShardMsg::Frame { id, frame });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Closes `id` with `reason`: if the session is still live its worker
+    /// emits [`ExecEvent::Done`] with that reason; a stale or unknown id
+    /// is a no-op. Returns `false` only for ids never submitted.
+    pub fn close(&self, id: u64, reason: impl Into<String>) -> bool {
+        match self.shard_of.get(&id) {
+            Some(&shard) => {
+                let _ = self.shard_txs[shard].send(ShardMsg::Close {
+                    id,
+                    reason: reason.into(),
+                });
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Appends an [`ExecEvent::Injected`] to the event stream, after
+    /// everything workers have already emitted.
+    pub fn inject(&self, id: u64, code: u32, note: impl Into<String>) {
+        let _ = self.event_tx.send(ExecEvent::Injected {
+            id,
+            code,
+            note: note.into(),
+        });
+    }
+
+    /// The shard `id` was placed on, if it was ever submitted.
+    pub fn shard_of(&self, id: u64) -> Option<usize> {
+        self.shard_of.get(&id).copied()
+    }
+
+    /// Cumulative sessions placed per shard (never decremented — this is
+    /// the placement balance, not the live count).
+    pub fn loads(&self) -> &[usize] {
+        self.placement.loads()
+    }
+
+    /// Number of worker shards.
+    pub fn shards(&self) -> usize {
+        self.shard_txs.len()
+    }
+}
+
+/// One poll of the event stream.
+#[derive(Debug)]
+pub enum Wait {
+    /// An event arrived.
+    Event(ExecEvent),
+    /// Nothing arrived within the given timeout.
+    Timeout,
+    /// The executor is fully shut down: every worker and every
+    /// [`Injector`] is gone and the stream is drained.
+    Closed,
+}
+
+/// The consuming half of a running executor.
+pub struct Events {
+    rx: mpsc::Receiver<ExecEvent>,
+}
+
+impl Events {
+    /// Blocks for the next event; `None` once the stream is closed and
+    /// drained.
+    pub fn recv(&self) -> Option<ExecEvent> {
+        self.rx.recv().ok()
+    }
+
+    /// Non-blocking poll.
+    pub fn try_recv(&self) -> Option<ExecEvent> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Blocks up to `timeout` (forever if `None`) for the next event.
+    pub fn next(&self, timeout: Option<Duration>) -> Wait {
+        match timeout {
+            None => match self.rx.recv() {
+                Ok(ev) => Wait::Event(ev),
+                Err(_) => Wait::Closed,
+            },
+            Some(t) => match self.rx.recv_timeout(t) {
+                Ok(ev) => Wait::Event(ev),
+                Err(mpsc::RecvTimeoutError::Timeout) => Wait::Timeout,
+                Err(mpsc::RecvTimeoutError::Disconnected) => Wait::Closed,
+            },
+        }
+    }
+}
+
+/// Runs `f` with a live sharded executor: `shards` worker threads, a
+/// two-choice [`Placement`] salted with `placement_seed`, an
+/// [`Injector`] to feed it and an [`Events`] stream to drain it. The
+/// scope is passed through so transports can spawn their reader/writer
+/// threads alongside the workers.
+///
+/// Shutdown is by dropping: when every [`Injector`] (there is exactly
+/// one unless `f` moved it into a scoped thread) is gone, workers finish
+/// their queues, emit [`ExecEvent::Stranded`] for sessions still live,
+/// and exit; the event stream then reports [`Wait::Closed`]. Everything
+/// `f` spawned is joined before `with_executor` returns.
+pub fn with_executor<'env, R>(
+    shards: usize,
+    placement_seed: u64,
+    f: impl for<'scope> FnOnce(&'scope Scope<'scope, 'env>, Injector<'env>, Events) -> R,
+) -> R {
+    assert!(shards >= 1, "executor needs at least one shard");
+    std::thread::scope(|s| {
+        let (event_tx, event_rx) = mpsc::channel();
+        let mut shard_txs = Vec::with_capacity(shards);
+        for _ in 0..shards {
+            let (tx, rx) = mpsc::channel::<ShardMsg<'env>>();
+            shard_txs.push(tx);
+            let worker_events = event_tx.clone();
+            s.spawn(move || shard_worker(rx, worker_events));
+        }
+        let injector = Injector {
+            shard_txs,
+            event_tx,
+            placement: Placement::new(shards, placement_seed),
+            shard_of: HashMap::new(),
+        };
+        f(s, injector, Events { rx: event_rx })
+    })
+}
+
+/// A session adopted by a shard worker.
+struct WorkerSlot<'env> {
+    session: Box<dyn DynSession + 'env>,
+    party: Party,
+    transcript: Transcript,
+}
+
+fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: mpsc::Sender<ExecEvent>) {
+    let mut slots: HashMap<u64, WorkerSlot<'_>> = HashMap::new();
+    while let Ok(msg) = rx.recv() {
+        match msg {
+            ShardMsg::Open { id, party, session } => {
+                let mut slot = WorkerSlot {
+                    session,
+                    party,
+                    transcript: Transcript::new(),
+                };
+                if pump(id, &mut slot, &events) {
+                    slots.insert(id, slot);
+                }
+            }
+            ShardMsg::Frame { id, frame } => {
+                // Stale: the session already finished (or was closed) —
+                // exactly the serial transports' "drop late frames" rule.
+                let Some(slot) = slots.get_mut(&id) else {
+                    continue;
+                };
+                slot.transcript
+                    .record_from(slot.party.peer(), frame.label.clone(), frame.bit_len);
+                let live = match slot.session.on_frame(frame) {
+                    Ok(()) => pump(id, slot, &events),
+                    Err(e) => {
+                        let transcript = std::mem::take(&mut slot.transcript);
+                        let _ = events.send(ExecEvent::Done {
+                            id,
+                            transcript,
+                            error: Some(e),
+                        });
+                        false
+                    }
+                };
+                if !live {
+                    slots.remove(&id);
+                }
+            }
+            ShardMsg::Close { id, reason } => {
+                if let Some(slot) = slots.remove(&id) {
+                    let _ = events.send(ExecEvent::Done {
+                        id,
+                        transcript: slot.transcript,
+                        error: Some(reason),
+                    });
+                }
+            }
+        }
+    }
+    // Every injector is gone: whatever is still live is stranded.
+    for (id, slot) in slots {
+        let _ = events.send(ExecEvent::Stranded {
+            id,
+            transcript: slot.transcript,
+        });
+    }
+}
+
+/// Pumps everything `slot` can say, emitting frames (and `Done` when the
+/// session finishes or errors). Returns whether the slot is still live.
+fn pump(id: u64, slot: &mut WorkerSlot<'_>, events: &mpsc::Sender<ExecEvent>) -> bool {
+    loop {
+        match slot.session.poll_send() {
+            Ok(Some(frame)) => {
+                slot.transcript
+                    .record_from(slot.party, frame.label.clone(), frame.bit_len);
+                if events.send(ExecEvent::Frame { id, frame }).is_err() {
+                    return false; // consumer is gone; stop producing
+                }
+            }
+            Ok(None) => break,
+            Err(e) => {
+                let transcript = std::mem::take(&mut slot.transcript);
+                let _ = events.send(ExecEvent::Done {
+                    id,
+                    transcript,
+                    error: Some(e),
+                });
+                return false;
+            }
+        }
+    }
+    if slot.session.is_done() {
+        let transcript = std::mem::take(&mut slot.transcript);
+        let _ = events.send(ExecEvent::Done {
+            id,
+            transcript,
+            error: None,
+        });
+        return false;
+    }
+    true
+}
+
+/// One session pair's result from [`drive_batch`].
+#[derive(Debug)]
+pub struct PairOutcome {
+    /// The shard the pair ran on.
+    pub shard: usize,
+    /// The Alice half's transcript: both directions, processing order —
+    /// entry-for-entry what the serial drivers record for the same pair.
+    pub transcript: Transcript,
+    /// `None` when both halves completed; the first error otherwise
+    /// (protocol errors from either half, or a stall).
+    pub error: Option<String>,
+}
+
+impl PairOutcome {
+    /// True when both halves ran to completion.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+}
+
+/// How long [`drive_batch`] waits with *no* executor activity at all
+/// before declaring the remaining pairs stalled. This must exceed the
+/// longest single-frame computation any session performs; it is a
+/// deadlock backstop for buggy protocols (the serial driver's
+/// [`crate::session::DriveError::Stalled`]), not a pacing knob.
+pub const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Error string reported for pairs that stop making progress, matching
+/// the serial driver's stall diagnosis.
+pub const STALLED: &str = "sessions stalled without finishing";
+
+/// Drives a batch of in-process Alice/Bob session pairs to completion
+/// over a sharded executor — the parallel counterpart of calling
+/// [`crate::session::drive_in_memory`] on each pair in turn.
+///
+/// Both halves of a pair are pinned to one shard (a pair is one logical
+/// session, like a multiplexed connection's one local half), chosen by
+/// two-choice placement; distinct pairs run concurrently across shards.
+/// The caller thread routes every frame a half emits to its peer —
+/// wake-on-frame, exactly the dispatch the networked transports use.
+///
+/// Returns one [`PairOutcome`] per input pair, in input order.
+pub fn drive_batch<'env>(
+    shards: usize,
+    placement_seed: u64,
+    pairs: Vec<(Box<dyn DynSession + 'env>, Box<dyn DynSession + 'env>)>,
+    stall_timeout: Duration,
+) -> Vec<PairOutcome> {
+    with_executor(shards, placement_seed, |_scope, mut injector, events| {
+        let n = pairs.len();
+        let mut outcomes = Vec::with_capacity(n);
+        for (i, (alice, bob)) in pairs.into_iter().enumerate() {
+            let alice_id = (i as u64) * 2;
+            let shard = injector.submit(alice_id, Party::Alice, alice);
+            injector.submit_on(shard, alice_id + 1, Party::Bob, bob);
+            outcomes.push(PairOutcome {
+                shard,
+                transcript: Transcript::new(),
+                error: None,
+            });
+        }
+        let mut finished = vec![[false, false]; n];
+        let mut pending = n * 2;
+        let mut stalled = false;
+        while pending > 0 {
+            match events.next(Some(stall_timeout)) {
+                Wait::Event(ExecEvent::Frame { id, frame }) => {
+                    injector.deliver(id ^ 1, frame);
+                }
+                Wait::Event(ExecEvent::Done {
+                    id,
+                    transcript,
+                    error,
+                }) => {
+                    let (pair, half) = ((id / 2) as usize, (id % 2) as usize);
+                    if finished[pair][half] {
+                        continue;
+                    }
+                    finished[pair][half] = true;
+                    pending -= 1;
+                    if half == 0 {
+                        outcomes[pair].transcript = transcript;
+                    }
+                    if let Some(e) = error {
+                        outcomes[pair].error.get_or_insert(e);
+                        // The peer can make no further progress; a stale
+                        // close (peer already finished) is a no-op.
+                        injector.close(id ^ 1, "peer session failed");
+                    }
+                }
+                Wait::Event(ExecEvent::Stranded { .. } | ExecEvent::Injected { .. }) => {}
+                Wait::Timeout if !stalled => {
+                    // No worker produced anything for a whole window:
+                    // close every unfinished half; their Done events (and
+                    // any frames a slow worker was still computing) drain
+                    // the loop.
+                    stalled = true;
+                    for (pair, halves) in finished.iter().enumerate() {
+                        for (half, done) in halves.iter().enumerate() {
+                            if !done {
+                                injector.close((pair as u64) * 2 + half as u64, STALLED);
+                            }
+                        }
+                    }
+                }
+                Wait::Timeout => break, // closes did not drain: workers are gone
+                Wait::Closed => break,
+            }
+        }
+        outcomes
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rsr_iblt::bits::BitWriter;
+
+    /// Greets with `burst` frames, waits for the same number back.
+    struct Pong {
+        to_send: usize,
+        expect: usize,
+        echo: bool,
+    }
+
+    impl DynSession for Pong {
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            if self.to_send > 0 {
+                self.to_send -= 1;
+                let mut w = BitWriter::new();
+                w.write(self.to_send as u64, 16);
+                return Ok(Some(Frame::seal("pong", w)));
+            }
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, _frame: Frame) -> Result<(), String> {
+            self.expect -= 1;
+            if self.echo {
+                self.to_send += 1;
+            }
+            Ok(())
+        }
+
+        fn is_done(&self) -> bool {
+            self.to_send == 0 && self.expect == 0
+        }
+    }
+
+    fn chat_pair(burst: usize) -> (Box<dyn DynSession>, Box<dyn DynSession>) {
+        (
+            Box::new(Pong {
+                to_send: burst,
+                expect: burst,
+                echo: false,
+            }),
+            Box::new(Pong {
+                to_send: 0,
+                expect: burst,
+                echo: true,
+            }),
+        )
+    }
+
+    #[test]
+    fn drive_batch_completes_pairs_across_shards() {
+        let pairs: Vec<_> = (1..=40).map(chat_pair).collect();
+        let outcomes = drive_batch(4, 0, pairs, Duration::from_secs(5));
+        assert_eq!(outcomes.len(), 40);
+        for (i, out) in outcomes.iter().enumerate() {
+            assert!(out.is_ok(), "pair {i}: {:?}", out.error);
+            // Alice's transcript holds her burst and the echo back.
+            assert_eq!(out.transcript.num_messages(), 2 * (i + 1));
+            assert_eq!(out.transcript.total_bits(), 2 * (i as u64 + 1) * 16);
+            assert!(out.shard < 4);
+        }
+    }
+
+    #[test]
+    fn drive_batch_matches_serial_round_count() {
+        let outcomes = drive_batch(2, 7, vec![chat_pair(3)], Duration::from_secs(5));
+        let t = &outcomes[0].transcript;
+        // 3 alice frames then 3 bob echoes: two direction changes.
+        assert_eq!(t.num_rounds(), 2);
+        let senders: Vec<_> = t.entries_with_sender().map(|(s, _, _)| s).collect();
+        assert_eq!(
+            senders,
+            vec![
+                Some(Party::Alice),
+                Some(Party::Alice),
+                Some(Party::Alice),
+                Some(Party::Bob),
+                Some(Party::Bob),
+                Some(Party::Bob),
+            ]
+        );
+    }
+
+    /// Claims to be unfinished but never speaks.
+    struct Mute;
+
+    impl DynSession for Mute {
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, _frame: Frame) -> Result<(), String> {
+            Ok(())
+        }
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn stalled_pairs_are_closed_not_deadlocked() {
+        let pairs: Vec<(Box<dyn DynSession>, Box<dyn DynSession>)> = vec![
+            (Box::new(Mute), Box::new(Mute)),
+            chat_pair(2), // a healthy pair in the same batch still completes
+        ];
+        let outcomes = drive_batch(2, 0, pairs, Duration::from_millis(100));
+        assert_eq!(outcomes[0].error.as_deref(), Some(STALLED));
+        assert!(outcomes[1].is_ok(), "{:?}", outcomes[1].error);
+    }
+
+    /// Errors as soon as the peer says anything.
+    struct Rejecting;
+
+    impl DynSession for Rejecting {
+        fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+            Ok(None)
+        }
+
+        fn on_frame(&mut self, _frame: Frame) -> Result<(), String> {
+            Err("bad frame".into())
+        }
+
+        fn is_done(&self) -> bool {
+            false
+        }
+    }
+
+    #[test]
+    fn pair_error_reports_first_cause() {
+        let pairs: Vec<(Box<dyn DynSession>, Box<dyn DynSession>)> =
+            vec![(chat_pair(1).0, Box::new(Rejecting))];
+        let outcomes = drive_batch(1, 0, pairs, Duration::from_secs(5));
+        assert_eq!(outcomes[0].error.as_deref(), Some("bad frame"));
+    }
+
+    #[test]
+    fn placement_two_choice_is_deterministic_and_balanced() {
+        let mut a = Placement::new(8, 42);
+        let mut b = Placement::new(8, 42);
+        let shards_a: Vec<_> = (0..4096).map(|id| a.place(id)).collect();
+        let shards_b: Vec<_> = (0..4096).map(|id| b.place(id)).collect();
+        assert_eq!(shards_a, shards_b, "same seed, same order, same shards");
+        let mean = 4096 / 8;
+        for (shard, &load) in a.loads().iter().enumerate() {
+            assert!(
+                load <= 2 * mean,
+                "shard {shard} holds {load} sessions, over 2x the mean {mean}"
+            );
+        }
+        // A different seed reshuffles at least something.
+        let mut c = Placement::new(8, 43);
+        let shards_c: Vec<_> = (0..4096).map(|id| c.place(id)).collect();
+        assert_ne!(shards_a, shards_c);
+    }
+
+    #[test]
+    fn injector_reports_unknown_ids() {
+        with_executor(2, 0, |_s, mut injector, _events| {
+            assert!(!injector.deliver(9, Frame::seal("x", BitWriter::new())));
+            assert!(!injector.close(9, "nope"));
+            let shard = injector.submit(9, Party::Alice, Box::new(Mute));
+            assert_eq!(injector.shard_of(9), Some(shard));
+            assert!(injector.deliver(9, Frame::seal("x", BitWriter::new())));
+        });
+    }
+
+    #[test]
+    fn stranded_sessions_surface_on_shutdown() {
+        let stranded = with_executor(1, 0, |_s, mut injector, events| {
+            injector.submit(5, Party::Bob, Box::new(Mute));
+            drop(injector);
+            let mut ids = Vec::new();
+            while let Some(ev) = events.recv() {
+                if let ExecEvent::Stranded { id, .. } = ev {
+                    ids.push(id);
+                }
+            }
+            ids
+        });
+        assert_eq!(stranded, vec![5]);
+    }
+
+    #[test]
+    fn injected_events_pass_through() {
+        with_executor(1, 0, |_s, injector, events| {
+            injector.inject(77, 3, "note");
+            match events.recv() {
+                Some(ExecEvent::Injected { id, code, note }) => {
+                    assert_eq!((id, code, note.as_str()), (77, 3, "note"));
+                }
+                other => panic!("unexpected event: {other:?}"),
+            }
+        });
+    }
+}

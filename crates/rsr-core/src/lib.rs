@@ -26,12 +26,17 @@
 //!   every protocol is an Alice/Bob pair of session state machines
 //!   exchanging encoded frames through a [`channel::Channel`]; the
 //!   `run(&alice, &bob)` entry points are thin drivers over it.
+//! * [`executor`] — the sharded worker-pool executor: two-choice
+//!   session→shard placement, per-shard ready queues, wake-on-frame
+//!   dispatch, and the in-process parallel [`executor::drive_batch`]
+//!   driver. The networked transports in `rsr-net` feed it frames.
 //! * [`wire`] — codecs for non-table payloads (point lists, `u64` lists),
 //!   built on `rsr-iblt`'s shared bit codec.
 
 pub mod channel;
 pub mod emd_protocol;
 pub mod emd_scaled;
+pub mod executor;
 pub mod gap_low_dim;
 pub mod gap_protocol;
 pub mod lower_bound;
@@ -48,6 +53,10 @@ pub use emd_protocol::{
     EmdProtocolConfig,
 };
 pub use emd_scaled::{ScaledEmdAliceSession, ScaledEmdBobSession, ScaledEmdProtocol};
+pub use executor::{
+    drive_batch, with_executor, DynSession, Events, ExecEvent, Injector, PairOutcome, Placement,
+    Wait,
+};
 pub use gap_low_dim::low_dim_gap_config;
 pub use gap_protocol::{
     verify_gap_guarantee, GapAliceSession, GapBobSession, GapConfig, GapError, GapOutcome,

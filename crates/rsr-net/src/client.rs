@@ -1,28 +1,31 @@
-//! [`ReconClient`]: batch many Alice sessions over one connection.
+//! [`ReconClient`]: batch many Alice sessions over one connection,
+//! driven by the sharded session executor.
 //!
-//! The client plays **Alice** for every session it runs. A batch works
-//! in two phases: first every session is `OPEN`ed and everything each
-//! Alice can already say is written — the frames of different sessions
-//! interleave on the wire — then the client routes the server's records
-//! to sessions by id, pumping whatever replies they unlock, until the
-//! server has said `DONE` for every session. A dedicated reader thread
-//! drains the server's records for the whole lifetime of the batch, so
-//! a server speaking first for many sessions at once (the Gap protocol's
-//! round 1) can never fill both socket buffers and deadlock against the
-//! client's own writing.
+//! The client plays **Alice** for every session it runs. A batch first
+//! `OPEN`s every session (so a server speaking first — the Gap
+//! protocol's round 1 — can start immediately), then submits all Alice
+//! halves to a worker-pool executor: each half's opening say is pumped
+//! on its shard and the frames of different sessions interleave on the
+//! wire. A dedicated reader thread routes the server's records to
+//! sessions by id — wake-on-frame, each record waking exactly one
+//! session — for the whole lifetime of the batch, so a server flooding
+//! many sessions at once can never fill both socket buffers and
+//! deadlock against the client's own writing. The calling thread drains
+//! the executor's event stream, writing produced frames and tracking
+//! which sessions have settled.
 //!
 //! A session-level failure (local decode error, server error status)
 //! marks that one session failed and the batch carries on; only
 //! transport-level failures abort the whole batch.
 
 use crate::codec::{read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR};
+use crate::executor::{default_shards, PLACEMENT_SEED};
 use crate::server::NetSession;
+use rsr_core::executor::{with_executor, ExecEvent, Injector};
 use rsr_core::transcript::{Party, Transcript};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::mpsc;
-use std::thread;
 use std::time::Duration;
 
 /// One session's client-side record within a [`BatchReport`].
@@ -52,7 +55,11 @@ pub struct BatchReport {
     pub sessions: Vec<SessionReport>,
     /// Frames sent to the server (all sessions).
     pub frames_out: usize,
-    /// Frames received from the server (all sessions).
+    /// Frames received from the server and routed to a known session id
+    /// (all sessions). Counted at routing time, before the executor
+    /// decides whether the session is still live, so a frame racing a
+    /// session's failure is counted even though the worker drops it as
+    /// stale.
     pub frames_in: usize,
     /// Raw bytes written, record headers included.
     pub wire_bytes_out: u64,
@@ -80,14 +87,26 @@ impl BatchReport {
     }
 }
 
-struct ClientSlot<'s> {
+/// Injected-event code base for a server `DONE`; the status rides in
+/// `code - CODE_SERVER_DONE`.
+const CODE_SERVER_DONE: u32 = 0x100;
+/// Injected-event code: the server closed the connection cleanly.
+const CODE_EOF: u32 = 1;
+/// Injected-event code: the transport failed or the server violated the
+/// record contract; the reader thread carries the typed error out.
+const CODE_FATAL: u32 = 2;
+
+/// Client-side bookkeeping for one session of the batch.
+struct ClientSlot {
     id: u64,
-    session: Box<dyn NetSession + 's>,
     transcript: Transcript,
     error: Option<String>,
-    /// The server sent `DONE` (or we abandoned the session): nothing
-    /// further is expected on the wire for it.
+    /// The server said `DONE` (or we abandoned / lost the connection):
+    /// nothing further is expected on the wire for it.
     settled: bool,
+    /// The executor reported the local Alice half finished, failed, or
+    /// stranded — its transcript has been collected.
+    local_done: bool,
 }
 
 /// The client end of a multiplexed reconciliation connection. One batch
@@ -96,10 +115,13 @@ struct ClientSlot<'s> {
 pub struct ReconClient {
     reader: BufReader<TcpStream>,
     writer: BufWriter<TcpStream>,
+    shards: usize,
 }
 
 impl ReconClient {
-    /// Connects to a [`ReconServer`](crate::server::ReconServer).
+    /// Connects to a [`ReconServer`](crate::server::ReconServer). The
+    /// batch is driven with [`default_shards`] worker shards unless
+    /// [`ReconClient::with_shards`] overrides it.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ReconClient> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true).ok();
@@ -107,7 +129,20 @@ impl ReconClient {
         Ok(ReconClient {
             reader,
             writer: BufWriter::new(stream),
+            shards: default_shards(),
         })
+    }
+
+    /// Sets the executor worker-shard count for the batch.
+    pub fn with_shards(mut self, shards: usize) -> ReconClient {
+        assert!(shards >= 1, "a batch needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// The configured worker-shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// Bounds how long the batch blocks on a silent server before the
@@ -117,73 +152,106 @@ impl ReconClient {
     }
 
     /// Runs a batch of `(session id, Alice session)` pairs over this
-    /// connection, multiplexed, to completion. Ids must be unique within
-    /// the batch and mean something to the server's factory.
+    /// connection, multiplexed and executor-driven, to completion. Ids
+    /// must be unique within the batch and mean something to the
+    /// server's factory.
     pub fn run_batch<'s>(
         self,
         sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
     ) -> Result<BatchReport, NetError> {
-        let ReconClient { reader, mut writer } = self;
-        let mut report = BatchReport::default();
-        let mut slots: Vec<ClientSlot<'s>> = Vec::with_capacity(sessions.len());
+        let ReconClient {
+            reader,
+            mut writer,
+            shards,
+        } = self;
         let mut index: HashMap<u64, usize> = HashMap::with_capacity(sessions.len());
-        for (id, session) in sessions {
-            if index.insert(id, slots.len()).is_some() {
+        for (pos, (id, _)) in sessions.iter().enumerate() {
+            if index.insert(*id, pos).is_some() {
                 return Err(NetError::Malformed("duplicate session id in batch"));
             }
-            slots.push(ClientSlot {
-                id,
-                session,
+        }
+        let mut slots: Vec<ClientSlot> = sessions
+            .iter()
+            .map(|(id, _)| ClientSlot {
+                id: *id,
                 transcript: Transcript::new(),
                 error: None,
                 settled: false,
-            });
-        }
+                local_done: false,
+            })
+            .collect();
+        let mut report = BatchReport::default();
 
-        // The reader thread forwards the server's records for the whole
-        // batch, so incoming traffic drains even while we are writing.
-        let (tx, rx) = mpsc::channel();
-        let _reader_thread = thread::spawn(move || {
-            let mut reader = reader;
-            loop {
-                match read_record(&mut reader) {
-                    Ok(Some(item)) => {
-                        if tx.send(Ok(Some(item))).is_err() {
-                            return; // batch is gone; stop reading
+        let outcome: Result<(), NetError> =
+            with_executor(shards, PLACEMENT_SEED, |scope, mut injector, events| {
+                // Announce every session before the first frame, so the
+                // server can build all its halves (and speak first where
+                // the protocol starts server-side) while we still write.
+                for (id, _) in &sessions {
+                    report.wire_bytes_out +=
+                        write_record(&mut writer, &Record::Open { session: *id })?;
+                }
+                writer.flush()?;
+                for (id, session) in sessions {
+                    injector.submit(id, Party::Alice, session);
+                }
+
+                // The reader owns the injector: every server record is a
+                // wake (deliver/close) plus, for control flow, an event
+                // injected *before* the wake so the main loop always
+                // learns the cause before the executor's consequence.
+                let reader_thread = scope.spawn(move || client_read_loop(reader, injector));
+
+                let mut fatal: Option<NetError> = None;
+                let mut aborted = false;
+                while slots.iter().any(|s| !s.settled || !s.local_done) {
+                    let Some(first) = events.recv() else { break };
+                    let mut next = Some(first);
+                    while let Some(ev) = next {
+                        handle_event(
+                            ev,
+                            &index,
+                            &mut slots,
+                            &mut writer,
+                            &mut report,
+                            &mut fatal,
+                            &mut aborted,
+                        );
+                        next = events.try_recv();
+                    }
+                    if fatal.is_none() {
+                        if let Err(e) = writer.flush() {
+                            fatal = Some(e.into());
                         }
                     }
-                    terminal => {
-                        let _ = tx.send(terminal);
-                        return;
+                    if aborted || fatal.is_some() {
+                        break;
                     }
                 }
-            }
-        });
-        let mut closed = false;
 
-        let outcome = run_phases(
-            &mut writer,
-            &rx,
-            &mut report,
-            &mut slots,
-            &index,
-            &mut closed,
-        );
-
-        // Nothing more to say (or the transport died): close our write
-        // half so the server's handler sees EOF, finishes, and releases
-        // the connection. On a transport error also shut the read half,
-        // which unblocks the reader thread so it exits instead of
-        // leaking, blocked in read(), for the life of the process.
-        writer.flush().ok();
-        match &outcome {
-            Ok(()) => {
-                writer.get_ref().shutdown(Shutdown::Write).ok();
-            }
-            Err(_) => {
-                writer.get_ref().shutdown(Shutdown::Both).ok();
-            }
-        }
+                // Nothing more to say (or the transport died): close our
+                // write half so the server's handler sees EOF, finishes,
+                // and releases the connection — which in turn EOFs our
+                // reader thread so the scope can join it. On a failure
+                // shut both halves to unblock the reader immediately.
+                writer.flush().ok();
+                if fatal.is_some() || aborted {
+                    writer.get_ref().shutdown(Shutdown::Both).ok();
+                } else {
+                    writer.get_ref().shutdown(Shutdown::Write).ok();
+                }
+                let (wire_bytes_in, frames_in, read_error) =
+                    reader_thread.join().expect("client reader thread");
+                report.wire_bytes_in = wire_bytes_in;
+                report.frames_in = frames_in;
+                if let Some(e) = fatal {
+                    return Err(e);
+                }
+                if let Some(e) = read_error {
+                    return Err(e);
+                }
+                Ok(())
+            });
         outcome?;
 
         report.sessions = slots
@@ -198,163 +266,163 @@ impl ReconClient {
     }
 }
 
-/// Both phases of a batch; split out so [`ReconClient::run_batch`] can
-/// run connection teardown on every exit path.
-fn run_phases<'s>(
-    writer: &mut BufWriter<TcpStream>,
-    rx: &mpsc::Receiver<Result<Option<(Record, u64)>, NetError>>,
-    report: &mut BatchReport,
-    slots: &mut Vec<ClientSlot<'s>>,
+/// Applies one executor event to the batch state.
+fn handle_event(
+    ev: ExecEvent,
     index: &HashMap<u64, usize>,
-    closed: &mut bool,
-) -> Result<(), NetError> {
-    // Phase 1: open everything and say everything we already can — this
-    // is where the sessions' opening frames interleave. Between sessions,
-    // handle whatever the server has already answered; once the server is
-    // known gone, every remaining session is already marked failed and
-    // writing to the dead socket would only turn those per-session
-    // reports into a whole-batch transport error.
-    for i in 0..slots.len() {
-        if *closed {
-            break;
-        }
-        report.wire_bytes_out += write_record(
-            writer,
-            &Record::Open {
-                session: slots[i].id,
-            },
-        )?;
-        pump_slot(writer, report, &mut slots[i])?;
-        writer.flush()?;
-        while let Ok(msg) = rx.try_recv() {
-            dispatch(msg, writer, report, slots, index, closed)?;
-        }
-    }
-
-    // Phase 2: route the server's records until every session settles.
-    while !*closed && slots.iter().any(|s| !s.settled) {
-        let msg = rx.recv().unwrap_or(Ok(None));
-        dispatch(msg, writer, report, slots, index, closed)?;
-    }
-    writer.flush()?;
-    Ok(())
-}
-
-/// Handles one message from the reader thread.
-fn dispatch(
-    msg: Result<Option<(Record, u64)>, NetError>,
+    slots: &mut [ClientSlot],
     writer: &mut BufWriter<TcpStream>,
     report: &mut BatchReport,
-    slots: &mut [ClientSlot<'_>],
-    index: &HashMap<u64, usize>,
-    closed: &mut bool,
-) -> Result<(), NetError> {
-    let record = match msg {
-        Err(e) => return Err(e),
-        Ok(None) => {
-            *closed = true;
-            for slot in slots.iter_mut().filter(|s| !s.settled) {
-                slot.settled = true;
-                slot.error
-                    .get_or_insert_with(|| "connection closed before session settled".into());
+    fatal: &mut Option<NetError>,
+    aborted: &mut bool,
+) {
+    match ev {
+        // The local half produced a frame: put it on the wire.
+        ExecEvent::Frame { id, frame } => {
+            report.frames_out += 1;
+            if fatal.is_none() {
+                match write_record(writer, &Record::Frame { session: id, frame }) {
+                    Ok(n) => report.wire_bytes_out += n,
+                    Err(e) => *fatal = Some(e),
+                }
             }
-            return Ok(());
         }
-        Ok(Some((record, n))) => {
-            report.wire_bytes_in += n;
-            record
-        }
-    };
-    let slot_of = |id: u64| {
-        index.get(&id).copied().ok_or(NetError::Malformed(
-            "record for a session id not in the batch",
-        ))
-    };
-    match record {
-        Record::Open { .. } => {
-            return Err(NetError::Malformed("server sent an open record"));
-        }
-        Record::Frame { session: id, frame } => {
-            let slot = &mut slots[slot_of(id)?];
-            if slot.settled || slot.error.is_some() {
-                return Ok(()); // stale frame for a dead session
-            }
-            report.frames_in += 1;
-            slot.transcript
-                .record_from(Party::Bob, frame.label.clone(), frame.bit_len);
-            if let Err(e) = slot.session.on_frame(frame) {
-                abandon(writer, report, slot, e)?;
-            } else {
-                pump_slot(writer, report, slot)?;
-            }
-            writer.flush()?;
-        }
-        Record::Done {
-            session: id,
-            status,
-            message,
+        // The local half left the executor: collect its transcript; a
+        // genuine local failure (not one relayed from a server DONE —
+        // those arrive with `settled` already set) abandons the session
+        // so a Bob blocked on this Alice cannot wedge the connection.
+        ExecEvent::Done {
+            id,
+            transcript,
+            error,
         } => {
-            let slot = &mut slots[slot_of(id)?];
-            slot.settled = true;
-            if status != STATUS_OK {
-                slot.error
-                    .get_or_insert(format!("server status {status}: {message}"));
-            } else if !slot.session.is_done() {
-                slot.error.get_or_insert_with(|| {
-                    "server finished but the local session is incomplete".into()
-                });
+            let slot = &mut slots[index[&id]];
+            slot.local_done = true;
+            slot.transcript = transcript;
+            if let Some(e) = error {
+                if !slot.settled && fatal.is_none() {
+                    match write_record(
+                        writer,
+                        &Record::Done {
+                            session: id,
+                            status: STATUS_SESSION_ERROR,
+                            message: e.clone(),
+                        },
+                    ) {
+                        Ok(n) => report.wire_bytes_out += n,
+                        Err(err) => *fatal = Some(err),
+                    }
+                    slot.settled = true;
+                }
+                slot.error.get_or_insert(e);
             }
         }
-    }
-    Ok(())
-}
-
-/// Sends everything `slot`'s Alice half can currently say.
-fn pump_slot(
-    writer: &mut BufWriter<TcpStream>,
-    report: &mut BatchReport,
-    slot: &mut ClientSlot<'_>,
-) -> Result<(), NetError> {
-    if slot.error.is_some() {
-        return Ok(());
-    }
-    loop {
-        match slot.session.poll_send() {
-            Ok(Some(frame)) => {
-                slot.transcript
-                    .record_from(Party::Alice, frame.label.clone(), frame.bit_len);
-                report.frames_out += 1;
-                report.wire_bytes_out += write_record(
-                    writer,
-                    &Record::Frame {
-                        session: slot.id,
-                        frame,
-                    },
-                )?;
-            }
-            Ok(None) => return Ok(()),
-            Err(e) => return abandon(writer, report, slot, e),
+        // Executor shutdown caught the half still live: the connection
+        // is gone and its `CODE_EOF`/`CODE_FATAL` cause was already
+        // handled; just collect what crossed.
+        ExecEvent::Stranded { id, transcript } => {
+            let slot = &mut slots[index[&id]];
+            slot.local_done = true;
+            slot.transcript = transcript;
+            slot.error
+                .get_or_insert_with(|| "connection closed before session settled".into());
         }
-    }
-}
-
-/// Marks the session failed locally and tells the server to drop its
-/// half, so a Bob blocked on this Alice cannot wedge the connection.
-fn abandon(
-    writer: &mut BufWriter<TcpStream>,
-    report: &mut BatchReport,
-    slot: &mut ClientSlot<'_>,
-    error: String,
-) -> Result<(), NetError> {
-    report.wire_bytes_out += write_record(
-        writer,
-        &Record::Done {
-            session: slot.id,
-            status: STATUS_SESSION_ERROR,
-            message: error.clone(),
+        ExecEvent::Injected { id, code, note } => match code {
+            CODE_EOF => {
+                for slot in slots.iter_mut().filter(|s| !s.settled) {
+                    slot.settled = true;
+                    slot.error
+                        .get_or_insert_with(|| "connection closed before session settled".into());
+                }
+            }
+            CODE_FATAL => *aborted = true,
+            code => {
+                let status = (code - CODE_SERVER_DONE) as u8;
+                let slot = &mut slots[index[&id]];
+                slot.settled = true;
+                if status != STATUS_OK {
+                    slot.error
+                        .get_or_insert(format!("server status {status}: {note}"));
+                }
+            }
         },
-    )?;
-    slot.error = Some(error);
-    slot.settled = true;
-    Ok(())
+    }
+}
+
+/// The reader thread: routes server records into the executor. Returns
+/// `(wire bytes read, frames read, transport error)`; dropping the
+/// injector on exit is what ultimately shuts the executor down.
+fn client_read_loop(
+    mut reader: BufReader<TcpStream>,
+    injector: Injector<'_>,
+) -> (u64, usize, Option<NetError>) {
+    let mut wire_bytes_in = 0u64;
+    let mut frames_in = 0usize;
+    loop {
+        match read_record(&mut reader) {
+            Ok(Some((record, n))) => {
+                wire_bytes_in += n;
+                match record {
+                    Record::Open { .. } => {
+                        injector.inject(0, CODE_FATAL, "server sent an open record");
+                        return (
+                            wire_bytes_in,
+                            frames_in,
+                            Some(NetError::Malformed("server sent an open record")),
+                        );
+                    }
+                    Record::Frame { session: id, frame } => {
+                        if injector.shard_of(id).is_none() {
+                            injector.inject(0, CODE_FATAL, "record for an unknown session");
+                            return (
+                                wire_bytes_in,
+                                frames_in,
+                                Some(NetError::Malformed(
+                                    "record for a session id not in the batch",
+                                )),
+                            );
+                        }
+                        frames_in += 1;
+                        injector.deliver(id, frame);
+                    }
+                    Record::Done {
+                        session: id,
+                        status,
+                        message,
+                    } => {
+                        if injector.shard_of(id).is_none() {
+                            injector.inject(0, CODE_FATAL, "record for an unknown session");
+                            return (
+                                wire_bytes_in,
+                                frames_in,
+                                Some(NetError::Malformed(
+                                    "record for a session id not in the batch",
+                                )),
+                            );
+                        }
+                        // Inject the cause first (the event stream is
+                        // FIFO), then close the local half so it reports
+                        // in even if it cannot finish on its own. The
+                        // close is stale — a silent no-op — whenever the
+                        // half already completed.
+                        injector.inject(id, CODE_SERVER_DONE + status as u32, message.clone());
+                        let reason = if status == STATUS_OK {
+                            "server finished but the local session is incomplete".to_owned()
+                        } else {
+                            format!("server status {status}: {message}")
+                        };
+                        injector.close(id, reason);
+                    }
+                }
+            }
+            Ok(None) => {
+                injector.inject(0, CODE_EOF, "");
+                return (wire_bytes_in, frames_in, None);
+            }
+            Err(e) => {
+                injector.inject(0, CODE_FATAL, e.to_string());
+                return (wire_bytes_in, frames_in, Some(e));
+            }
+        }
+    }
 }

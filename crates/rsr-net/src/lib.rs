@@ -16,10 +16,13 @@
 //!   [`drive_channel`](rsr_core::session::drive_channel); the sessions
 //!   themselves are unchanged from the in-memory path.
 //! * [`ReconServer`] / [`ReconClient`] — many concurrent sessions
-//!   multiplexed over **one** connection. The server holds the Bob half
-//!   of every session (created on demand by a [`SessionFactory`]) in a
-//!   thread-per-connection accept loop; the client batches N Alice
-//!   sessions and interleaves their frames. Both sides keep per-session
+//!   multiplexed over **one** connection, each endpoint driving its
+//!   halves on `rsr-core`'s sharded worker-pool executor (see
+//!   [`executor`]): the server holds the Bob half of every session
+//!   (created on demand by a [`SessionFactory`], placed on a shard by
+//!   power-of-two choices) in a thread-per-connection accept loop; the
+//!   client batches N Alice sessions and interleaves their frames. Both
+//!   sides keep per-session
 //!   [`Transcript`](rsr_core::transcript::Transcript)s and
 //!   per-connection byte counters that must — and are tested to — agree
 //!   with the in-memory driver's accounting.
@@ -28,6 +31,7 @@
 
 pub mod client;
 pub mod codec;
+pub mod executor;
 pub mod server;
 pub mod tcp;
 
@@ -36,5 +40,9 @@ pub use codec::{
     read_record, write_record, NetError, Record, MAX_RECORD_BYTES, STATUS_OK, STATUS_SESSION_ERROR,
     STATUS_UNKNOWN_SESSION,
 };
-pub use server::{ConnectionReport, NetSession, ReconServer, SessionFactory, SessionSummary};
+pub use executor::{default_shards, MAX_DEFAULT_SHARDS};
+pub use server::{
+    handle_connection, handle_connection_sharded, ConnectionReport, NetSession, ReconServer,
+    SessionFactory, SessionSummary,
+};
 pub use tcp::TcpChannel;

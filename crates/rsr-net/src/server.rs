@@ -1,67 +1,47 @@
 //! [`ReconServer`]: many reconciliation sessions multiplexed over each
-//! accepted connection.
+//! accepted connection, driven by the sharded session executor.
 //!
 //! The server plays **Bob** for every session. A [`SessionFactory`]
 //! supplies the Bob half on demand: when a connection `OPEN`s a session
 //! id (or sends its first `FRAME` for one), the factory builds the
-//! session, the server pumps everything Bob can say immediately — for
-//! Bob-initiated protocols like the Gap protocol that is round 1 — and
-//! from then on frames are routed by session id. When a session's Bob
-//! half finishes, the server reports `DONE` with [`STATUS_OK`]; a
-//! protocol error is reported with [`STATUS_SESSION_ERROR`] and the
-//! session dropped, leaving every other session on the connection
-//! untouched. An id the factory does not know gets
-//! [`STATUS_UNKNOWN_SESSION`].
+//! session and the executor places it on a worker shard by power-of-two
+//! choices; everything Bob can say immediately — for Bob-initiated
+//! protocols like the Gap protocol that is round 1 — is pumped on that
+//! shard and written back by the connection's writer thread. From then
+//! on frames are routed by session id, each one waking exactly the
+//! session it addresses. When a session's Bob half finishes, the server
+//! reports `DONE` with [`STATUS_OK`](crate::codec::STATUS_OK); a
+//! protocol error is reported with
+//! [`STATUS_SESSION_ERROR`](crate::codec::STATUS_SESSION_ERROR) and the
+//! session dropped, leaving every other session on the connection — and
+//! every other session on the same *shard* — untouched. An id the
+//! factory does not know gets
+//! [`STATUS_UNKNOWN_SESSION`](crate::codec::STATUS_UNKNOWN_SESSION).
 //!
 //! Each connection runs in its own thread (`serve`), or inline on the
 //! caller's thread (`serve_one`); either way the handler keeps one
-//! [`Transcript`] per session — entry-for-entry what the in-memory driver
-//! would have recorded — plus whole-connection frame and wire-byte
-//! counters, returned as a [`ConnectionReport`].
+//! [`Transcript`] per session — entry-for-entry what the in-memory
+//! driver would have recorded — plus whole-connection frame and
+//! wire-byte counters, returned as a [`ConnectionReport`]. See
+//! `docs/transport.md` ("Execution model") for the full scheduling
+//! story.
 
-use crate::codec::{
-    read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR,
-    STATUS_UNKNOWN_SESSION,
-};
-use rsr_core::channel::Frame;
-use rsr_core::session::Session;
-use rsr_core::transcript::{Party, Transcript};
-use std::collections::HashMap;
-use std::fmt;
-use std::io::{self, BufReader, BufWriter, Write};
+use crate::codec::NetError;
+use crate::executor::{default_shards, drive_server_connection};
+use rsr_core::transcript::Transcript;
+use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
 use std::thread;
 
-/// A [`Session`] with its error type erased to `String`, so one server
-/// can hold sessions of different protocols behind one object type.
-/// Blanket-implemented for every `Session` whose error displays.
-pub trait NetSession {
-    /// See [`Session::poll_send`].
-    fn poll_send(&mut self) -> Result<Option<Frame>, String>;
-    /// See [`Session::on_frame`].
-    fn on_frame(&mut self, frame: Frame) -> Result<(), String>;
-    /// See [`Session::is_done`].
-    fn is_done(&self) -> bool;
-}
-
-impl<S> NetSession for S
-where
-    S: Session,
-    S::Error: fmt::Display,
-{
-    fn poll_send(&mut self) -> Result<Option<Frame>, String> {
-        Session::poll_send(self).map_err(|e| e.to_string())
-    }
-
-    fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
-        Session::on_frame(self, frame).map_err(|e| e.to_string())
-    }
-
-    fn is_done(&self) -> bool {
-        Session::is_done(self)
-    }
-}
+/// A [`rsr_core::session::Session`] with its error type erased to
+/// `String` and a `Send` bound so it can run on an executor shard —
+/// one server holds sessions of different protocols behind one object
+/// type. This is `rsr-core`'s [`rsr_core::executor::DynSession`],
+/// re-exported under the name the transport layer has always used;
+/// it stays blanket-implemented for every sendable `Session` whose
+/// error displays.
+pub use rsr_core::executor::DynSession as NetSession;
 
 /// Builds the server-side (Bob) half of a session on demand. The boxed
 /// session may borrow from the factory — protocol objects and point sets
@@ -90,7 +70,12 @@ pub struct SessionSummary {
 pub struct ConnectionReport {
     /// Per-session summaries, in the order sessions were opened.
     pub sessions: Vec<SessionSummary>,
-    /// Frames received from the client (all sessions).
+    /// Frames received from the client and routed to a known session id
+    /// (all sessions). Unlike the pre-executor serial loop, this counts
+    /// a frame even when the addressed session has already finished and
+    /// the worker drops it as stale — the reader routes without knowing
+    /// per-session liveness — so on error interleavings this can exceed
+    /// the number of frames sessions actually consumed.
     pub frames_in: usize,
     /// Frames sent to the client (all sessions).
     pub frames_out: usize,
@@ -121,203 +106,58 @@ impl ConnectionReport {
     }
 }
 
-struct Slot<'f> {
-    session: Box<dyn NetSession + 'f>,
-    transcript: Transcript,
-    error: Option<String>,
-    /// A `DONE` has been sent; the session no longer accepts frames.
-    closed: bool,
-}
-
-/// Serves every session the client multiplexes onto `stream`, until the
-/// client closes the connection. Returns the per-connection accounting;
-/// `Err` only for transport-level failures (the connection is then dead),
-/// never for per-session protocol errors.
+/// Serves every session the client multiplexes onto `stream` over a
+/// default-width executor, until the client closes the connection.
+/// Returns the per-connection accounting; `Err` only for transport-level
+/// failures (the connection is then dead), never for per-session
+/// protocol errors.
 pub fn handle_connection<F: SessionFactory + ?Sized>(
     factory: &F,
     stream: TcpStream,
 ) -> Result<ConnectionReport, NetError> {
-    stream.set_nodelay(true).ok();
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
-    let mut slots: HashMap<u64, Slot<'_>> = HashMap::new();
-    let mut order: Vec<u64> = Vec::new();
-    let mut report = ConnectionReport::default();
-    loop {
-        // Everything queued goes out before we block on the client.
-        writer.flush()?;
-        let Some((record, n)) = read_record(&mut reader)? else {
-            break;
-        };
-        report.wire_bytes_in += n;
-        match record {
-            Record::Open { session: id } => {
-                if slots.contains_key(&id) {
-                    send_done(
-                        &mut writer,
-                        &mut report,
-                        id,
-                        STATUS_SESSION_ERROR,
-                        "session opened twice",
-                    )?;
-                    continue;
-                }
-                match factory.open(id) {
-                    Some(session) => {
-                        order.push(id);
-                        let mut slot = Slot {
-                            session,
-                            transcript: Transcript::new(),
-                            error: None,
-                            closed: false,
-                        };
-                        pump(&mut writer, &mut report, id, &mut slot)?;
-                        slots.insert(id, slot);
-                    }
-                    None => send_done(
-                        &mut writer,
-                        &mut report,
-                        id,
-                        STATUS_UNKNOWN_SESSION,
-                        "unknown session id",
-                    )?,
-                }
-            }
-            Record::Frame { session: id, frame } => {
-                // A first frame without OPEN implicitly opens the session
-                // (Alice-initiated protocols over a bare TcpChannel).
-                if let std::collections::hash_map::Entry::Vacant(entry) = slots.entry(id) {
-                    match factory.open(id) {
-                        Some(session) => {
-                            order.push(id);
-                            entry.insert(Slot {
-                                session,
-                                transcript: Transcript::new(),
-                                error: None,
-                                closed: false,
-                            });
-                        }
-                        None => {
-                            send_done(
-                                &mut writer,
-                                &mut report,
-                                id,
-                                STATUS_UNKNOWN_SESSION,
-                                "unknown session id",
-                            )?;
-                            continue;
-                        }
-                    }
-                }
-                let slot = slots.get_mut(&id).expect("just ensured");
-                if slot.closed {
-                    // Stale frame for a finished/failed session: drop it.
-                    continue;
-                }
-                report.frames_in += 1;
-                slot.transcript
-                    .record_from(Party::Alice, frame.label.clone(), frame.bit_len);
-                if let Err(e) = slot.session.on_frame(frame) {
-                    slot.error = Some(e.clone());
-                    slot.closed = true;
-                    send_done(&mut writer, &mut report, id, STATUS_SESSION_ERROR, &e)?;
-                    continue;
-                }
-                pump(&mut writer, &mut report, id, slot)?;
-            }
-            Record::Done { session: id, .. } => {
-                // The client gave up on the session; drop our half.
-                if let Some(slot) = slots.get_mut(&id) {
-                    if !slot.closed {
-                        slot.closed = true;
-                        slot.error = Some("abandoned by client".into());
-                    }
-                }
-            }
-        }
-    }
-    writer.flush()?;
-    for id in order {
-        let slot = slots.remove(&id).expect("every opened id has a slot");
-        let error = match (&slot.error, slot.session.is_done()) {
-            (Some(e), _) => Some(e.clone()),
-            (None, true) => None,
-            (None, false) => Some("connection closed mid-session".into()),
-        };
-        report.sessions.push(SessionSummary {
-            id,
-            transcript: slot.transcript,
-            error,
-        });
-    }
-    Ok(report)
+    drive_server_connection(factory, stream, default_shards())
 }
 
-/// Sends everything the slot's session can say, then `DONE` if that
-/// finished it.
-fn pump(
-    writer: &mut BufWriter<TcpStream>,
-    report: &mut ConnectionReport,
-    id: u64,
-    slot: &mut Slot<'_>,
-) -> Result<(), NetError> {
-    loop {
-        match slot.session.poll_send() {
-            Ok(Some(frame)) => {
-                slot.transcript
-                    .record_from(Party::Bob, frame.label.clone(), frame.bit_len);
-                report.frames_out += 1;
-                report.wire_bytes_out +=
-                    write_record(writer, &Record::Frame { session: id, frame })?;
-            }
-            Ok(None) => break,
-            Err(e) => {
-                slot.error = Some(e.clone());
-                slot.closed = true;
-                send_done(writer, report, id, STATUS_SESSION_ERROR, &e)?;
-                return Ok(());
-            }
-        }
-    }
-    if slot.session.is_done() && !slot.closed {
-        slot.closed = true;
-        send_done(writer, report, id, STATUS_OK, "")?;
-    }
-    Ok(())
-}
-
-fn send_done(
-    writer: &mut BufWriter<TcpStream>,
-    report: &mut ConnectionReport,
-    id: u64,
-    status: u8,
-    message: &str,
-) -> Result<(), NetError> {
-    report.wire_bytes_out += write_record(
-        writer,
-        &Record::Done {
-            session: id,
-            status,
-            message: message.to_owned(),
-        },
-    )?;
-    Ok(())
+/// [`handle_connection`] with an explicit worker-shard count (≥ 1).
+pub fn handle_connection_sharded<F: SessionFactory + ?Sized>(
+    factory: &F,
+    stream: TcpStream,
+    shards: usize,
+) -> Result<ConnectionReport, NetError> {
+    drive_server_connection(factory, stream, shards)
 }
 
 /// A listening reconciliation server: one [`SessionFactory`] shared by
-/// every connection, one thread (or inline call) per connection.
+/// every connection, one connection thread (or inline call) plus a
+/// fixed pool of executor shards per connection.
 pub struct ReconServer<F: SessionFactory> {
     listener: TcpListener,
     factory: Arc<F>,
+    shards: usize,
 }
 
 impl<F: SessionFactory> ReconServer<F> {
-    /// Binds `addr` (use port 0 for an ephemeral port).
+    /// Binds `addr` (use port 0 for an ephemeral port). Connections are
+    /// driven with [`default_shards`] worker shards unless
+    /// [`ReconServer::with_shards`] overrides it.
     pub fn bind(addr: impl ToSocketAddrs, factory: Arc<F>) -> io::Result<ReconServer<F>> {
         Ok(ReconServer {
             listener: TcpListener::bind(addr)?,
             factory,
+            shards: default_shards(),
         })
+    }
+
+    /// Sets the executor worker-shard count used for every connection.
+    pub fn with_shards(mut self, shards: usize) -> ReconServer<F> {
+        assert!(shards >= 1, "a connection needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// The configured worker-shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The bound address — needed after binding port 0.
@@ -326,10 +166,10 @@ impl<F: SessionFactory> ReconServer<F> {
     }
 
     /// Accepts one connection and serves it to completion on the calling
-    /// thread.
+    /// thread (the executor's shard workers still run alongside).
     pub fn serve_one(&self) -> Result<ConnectionReport, NetError> {
         let (stream, _peer) = self.listener.accept()?;
-        handle_connection(&*self.factory, stream)
+        drive_server_connection(&*self.factory, stream, self.shards)
     }
 }
 
@@ -345,8 +185,9 @@ impl<F: SessionFactory + 'static> ReconServer<F> {
         for (accepted, conn) in self.listener.incoming().enumerate() {
             let stream = conn?;
             let factory = Arc::clone(&self.factory);
+            let shards = self.shards;
             let handle = thread::spawn(move || {
-                let _ = handle_connection(&*factory, stream);
+                let _ = drive_server_connection(&*factory, stream, shards);
             });
             if let Some(max) = max_conns {
                 handles.push(handle);

@@ -18,7 +18,7 @@
 //! connection) until killed. `--sessions N` and `--trace-seed S` must
 //! match on both sides.
 
-use robust_set_recon::net::{NetSession, ReconClient, ReconServer};
+use robust_set_recon::net::{default_shards, NetSession, ReconClient, ReconServer};
 use rsr_bench::experiments::net::{Instance, TraceFactory};
 use rsr_workloads::sample_trace;
 use std::process::exit;
@@ -31,6 +31,7 @@ struct Args {
     once: bool,
     sessions: usize,
     trace_seed: u64,
+    shards: usize,
 }
 
 fn parse_args() -> Args {
@@ -40,6 +41,7 @@ fn parse_args() -> Args {
         once: false,
         sessions: 64,
         trace_seed: 0xbea7,
+        shards: default_shards(),
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -56,6 +58,12 @@ fn parse_args() -> Args {
                     .parse()
                     .unwrap_or_else(|_| usage("S"))
             }
+            "--shards" => {
+                args.shards = value("--shards N").parse().unwrap_or_else(|_| usage("N"));
+                if args.shards == 0 {
+                    usage("--shards must be >= 1");
+                }
+            }
             other => usage(other),
         }
     }
@@ -69,7 +77,7 @@ fn usage(what: &str) -> ! {
     eprintln!("net_sync: bad or missing argument: {what}");
     eprintln!(
         "usage: net_sync (--serve ADDR [--once] | --connect ADDR) \
-         [--sessions N] [--trace-seed S]"
+         [--sessions N] [--trace-seed S] [--shards N]"
     );
     exit(2)
 }
@@ -86,13 +94,15 @@ fn main() {
     let factory = build_factory(args.sessions, args.trace_seed);
 
     if let Some(addr) = args.serve {
-        let server = ReconServer::bind(addr.as_str(), Arc::new(factory)).unwrap_or_else(|e| {
-            eprintln!("net_sync: cannot bind {addr}: {e}");
-            exit(1)
-        });
+        let server = ReconServer::bind(addr.as_str(), Arc::new(factory))
+            .unwrap_or_else(|e| {
+                eprintln!("net_sync: cannot bind {addr}: {e}");
+                exit(1)
+            })
+            .with_shards(args.shards);
         println!(
-            "serving {} bob sessions (trace seed {:#x}) on {addr}",
-            args.sessions, args.trace_seed
+            "serving {} bob sessions (trace seed {:#x}) on {addr} across {} executor shards",
+            args.sessions, args.trace_seed, args.shards
         );
         if args.once {
             let report = server.serve_one().unwrap_or_else(|e| {
@@ -141,6 +151,7 @@ fn main() {
         eprintln!("net_sync: cannot connect to {addr}");
         exit(1)
     };
+    let client = client.with_shards(args.shards);
     client.set_read_timeout(Some(Duration::from_secs(60))).ok();
 
     let t0 = Instant::now();

@@ -208,7 +208,10 @@ fn gap_over_tcp_matches_in_memory_over_seed_matrix() {
 fn multiplexed_batch_matches_in_memory() {
     // A smaller mixed batch through the ReconServer/ReconClient mux
     // (exp_net drives ≥ 64); both endpoints' transcripts must match the
-    // in-memory totals session by session.
+    // in-memory totals session by session. Both endpoints run the
+    // sharded executor at an explicit width — more shards than this
+    // box may have cores — so session→shard fan-out is exercised even
+    // on single-core CI runners.
     let entries_list = sample_trace(12, 0x5eed);
     let factory = Arc::new(TraceFactory {
         instances: entries_list.iter().map(Instance::build).collect(),
@@ -219,10 +222,12 @@ fn multiplexed_batch_matches_in_memory() {
         .map(Instance::run_in_memory)
         .collect();
 
-    let server = ReconServer::bind("127.0.0.1:0", Arc::clone(&factory)).expect("bind");
+    let server = ReconServer::bind("127.0.0.1:0", Arc::clone(&factory))
+        .expect("bind")
+        .with_shards(4);
     let addr = server.local_addr().expect("addr");
     let server_thread = std::thread::spawn(move || server.serve_one());
-    let client = ReconClient::connect(addr).expect("connect");
+    let client = ReconClient::connect(addr).expect("connect").with_shards(4);
     client
         .set_read_timeout(Some(std::time::Duration::from_secs(60)))
         .expect("set timeout");
