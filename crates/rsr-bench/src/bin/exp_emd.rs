@@ -1,0 +1,19 @@
+//! Regenerates the P1 assignment-solver table (Hungarian vs ε-scaling
+//! auction vs greedy across the EMD hot paths). Pass `--quick` for a
+//! reduced-size smoke run; `--json` additionally writes `BENCH_emd.json`
+//! (`--json-out PATH` to redirect it) — the machine-readable report CI
+//! gates against the committed baseline (see docs/benchmarks.md).
+
+fn main() {
+    let quick = rsr_bench::quick_flag();
+    match rsr_bench::json_out("BENCH_emd.json") {
+        Some(path) => {
+            let (report, bench) = rsr_bench::experiments::emd_solvers::run_with_json(quick);
+            std::fs::write(&path, bench.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+            println!("{report}");
+        }
+        None => println!("{}", rsr_bench::experiments::emd_solvers::run(quick)),
+    }
+}

@@ -1,6 +1,8 @@
-//! Regenerates the `gap` experiment table (see DESIGN.md index).
-//! Pass `--quick` for a reduced-trial smoke run; `--json` additionally
-//! writes `BENCH_gap.json` (`--json-out PATH` to redirect it).
+//! Regenerates the T7 Gap-protocol table. Pass `--quick` for a
+//! reduced-trial smoke run; `--json` additionally writes
+//! `BENCH_gap.json` (`--json-out PATH` to redirect it) — the
+//! machine-readable report CI gates against the committed baseline
+//! (schema and key inventory in docs/benchmarks.md).
 
 fn main() {
     let quick = rsr_bench::quick_flag();

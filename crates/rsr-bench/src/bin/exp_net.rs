@@ -1,6 +1,9 @@
-//! Regenerates the `net` experiment table (see DESIGN.md index).
-//! Pass `--quick` for a reduced-trial smoke run; `--json` additionally
-//! writes `BENCH_net.json` (`--json-out PATH` to redirect it).
+//! Regenerates the N1 session-throughput table (serial driver vs the
+//! sharded executor sweep vs executor-driven TCP). Pass `--quick` for a
+//! reduced-trial smoke run; `--json` additionally writes
+//! `BENCH_net.json` (`--json-out PATH` to redirect it) — the
+//! machine-readable report CI gates against the committed baseline
+//! (schema and key inventory in docs/benchmarks.md).
 
 fn main() {
     let quick = rsr_bench::quick_flag();

@@ -1,4 +1,6 @@
-//! One module per experiment in DESIGN.md's index.
+//! One module per experiment: T1–T12/F1 reproduce the paper's
+//! evaluation; N1 (transport throughput) and P1 (assignment solvers)
+//! measure the layers this repo added.
 
 pub mod ablation_dsbf;
 pub mod ablation_peel;
@@ -6,6 +8,7 @@ pub mod baseline_quadtree;
 pub mod emd_hamming;
 pub mod emd_l2;
 pub mod emd_ratio;
+pub mod emd_solvers;
 pub mod exact_recon;
 pub mod gap;
 pub mod gap_lowdim;
@@ -41,6 +44,7 @@ pub fn all() -> Vec<Experiment> {
         ("T11", "hypergraph", hypergraph::run),
         ("T12", "exact_recon", exact_recon::run),
         ("N1", "net", net::run),
+        ("P1", "emd_solvers", emd_solvers::run),
         ("A1/A2", "ablation_peel", ablation_peel::run),
         ("A3", "ablation_dsbf", ablation_dsbf::run),
     ]

@@ -1,11 +1,14 @@
 //! Experiment harness for the paper's quantitative claims.
 //!
-//! Each module under [`experiments`] regenerates one table or figure from
-//! DESIGN.md's experiment index (T1–T12, F1). Every experiment is a pure
-//! function `run(quick: bool) -> String` returning a markdown section, so
-//! the same code backs the per-experiment binaries (`cargo run --release
-//! -p rsr-bench --bin exp_<name>`), the `run_all` binary that regenerates
-//! EXPERIMENTS.md's measured numbers, and the smoke tests.
+//! Each module under [`experiments`] regenerates one table or figure
+//! (T1–T12 and F1 reproduce the paper's evaluation; N1 and P1 measure
+//! the transport and solver layers this repo added). Every experiment is
+//! a pure function `run(quick: bool) -> String` returning a markdown
+//! section, so the same code backs the per-experiment binaries (`cargo
+//! run --release -p rsr-bench --bin exp_<name>`), the `run_all` binary
+//! that regenerates the full report, and the smoke tests. Three of them
+//! also emit machine-readable `BENCH_*.json` reports that CI gates
+//! against committed baselines (see docs/benchmarks.md).
 //!
 //! `quick` mode shrinks trial counts so the whole suite stays in CI
 //! budgets; the full mode is what EXPERIMENTS.md reports.

@@ -65,6 +65,26 @@ impl Frame {
 }
 
 /// A bidirectional frame transport between Alice and Bob.
+///
+/// The in-memory implementation routes frames between two queues; a real
+/// transport (`rsr-net`'s `TcpChannel`) implements the same two methods
+/// over a socket, and the sessions never know the difference:
+///
+/// ```
+/// use rsr_core::{Channel, Frame, InMemoryChannel, Party};
+/// use rsr_iblt::bits::BitWriter;
+///
+/// let mut channel = InMemoryChannel::new();
+/// let mut w = BitWriter::new();
+/// w.write(0b1011, 4);
+/// channel.send(Party::Alice, Frame::seal("hello", w));
+///
+/// let frame = channel.recv(Party::Bob).expect("queued for Bob");
+/// assert_eq!(frame.label, "hello");
+/// assert_eq!(frame.bit_len, 4);
+/// assert_eq!(frame.decode_exact(|r| r.read(4)), Some(0b1011));
+/// assert!(channel.recv(Party::Bob).is_none()); // queue drained
+/// ```
 pub trait Channel {
     /// Enqueues a frame from `from` towards its peer.
     fn send(&mut self, from: Party, frame: Frame);

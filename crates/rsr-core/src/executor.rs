@@ -11,8 +11,8 @@
 //!   near-uniform without any global coordination, which is exactly what
 //!   a transport that opens sessions on the fly needs.
 //! * **Ready queues** — each shard owns one FIFO mailbox, which *is* its
-//!   ready queue: an entry wakes exactly the session it addresses
-//!   ([`ShardMsg`] carries the session id), so a session blocked waiting
+//!   ready queue: an entry wakes exactly the session it addresses (each
+//!   shard message carries the session id), so a session blocked waiting
 //!   for its peer simply has no entries and can never stall its shard.
 //! * **Wake-on-frame** — delivering a frame ([`Injector::deliver`])
 //!   enqueues a wake for that one session; the shard worker runs its
@@ -523,6 +523,41 @@ pub const STALLED: &str = "sessions stalled without finishing";
 /// wake-on-frame, exactly the dispatch the networked transports use.
 ///
 /// Returns one [`PairOutcome`] per input pair, in input order.
+///
+/// Driving a batch of real protocol sessions across 2 shards — the
+/// transcripts are bit-identical to what the serial driver records:
+///
+/// ```
+/// use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+/// use rsr_core::executor::{drive_batch, DynSession, DEFAULT_STALL_TIMEOUT};
+/// use rsr_metric::{MetricSpace, Point};
+///
+/// let space = MetricSpace::hamming(8);
+/// let pts: Vec<Point> = (0..8i64)
+///     .map(|i| Point::new((0..8).map(|b| (i >> b) & 1).collect()))
+///     .collect();
+/// let cfg = EmdProtocolConfig::for_space(&space, pts.len(), 1);
+/// let protos: Vec<EmdProtocol> = (0..4)
+///     .map(|seed| EmdProtocol::new(space, cfg, seed))
+///     .collect();
+///
+/// let pairs: Vec<(Box<dyn DynSession + '_>, Box<dyn DynSession + '_>)> = protos
+///     .iter()
+///     .map(|proto| {
+///         (
+///             Box::new(proto.alice_session(&pts)) as Box<dyn DynSession>,
+///             Box::new(proto.bob_session(&pts)) as Box<dyn DynSession>,
+///         )
+///     })
+///     .collect();
+/// let outcomes = drive_batch(2, 0x5eed, pairs, DEFAULT_STALL_TIMEOUT);
+/// assert_eq!(outcomes.len(), 4);
+/// for (proto, outcome) in protos.iter().zip(&outcomes) {
+///     assert!(outcome.is_ok());
+///     let serial = proto.run(&pts, &pts).unwrap();
+///     assert_eq!(outcome.transcript.total_bits(), serial.transcript.total_bits());
+/// }
+/// ```
 pub fn drive_batch<'env>(
     shards: usize,
     placement_seed: u64,

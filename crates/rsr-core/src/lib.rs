@@ -49,8 +49,8 @@ pub mod wire;
 
 pub use channel::{Channel, ChannelCounters, CountingChannel, Frame, InMemoryChannel};
 pub use emd_protocol::{
-    EmdAliceSession, EmdBobSession, EmdFailure, EmdMessage, EmdOutcome, EmdProtocol,
-    EmdProtocolConfig,
+    AssignmentSolver, EmdAliceSession, EmdBobSession, EmdFailure, EmdMessage, EmdOutcome,
+    EmdProtocol, EmdProtocolConfig,
 };
 pub use emd_scaled::{ScaledEmdAliceSession, ScaledEmdBobSession, ScaledEmdProtocol};
 pub use executor::{

@@ -25,6 +25,58 @@ use std::fmt;
 /// completion through [`Session::is_done`]; a protocol-level failure (a
 /// table that does not decode, a malformed frame) surfaces as `Err` from
 /// either method and aborts the drive.
+///
+/// A minimal one-message protocol, driven to completion in memory:
+///
+/// ```
+/// use rsr_core::{drive_in_memory, Frame, Party, Session};
+/// use rsr_iblt::bits::BitWriter;
+///
+/// /// Alice sends one 16-bit number; Bob stores it.
+/// struct Sender(Option<u64>);
+/// struct Receiver(Option<u64>);
+///
+/// impl Session for Sender {
+///     type Error = String;
+///     fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+///         Ok(self.0.take().map(|v| {
+///             let mut w = BitWriter::new();
+///             w.write(v, 16);
+///             Frame::seal("value", w)
+///         }))
+///     }
+///     fn on_frame(&mut self, _: Frame) -> Result<(), String> {
+///         Err("one-way protocol".into())
+///     }
+///     fn is_done(&self) -> bool {
+///         self.0.is_none()
+///     }
+/// }
+///
+/// impl Session for Receiver {
+///     type Error = String;
+///     fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+///         Ok(None)
+///     }
+///     fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
+///         self.0 = frame.decode_exact(|r| r.read(16)).ok_or("short frame")?.into();
+///         Ok(())
+///     }
+///     fn is_done(&self) -> bool {
+///         self.0.is_some()
+///     }
+/// }
+///
+/// let (mut alice, mut bob) = (Sender(Some(4242)), Receiver(None));
+/// let transcript = drive_in_memory(Party::Alice, &mut alice, &mut bob).unwrap();
+/// assert_eq!(bob.0, Some(4242));
+/// assert_eq!(transcript.total_bits(), 16);
+/// assert_eq!(transcript.num_rounds(), 1);
+/// ```
+///
+/// The real protocols expose their halves the same way — e.g.
+/// [`crate::EmdProtocol::alice_session`] / `bob_session` — so one driver
+/// runs them all.
 pub trait Session {
     /// Protocol-level error (e.g. [`crate::EmdFailure`]).
     type Error;
@@ -63,6 +115,30 @@ impl<E: fmt::Debug + fmt::Display> std::error::Error for DriveError<E> {}
 /// Runs two sessions to completion over a channel, starting with `first`'s
 /// turn. Returns the transcript of every frame that crossed the channel,
 /// with measured sizes and channel-turn-driven round counts.
+///
+/// Driving a real protocol (Algorithm 1) over an explicit channel — the
+/// transcript reports the *measured* encoded sizes:
+///
+/// ```
+/// use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+/// use rsr_core::{drive, InMemoryChannel, Party};
+/// use rsr_metric::{MetricSpace, Point};
+///
+/// let space = MetricSpace::hamming(8);
+/// let pts: Vec<Point> = (0..8i64)
+///     .map(|i| Point::new((0..8).map(|b| (i >> b) & 1).collect()))
+///     .collect();
+/// let cfg = EmdProtocolConfig::for_space(&space, pts.len(), 1);
+/// let proto = EmdProtocol::new(space, cfg, 7);
+///
+/// let mut alice = proto.alice_session(&pts);
+/// let mut bob = proto.bob_session(&pts);
+/// let mut channel = InMemoryChannel::new();
+/// let transcript = drive(&mut channel, Party::Alice, &mut alice, &mut bob).unwrap();
+/// assert_eq!(transcript.num_rounds(), 1); // one-way: Alice → Bob
+/// assert_eq!(transcript.total_bits(), channel.bits_sent());
+/// assert_eq!(bob.into_outcome().unwrap().reconciled.len(), pts.len());
+/// ```
 pub fn drive<'a, E>(
     channel: &mut dyn Channel,
     first: Party,
@@ -119,6 +195,36 @@ pub fn drive<'a, E>(
 /// in-memory queue) and surfaces as [`DriveError::Stalled`]; transports
 /// carry the underlying cause out of band (e.g. `TcpChannel::take_error`
 /// in `rsr-net`).
+///
+/// Each endpoint drives only its own half; here the two halves run
+/// sequentially over one in-memory channel standing in for the socket
+/// (a one-way protocol, so Alice can finish before Bob starts):
+///
+/// ```
+/// use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
+/// use rsr_core::{drive_channel, InMemoryChannel, Party};
+/// use rsr_metric::{MetricSpace, Point};
+///
+/// let space = MetricSpace::hamming(8);
+/// let pts: Vec<Point> = (0..8i64)
+///     .map(|i| Point::new((0..8).map(|b| (i >> b) & 1).collect()))
+///     .collect();
+/// let cfg = EmdProtocolConfig::for_space(&space, pts.len(), 1);
+/// let proto = EmdProtocol::new(space, cfg, 7);
+/// let mut channel = InMemoryChannel::new();
+///
+/// // "Process A": Alice's endpoint says everything it can, then is done.
+/// let mut alice = proto.alice_session(&pts);
+/// let sent = drive_channel(&mut channel, Party::Alice, &mut alice).unwrap();
+///
+/// // "Process B": Bob's endpoint consumes the queued frames.
+/// let mut bob = proto.bob_session(&pts);
+/// let received = drive_channel(&mut channel, Party::Bob, &mut bob).unwrap();
+///
+/// // Both single-party transcripts measured the same one-round exchange.
+/// assert_eq!(sent.total_bits(), received.total_bits());
+/// assert!(bob.into_outcome().is_some());
+/// ```
 pub fn drive_channel<E>(
     channel: &mut dyn Channel,
     me: Party,

@@ -9,29 +9,65 @@
 //! `X`, and since costs are non-negative the optimum uses the dummies
 //! exactly when exclusion helps.
 
-use crate::hungarian::{assign, assignment_cost};
+use crate::assignment::AssignmentSolver;
+use crate::hungarian::assignment_cost;
 use rsr_metric::{Metric, Point};
 
 /// Exact earth mover's distance between equal-size point sets
 /// (Definition 3.2). Panics if `|X| ≠ |Y|`.
+///
+/// Uses the Hungarian reference solver; [`emd_with`] picks the solver.
 pub fn emd(metric: Metric, x: &[Point], y: &[Point]) -> f64 {
+    emd_with(AssignmentSolver::Hungarian, metric, x, y)
+}
+
+/// [`emd`] under a chosen [`AssignmentSolver`]: same value for the exact
+/// solvers (up to fixed-point quantization of fractional ℓ2/ℓp
+/// distances), an upper bound for [`AssignmentSolver::Greedy`].
+pub fn emd_with(solver: AssignmentSolver, metric: Metric, x: &[Point], y: &[Point]) -> f64 {
     assert_eq!(x.len(), y.len(), "EMD requires equal-size sets");
     if x.is_empty() {
         return 0.0;
     }
-    let a = assign(x.len(), y.len(), |i, j| metric.distance(&x[i], &y[j]));
+    let a = solver.assign(x.len(), y.len(), |i, j| metric.distance(&x[i], &y[j]));
     assignment_cost(&a, |i, j| metric.distance(&x[i], &y[j]))
 }
 
 /// Exact `EMD_k` (Definition 3.3): the minimum EMD between `X` and `Y`
 /// after removing `k` points from each. `EMD_0 = EMD`.
+///
+/// Uses the Hungarian reference solver; [`emd_k_with`] picks the solver.
 pub fn emd_k(metric: Metric, x: &[Point], y: &[Point], k: usize) -> f64 {
     emd_k_with_exclusions(metric, x, y, k).0
+}
+
+/// [`emd_k`] under a chosen [`AssignmentSolver`].
+pub fn emd_k_with(
+    solver: AssignmentSolver,
+    metric: Metric,
+    x: &[Point],
+    y: &[Point],
+    k: usize,
+) -> f64 {
+    emd_k_with_exclusions_with(solver, metric, x, y, k).0
 }
 
 /// Exact `EMD_k` together with the excluded index sets `(cost, excluded_x,
 /// excluded_y)`. The exclusion sets have exactly `min(k, n)` indices each.
 pub fn emd_k_with_exclusions(
+    metric: Metric,
+    x: &[Point],
+    y: &[Point],
+    k: usize,
+) -> (f64, Vec<usize>, Vec<usize>) {
+    emd_k_with_exclusions_with(AssignmentSolver::Hungarian, metric, x, y, k)
+}
+
+/// [`emd_k_with_exclusions`] under a chosen [`AssignmentSolver`]. The
+/// exact solvers agree on the cost but may exclude different (equally
+/// optimal) index sets.
+pub fn emd_k_with_exclusions_with(
+    solver: AssignmentSolver,
     metric: Metric,
     x: &[Point],
     y: &[Point],
@@ -53,7 +89,7 @@ pub fn emd_k_with_exclusions(
             metric.distance(&x[i], &y[j])
         }
     };
-    let a = assign(size, size, cost);
+    let a = solver.assign(size, size, cost);
     let total = assignment_cost(&a, cost);
     // X points assigned to dummy columns are excluded from X; Y points
     // taken by dummy rows are excluded from Y.
@@ -81,33 +117,11 @@ pub fn emd_k_with_exclusions(
 }
 
 /// Greedy EMD upper bound: repeatedly match the globally closest remaining
-/// pair. O(n² log n); useful as a scalable sanity bound in experiments.
+/// pair ([`AssignmentSolver::Greedy`]). O(n² log n); useful as a scalable
+/// sanity bound in experiments.
 pub fn emd_greedy(metric: Metric, x: &[Point], y: &[Point]) -> f64 {
     assert_eq!(x.len(), y.len());
-    let n = x.len();
-    let mut pairs: Vec<(f64, usize, usize)> = Vec::with_capacity(n * n);
-    for (i, xi) in x.iter().enumerate() {
-        for (j, yj) in y.iter().enumerate() {
-            pairs.push((metric.distance(xi, yj), i, j));
-        }
-    }
-    pairs.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap());
-    let mut used_x = vec![false; n];
-    let mut used_y = vec![false; n];
-    let mut total = 0.0;
-    let mut matched = 0;
-    for (d, i, j) in pairs {
-        if !used_x[i] && !used_y[j] {
-            used_x[i] = true;
-            used_y[j] = true;
-            total += d;
-            matched += 1;
-            if matched == n {
-                break;
-            }
-        }
-    }
-    total
+    emd_with(AssignmentSolver::Greedy, metric, x, y)
 }
 
 #[cfg(test)]

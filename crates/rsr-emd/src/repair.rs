@@ -11,10 +11,12 @@
 //! `|S'_B| = |S_B|` with a deterministic policy, documented on
 //! [`replace_matched`].
 
-use crate::hungarian::assign;
+use crate::assignment::AssignmentSolver;
 use rsr_metric::{Metric, Point};
 
-/// Computes `S'_B = (S_B \ Y_B) ∪ X_A` with `|S'_B| = |S_B|`.
+/// Computes `S'_B = (S_B \ Y_B) ∪ X_A` with `|S'_B| = |S_B|`, matching
+/// with the Hungarian reference solver; [`replace_matched_with`] picks
+/// the solver (the protocol decode paths default to the auction).
 ///
 /// Policy when `|X_A| ≠ |X_B|`:
 /// * The removal budget is `min(|X_A|, |S_B|)` — one removal per inserted
@@ -27,6 +29,20 @@ use rsr_metric::{Metric, Point};
 ///   points of `S_B` and those partners are removed (a surplus Alice point
 ///   most plausibly replaces its nearest stale point).
 pub fn replace_matched(metric: Metric, s_b: &[Point], x_b: &[Point], x_a: &[Point]) -> Vec<Point> {
+    replace_matched_with(AssignmentSolver::Hungarian, metric, s_b, x_b, x_a)
+}
+
+/// [`replace_matched`] under a chosen [`AssignmentSolver`]. The exact
+/// solvers remove equally-cheap matched subsets (ties may break towards
+/// different, equally optimal matchings); `Greedy` trades optimality of
+/// the matching for speed.
+pub fn replace_matched_with(
+    solver: AssignmentSolver,
+    metric: Metric,
+    s_b: &[Point],
+    x_b: &[Point],
+    x_a: &[Point],
+) -> Vec<Point> {
     let n = s_b.len();
     let budget = x_a.len().min(n);
     let x_a = &x_a[..budget];
@@ -35,7 +51,7 @@ pub fn replace_matched(metric: Metric, s_b: &[Point], x_b: &[Point], x_a: &[Poin
     let mut removed = vec![false; n];
     let mut removals: Vec<(f64, usize)> = Vec::with_capacity(budget);
     if !x_b.is_empty() {
-        let assignment = assign(x_b.len(), n, |i, j| metric.distance(&x_b[i], &s_b[j]));
+        let assignment = solver.assign(x_b.len(), n, |i, j| metric.distance(&x_b[i], &s_b[j]));
         let mut matched: Vec<(f64, usize)> = assignment
             .iter()
             .enumerate()
@@ -55,7 +71,7 @@ pub fn replace_matched(metric: Metric, s_b: &[Point], x_b: &[Point], x_a: &[Poin
         let remaining: Vec<usize> = (0..n).filter(|&j| !removed[j]).collect();
         let take = surplus.len().min(remaining.len());
         if take > 0 {
-            let assignment = assign(take, remaining.len(), |i, j| {
+            let assignment = solver.assign(take, remaining.len(), |i, j| {
                 metric.distance(&surplus[i], &s_b[remaining[j]])
             });
             for &j in assignment.iter() {

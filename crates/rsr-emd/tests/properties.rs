@@ -89,3 +89,91 @@ proptest! {
         prop_assert_eq!(emd(Metric::L1, x, x), 0.0);
     }
 }
+
+// ---------------------------------------------------------------------
+// Assignment-solver properties: the ε-scaling auction must be *exact*
+// (equal total cost to the Hungarian reference on integer cost
+// matrices), and greedy must stay within its documented bound.
+
+fn cost_matrix(n: usize, m: usize, max: i64) -> impl Strategy<Value = Vec<Vec<i64>>> {
+    prop::collection::vec(prop::collection::vec(0..max, m..=m), n..=n)
+}
+
+proptest! {
+    /// Auction and Hungarian agree on the optimal total cost for random
+    /// integer cost matrices up to n = 64 rows, square and rectangular.
+    #[test]
+    fn auction_equals_hungarian_cost(
+        n in 1usize..=64,
+        extra in 0usize..=16,
+        costs in cost_matrix(64, 80, 10_000),
+    ) {
+        let m = n + extra;
+        let cost = |i: usize, j: usize| costs[i][j] as f64;
+        let fast = rsr_emd::auction_assign(n, m, cost);
+        let slow = rsr_emd::assign(n, m, cost);
+        // Both injective…
+        let distinct: std::collections::HashSet<_> = fast.iter().collect();
+        prop_assert_eq!(distinct.len(), n);
+        // …and equal in total cost (different optimal matchings allowed).
+        let got = rsr_emd::assignment_cost(&fast, cost);
+        let want = rsr_emd::assignment_cost(&slow, cost);
+        prop_assert!((got - want).abs() < 1e-9, "auction {} vs hungarian {}", got, want);
+    }
+
+    /// The solver-enum dispatch agrees with the direct entry points.
+    #[test]
+    fn solver_dispatch_matches_direct_calls(
+        n in 1usize..=12,
+        extra in 0usize..=4,
+        costs in cost_matrix(12, 16, 1_000),
+    ) {
+        let m = n + extra;
+        let cost = |i: usize, j: usize| costs[i][j] as f64;
+        use rsr_emd::AssignmentSolver as S;
+        prop_assert_eq!(S::Hungarian.assign(n, m, cost), rsr_emd::assign(n, m, cost));
+        prop_assert_eq!(S::Auction.assign(n, m, cost), rsr_emd::auction_assign(n, m, cost));
+        prop_assert_eq!(S::Greedy.assign(n, m, cost), rsr_emd::greedy_assign(n, m, cost));
+    }
+
+    /// Greedy stays within its documented bound on metric instances:
+    /// cost(Greedy) ≤ 2·n^{log₂(3/2)}·cost(optimal) (Reingold–Tarjan
+    /// worst case is Θ(n^{log₂ 3/2})), with an additive slack for
+    /// instances whose optimum is 0 (a maximal zero-cost matching found
+    /// greedily need not be a perfect one).
+    #[test]
+    fn greedy_within_documented_bound(
+        n in 1usize..=24,
+        xs in point_set(24, 2, 64),
+        ys in point_set(24, 2, 64),
+    ) {
+        let (x, y) = (&xs[..n], &ys[..n]);
+        let cost = |i: usize, j: usize| Metric::L1.distance(&x[i], &y[j]);
+        let opt = rsr_emd::assignment_cost(&rsr_emd::assign(n, n, cost), cost);
+        let greedy = rsr_emd::assignment_cost(&rsr_emd::greedy_assign(n, n, cost), cost);
+        let ratio_bound = 2.0 * (n as f64).powf(1.5f64.log2());
+        prop_assert!(
+            greedy <= ratio_bound * opt + 1e-9,
+            "greedy {} vs bound {} (opt {})", greedy, ratio_bound * opt, opt
+        );
+    }
+
+    /// EMD under the auction solver equals EMD under the Hungarian
+    /// reference (both exact; ℓ1 distances are integers).
+    #[test]
+    fn emd_with_auction_equals_reference(
+        n in 1usize..10,
+        xs in point_set(10, 3, 100),
+        ys in point_set(10, 3, 100),
+        k in 0usize..4,
+    ) {
+        use rsr_emd::AssignmentSolver as S;
+        let (x, y) = (&xs[..n], &ys[..n]);
+        let reference = emd(Metric::L1, x, y);
+        prop_assert!((rsr_emd::emd_with(S::Auction, Metric::L1, x, y) - reference).abs() < 1e-9);
+        let reference_k = emd_k(Metric::L1, x, y, k);
+        prop_assert!(
+            (rsr_emd::emd_k_with(S::Auction, Metric::L1, x, y, k) - reference_k).abs() < 1e-9
+        );
+    }
+}

@@ -144,7 +144,7 @@ impl Iblt {
         self.cells.len() as u64 * crate::wire::CellWidths::xor(n_bound).per_cell(0)
     }
 
-    /// Writes the cell contents into an in-progress [`BitWriter`], so the
+    /// Writes the cell contents into an in-progress [`BitWriter`](crate::bits::BitWriter), so the
     /// table can ride inside a larger protocol message. Adds exactly
     /// [`Iblt::wire_bits`] bits.
     pub fn write_to(&self, w: &mut crate::bits::BitWriter, n_bound: usize) {
@@ -159,7 +159,7 @@ impl Iblt {
     }
 
     /// Reads a table previously written with [`Iblt::write_to`] from an
-    /// in-progress [`BitReader`], given the shared construction parameters.
+    /// in-progress [`BitReader`](crate::bits::BitReader), given the shared construction parameters.
     /// Returns `None` on buffer exhaustion or a count exceeding `n_bound`.
     pub fn read_from(
         r: &mut crate::bits::BitReader<'_>,

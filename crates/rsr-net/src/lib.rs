@@ -1,5 +1,6 @@
-//! A real TCP transport behind `rsr-core`'s [`Channel`] trait, plus a
-//! multi-session reconciliation server and client.
+//! A real TCP transport behind `rsr-core`'s
+//! [`Channel`](rsr_core::channel::Channel) trait, plus a multi-session
+//! reconciliation server and client.
 //!
 //! PR 2 split every protocol into Alice/Bob session state machines that
 //! only exchange byte-exact [`Frame`](rsr_core::channel::Frame)s over a

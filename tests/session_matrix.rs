@@ -154,3 +154,59 @@ fn gap_session_matches_legacy_over_seed_matrix() {
         }
     }
 }
+
+#[test]
+fn emd_session_matches_legacy_under_auction_over_seed_matrix() {
+    // Same equivalence as above, pinned explicitly to the ε-scaling
+    // auction solver (the decode-path default): the session-driven run()
+    // must reproduce the legacy composition bit for bit, and the wire
+    // bytes must be solver-independent (only Bob's repair matching, not
+    // Alice's message, sees the solver).
+    use robust_set_recon::emd::AssignmentSolver;
+    for &(n, k, dim) in &[(30usize, 2usize, 24usize), (60, 3, 32)] {
+        let space = MetricSpace::hamming(dim);
+        for &seed in &SEEDS {
+            let w = planted_emd(space, n, k, 1, seed);
+            let cfg =
+                EmdProtocolConfig::for_space(&space, n, k).with_solver(AssignmentSolver::Auction);
+            assert_eq!(cfg.solver, AssignmentSolver::Auction);
+            let proto = EmdProtocol::new(space, cfg, seed ^ 0x5e55);
+            let legacy_proto = EmdProtocol::new(
+                space,
+                cfg.with_solver(AssignmentSolver::Hungarian),
+                seed ^ 0x5e55,
+            );
+
+            let msg = proto.alice_encode(&w.alice);
+            // Solver-independence of the message: identical wire size
+            // regardless of which solver the encoding protocol carries.
+            assert_eq!(
+                msg.wire_bits(),
+                legacy_proto.alice_encode(&w.alice).wire_bits(),
+                "n={n} seed={seed}: message depends on solver"
+            );
+
+            let legacy = proto.bob_decode(&msg, &w.bob);
+            let session = proto.run(&w.alice, &w.bob);
+            match (legacy, session) {
+                (Ok(l), Ok(s)) => {
+                    assert_eq!(l.reconciled, s.reconciled, "n={n} seed={seed}");
+                    assert_eq!(l.i_star, s.i_star, "n={n} seed={seed}");
+                    assert_eq!(l.decoded, s.decoded, "n={n} seed={seed}");
+                    assert_eq!(
+                        l.transcript.total_bits(),
+                        s.transcript.total_bits(),
+                        "n={n} seed={seed}"
+                    );
+                    assert_eq!(s.transcript.num_rounds(), 1, "n={n} seed={seed}");
+                }
+                (Err(_), Err(_)) => {}
+                (l, s) => panic!(
+                    "paths disagree on success for n={n} seed={seed}: legacy {} session {}",
+                    l.is_ok(),
+                    s.is_ok()
+                ),
+            }
+        }
+    }
+}
