@@ -142,6 +142,72 @@ impl Regression {
     pub fn drop_fraction(&self) -> f64 {
         1.0 - self.fresh / self.baseline
     }
+
+    /// Fractional increase, e.g. `0.42` for a latency 42% above its
+    /// baseline (infinite when the fresh key is missing).
+    pub fn increase_fraction(&self) -> f64 {
+        self.fresh / self.baseline - 1.0
+    }
+}
+
+/// Key suffixes marking latency percentiles (milliseconds). These are
+/// gated in the *opposite* direction from throughputs: increases are
+/// regressions.
+const LATENCY_SUFFIXES: [&str; 5] = ["_p50_ms", "_p90_ms", "_p95_ms", "_p99_ms", "_max_ms"];
+
+/// The subset of latency keys that are tail percentiles, gated with a
+/// separate (looser) tolerance — tails are the first casualty of
+/// scheduling noise, especially on small-core CI hosts.
+const TAIL_SUFFIXES: [&str; 2] = ["_p99_ms", "_max_ms"];
+
+/// Latency increases below this absolute delta never gate, regardless of
+/// ratio: sub-millisecond percentiles would otherwise flap on scheduler
+/// jitter alone (a 0.3 ms → 0.8 ms p50 is noise, not a regression).
+pub const LATENCY_FLOOR_MS: f64 = 1.0;
+
+/// Whether `key` is a gated latency percentile.
+pub fn is_latency_key(key: &str) -> bool {
+    LATENCY_SUFFIXES.iter().any(|s| key.ends_with(s))
+}
+
+/// Whether `key` is a tail percentile (gated with the tail tolerance).
+pub fn is_tail_latency_key(key: &str) -> bool {
+    TAIL_SUFFIXES.iter().any(|s| key.ends_with(s))
+}
+
+/// Compares every baseline latency-percentile metric against the fresh
+/// report and returns those where
+/// `fresh > baseline * (1 + tol) && fresh > baseline + LATENCY_FLOOR_MS`,
+/// with `tol` being `tail_tolerance` for tail keys (`_p99_ms`,
+/// `_max_ms`) and `tolerance` for the body (`_p50_ms`, `_p90_ms`,
+/// `_p95_ms`). A baseline latency key *missing* from the fresh report is
+/// reported as `fresh = +∞` and always flagged — dropping a percentile
+/// must fail loudly, exactly like dropping a throughput. Decreases and
+/// fresh-only keys never flag.
+pub fn latency_regressions(
+    baseline: &BenchReport,
+    fresh: &BenchReport,
+    tolerance: f64,
+    tail_tolerance: f64,
+) -> Vec<Regression> {
+    baseline
+        .metrics
+        .iter()
+        .filter(|(k, _)| is_latency_key(k))
+        .map(|(key, base)| Regression {
+            key: key.clone(),
+            baseline: *base,
+            fresh: fresh.metric(key).unwrap_or(f64::INFINITY),
+        })
+        .filter(|r| {
+            let tol = if is_tail_latency_key(&r.key) {
+                tail_tolerance
+            } else {
+                tolerance
+            };
+            r.fresh > r.baseline * (1.0 + tol) && r.fresh > r.baseline + LATENCY_FLOOR_MS
+        })
+        .collect()
 }
 
 /// Compares every baseline `_per_sec` metric against the fresh report
@@ -236,6 +302,80 @@ mod tests {
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].key, "shards4_sessions_per_sec");
         assert_eq!(regs[0].fresh, 0.0);
+    }
+
+    fn latency_sample() -> BenchReport {
+        let mut r = BenchReport::new("net", false);
+        r.push("load_r100_s4_offered_per_sec", 100.0);
+        r.push("load_r100_s4_p50_ms", 8.0);
+        r.push("load_r100_s4_p99_ms", 40.0);
+        r.push("load_r100_s4_max_ms", 55.0);
+        r.push("load_r100_s4_inject_lag_ms", 0.2); // not a gated key
+        r
+    }
+
+    #[test]
+    fn latency_keys_are_classified_by_suffix() {
+        assert!(is_latency_key("load_r100_s4_p50_ms"));
+        assert!(is_latency_key("load_r100_s4_max_ms"));
+        assert!(!is_latency_key("load_r100_s4_inject_lag_ms"));
+        assert!(!is_latency_key("serial_wall_ms"));
+        assert!(is_tail_latency_key("load_r100_s4_p99_ms"));
+        assert!(!is_tail_latency_key("load_r100_s4_p50_ms"));
+    }
+
+    #[test]
+    fn latency_gate_flags_increases_not_decreases() {
+        let baseline = latency_sample();
+        let mut fresh = latency_sample();
+        // Identical (the round-trip self-compare) passes.
+        assert!(latency_regressions(&baseline, &fresh, 1.0, 3.0).is_empty());
+        // A large improvement passes.
+        fresh.metrics[1].1 = 1.0;
+        assert!(latency_regressions(&baseline, &fresh, 1.0, 3.0).is_empty());
+        // Body percentile past its tolerance is flagged.
+        fresh.metrics[1].1 = 8.0 * 2.5;
+        let regs = latency_regressions(&baseline, &fresh, 1.0, 3.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "load_r100_s4_p50_ms");
+        assert!((regs[0].increase_fraction() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn tail_percentiles_use_the_looser_tolerance() {
+        let baseline = latency_sample();
+        let mut fresh = latency_sample();
+        // 3x on p99 is within the 300% tail tolerance…
+        fresh.metrics[2].1 = 40.0 * 3.5;
+        assert!(latency_regressions(&baseline, &fresh, 1.0, 3.0).is_empty());
+        // …but past it flags; the same ratio on a body key would have
+        // flagged at the tighter body tolerance already.
+        fresh.metrics[2].1 = 40.0 * 4.5;
+        let regs = latency_regressions(&baseline, &fresh, 1.0, 3.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "load_r100_s4_p99_ms");
+    }
+
+    #[test]
+    fn sub_millisecond_jitter_never_gates() {
+        let mut baseline = latency_sample();
+        baseline.metrics[1].1 = 0.3; // p50 of 0.3 ms
+        let mut fresh = latency_sample();
+        fresh.metrics[1].1 = 0.9; // 3x, but only +0.6 ms
+        assert!(latency_regressions(&baseline, &fresh, 1.0, 3.0).is_empty());
+        fresh.metrics[1].1 = 2.5; // past the 1 ms absolute floor too
+        assert_eq!(latency_regressions(&baseline, &fresh, 1.0, 3.0).len(), 1);
+    }
+
+    #[test]
+    fn missing_latency_key_is_flagged_as_infinite() {
+        let baseline = latency_sample();
+        let mut fresh = latency_sample();
+        fresh.metrics.retain(|(k, _)| k != "load_r100_s4_max_ms");
+        let regs = latency_regressions(&baseline, &fresh, 1.0, 3.0);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "load_r100_s4_max_ms");
+        assert!(regs[0].fresh.is_infinite());
     }
 
     #[test]

@@ -2,31 +2,41 @@
 //!
 //! ```text
 //! bench_check <baseline.json> <fresh.json> [--tolerance 0.30]
+//!             [--latency-tolerance 1.00] [--tail-tolerance 3.00]
 //! ```
 //!
 //! Exits non-zero if any shared `_per_sec` metric in the fresh run is
-//! more than the tolerance below the baseline (default 30%), if the two
-//! files describe different benches or modes, or if either file fails
-//! to parse. Improvements and non-throughput metrics never fail the
-//! check; a baseline whose throughput keys are all missing from the
-//! fresh run fails loudly (a silent rename must not pass as green).
+//! more than the throughput tolerance below the baseline (default 30%),
+//! if any shared latency percentile (`_p50_ms`/`_p90_ms`/`_p95_ms`
+//! body keys, `_p99_ms`/`_max_ms` tail keys) is above its baseline by
+//! more than the latency tolerance (default 100% body, 300% tail, and
+//! never for sub-millisecond deltas), if the two files describe
+//! different benches or modes, or if either file fails to parse.
+//! Improvements never fail the check; a baseline key missing from the
+//! fresh run fails loudly in both gates (a silent rename must not pass
+//! as green). Rules and rationale: docs/benchmarks.md.
 
-use rsr_bench::{regressions, BenchReport};
+use rsr_bench::{latency_regressions, regressions, BenchReport};
 use std::process::exit;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut paths = Vec::new();
     let mut tolerance = 0.30f64;
+    let mut latency_tolerance = 1.00f64;
+    let mut tail_tolerance = 3.00f64;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        if arg == "--tolerance" {
-            tolerance = it
-                .next()
+        let mut fraction = |what: &str| -> f64 {
+            it.next()
                 .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| usage("--tolerance takes a fraction like 0.30"));
-        } else {
-            paths.push(arg.clone());
+                .unwrap_or_else(|| usage(&format!("{what} takes a fraction like 0.30")))
+        };
+        match arg.as_str() {
+            "--tolerance" => tolerance = fraction("--tolerance"),
+            "--latency-tolerance" => latency_tolerance = fraction("--latency-tolerance"),
+            "--tail-tolerance" => tail_tolerance = fraction("--tail-tolerance"),
+            _ => paths.push(arg.clone()),
         }
     }
     let [baseline_path, fresh_path] = paths.as_slice() else {
@@ -51,10 +61,12 @@ fn main() {
     }
 
     println!(
-        "bench {} ({} mode), tolerance {:.0}%:",
+        "bench {} ({} mode), throughput tolerance {:.0}%, latency {:.0}% (tail {:.0}%):",
         baseline.bench,
         if baseline.quick { "quick" } else { "full" },
-        tolerance * 100.0
+        tolerance * 100.0,
+        latency_tolerance * 100.0,
+        tail_tolerance * 100.0
     );
     for (key, base) in &baseline.metrics {
         match fresh.metric(key) {
@@ -63,15 +75,18 @@ fn main() {
         }
     }
 
-    let regs = regressions(&baseline, &fresh, tolerance);
-    if regs.is_empty() {
+    let throughput_regs = regressions(&baseline, &fresh, tolerance);
+    let latency_regs = latency_regressions(&baseline, &fresh, latency_tolerance, tail_tolerance);
+    if throughput_regs.is_empty() && latency_regs.is_empty() {
         println!(
-            "ok: no throughput regression beyond {:.0}%",
-            tolerance * 100.0
+            "ok: no throughput regression beyond {:.0}%, no latency regression beyond {:.0}% (tail {:.0}%)",
+            tolerance * 100.0,
+            latency_tolerance * 100.0,
+            tail_tolerance * 100.0
         );
         return;
     }
-    for r in &regs {
+    for r in &throughput_regs {
         eprintln!(
             "REGRESSION {}: {:.3} -> {:.3} ({:.0}% drop, tolerance {:.0}%)",
             r.key,
@@ -80,6 +95,28 @@ fn main() {
             r.drop_fraction() * 100.0,
             tolerance * 100.0
         );
+    }
+    for r in &latency_regs {
+        let tol = if rsr_bench::benchjson::is_tail_latency_key(&r.key) {
+            tail_tolerance
+        } else {
+            latency_tolerance
+        };
+        if r.fresh.is_infinite() {
+            eprintln!(
+                "LATENCY REGRESSION {}: {:.3} ms -> (absent from fresh report)",
+                r.key, r.baseline
+            );
+        } else {
+            eprintln!(
+                "LATENCY REGRESSION {}: {:.3} ms -> {:.3} ms (+{:.0}%, tolerance {:.0}%)",
+                r.key,
+                r.baseline,
+                r.fresh,
+                r.increase_fraction() * 100.0,
+                tol * 100.0
+            );
+        }
     }
     exit(1);
 }
@@ -97,6 +134,9 @@ fn load(path: &str) -> BenchReport {
 
 fn usage(what: &str) -> ! {
     eprintln!("bench_check: {what}");
-    eprintln!("usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.30]");
+    eprintln!(
+        "usage: bench_check <baseline.json> <fresh.json> [--tolerance 0.30] \
+         [--latency-tolerance 1.00] [--tail-tolerance 3.00]"
+    );
     exit(2)
 }

@@ -1,20 +1,125 @@
 //! Regenerates the N1 session-throughput table (serial driver vs the
-//! sharded executor sweep vs executor-driven TCP). Pass `--quick` for a
+//! sharded executor sweep vs executor-driven TCP) and, with `--load`,
+//! the L1 open-loop latency sweep on top of it. Pass `--quick` for a
 //! reduced-trial smoke run; `--json` additionally writes
 //! `BENCH_net.json` (`--json-out PATH` to redirect it) — the
 //! machine-readable report CI gates against the committed baseline
-//! (schema and key inventory in docs/benchmarks.md).
+//! (schema and key inventory in docs/benchmarks.md; latency methodology
+//! in docs/loadgen.md).
+//!
+//! Load-mode sweep overrides (all optional; defaults are the committed
+//! baseline's grid):
+//!
+//! ```text
+//! exp_net --load [--rate 100,300] [--arrival uniform|exp]
+//!         [--load-sessions 160] [--load-shards 1,4] [--conns 2]
+//!         [--payload-scale 2.0]
+//! ```
+
+use rsr_bench::experiments::load::{self, LoadOptions};
+use rsr_bench::experiments::net;
+use rsr_bench::Arrival;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let wants_load = args.iter().any(|a| a == "--load");
+    let opts = parse_load_options(&args);
+    if !wants_load && !opts_empty(&opts) {
+        die("load sweep flags (--rate/--arrival/--load-sessions/--load-shards/--conns/--payload-scale) require --load");
+    }
+
     let quick = rsr_bench::quick_flag();
+    let (mut report, mut bench) = net::run_with_json(quick);
+    if wants_load {
+        let section = load::extend(&mut bench, quick, &opts);
+        report.push_str("\n\n");
+        report.push_str(&section);
+    }
     match rsr_bench::json_out("BENCH_net.json") {
         Some(path) => {
-            let (report, bench) = rsr_bench::experiments::net::run_with_json(quick);
             std::fs::write(&path, bench.to_json())
                 .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
             eprintln!("wrote {}", path.display());
             println!("{report}");
         }
-        None => println!("{}", rsr_bench::experiments::net::run(quick)),
+        None => println!("{report}"),
     }
+}
+
+fn opts_empty(opts: &LoadOptions) -> bool {
+    opts.rates.is_none()
+        && opts.arrival.is_none()
+        && opts.sessions.is_none()
+        && opts.shards.is_none()
+        && opts.conns.is_none()
+        && opts.payload_scale.is_none()
+}
+
+fn parse_load_options(args: &[String]) -> LoadOptions {
+    let mut opts = LoadOptions::default();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut value = |what: &str| -> &str {
+            it.next()
+                .unwrap_or_else(|| die(&format!("{what} requires a value")))
+        };
+        match arg.as_str() {
+            "--rate" => opts.rates = Some(parse_list(value("--rate"), "--rate", |r| *r > 0.0)),
+            "--arrival" => {
+                let token = value("--arrival");
+                opts.arrival = Some(Arrival::parse(token).unwrap_or_else(|| {
+                    die(&format!(
+                        "--arrival {token:?} is not uniform|exp|exponential|poisson"
+                    ))
+                }));
+            }
+            "--load-sessions" => {
+                opts.sessions = Some(parse_one(
+                    value("--load-sessions"),
+                    "--load-sessions",
+                    |n| *n > 0usize,
+                ));
+            }
+            "--load-shards" => {
+                opts.shards = Some(parse_list(value("--load-shards"), "--load-shards", |s| {
+                    *s >= 1usize
+                }));
+            }
+            "--conns" => {
+                opts.conns = Some(parse_one(value("--conns"), "--conns", |c| *c >= 1usize))
+            }
+            "--payload-scale" => {
+                opts.payload_scale = Some(parse_one(
+                    value("--payload-scale"),
+                    "--payload-scale",
+                    |s| *s > 0.0,
+                ));
+            }
+            _ => {}
+        }
+    }
+    opts
+}
+
+fn parse_one<T: std::str::FromStr>(raw: &str, what: &str, ok: impl Fn(&T) -> bool) -> T {
+    raw.parse()
+        .ok()
+        .filter(&ok)
+        .unwrap_or_else(|| die(&format!("{what} cannot use {raw:?}")))
+}
+
+fn parse_list<T: std::str::FromStr>(raw: &str, what: &str, ok: impl Fn(&T) -> bool) -> Vec<T> {
+    let parsed: Vec<T> = raw
+        .split(',')
+        .map(|tok| parse_one(tok.trim(), what, &ok))
+        .collect();
+    if parsed.is_empty() {
+        die(&format!("{what} needs at least one value"));
+    }
+    parsed
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("exp_net: {msg}");
+    std::process::exit(2)
 }

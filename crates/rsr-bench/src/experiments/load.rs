@@ -1,0 +1,409 @@
+//! L1 — open-loop latency under load: session arrivals at a target
+//! offered rate against the executor-driven TCP server, per-session
+//! latency from *scheduled* arrival to settle, percentiles from an
+//! HDR-style log-bucketed histogram.
+//!
+//! Where N1 measures how fast the transport can drain a batch it fully
+//! controls (closed loop), L1 asks the production question: **with
+//! sessions arriving whether you are ready or not, how long does one
+//! take?** The arrival schedule is pre-computed by [`crate::loadgen`]
+//! (deterministic per seed, so a committed baseline pins the exact
+//! arrival pattern), the session blend comes from
+//! [`rsr_workloads::trace::TraceMix::production_day`], and latency obeys
+//! the coordinated-omission rule: measured from the scheduled arrival,
+//! not the actual injection (docs/loadgen.md has the full methodology).
+//!
+//! The sweep covers offered rate × executor shards, plus — in full mode
+//! — an overload cell (offered above the host's measured capacity, so
+//! queueing delay dominates), a two-connection cell, and a double-size
+//! payload cell. Each cell's percentiles land in `BENCH_net.json` as
+//! `load_<cell>_p50_ms` … `_max_ms` keys that `bench_check` gates with
+//! the latency tolerances (docs/benchmarks.md).
+
+use crate::benchjson::BenchReport;
+use crate::experiments::net::{Instance, TraceFactory};
+use crate::hist::{LogHistogram, DEFAULT_SUB_BITS};
+use crate::loadgen::{self, Arrival};
+use crate::table::Table;
+use rsr_net::{NetSession, ReconClient, ReconServer};
+use rsr_workloads::trace::{sample_trace_with, TraceMix};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Sweep axes the `exp_net --load` CLI can override; `None` keeps the
+/// built-in grid for the mode.
+#[derive(Clone, Debug, Default)]
+pub struct LoadOptions {
+    /// Offered rates (sessions/sec) to sweep.
+    pub rates: Option<Vec<f64>>,
+    /// Arrival law; defaults to [`Arrival::Exponential`] (Poisson).
+    pub arrival: Option<Arrival>,
+    /// Sessions per cell.
+    pub sessions: Option<usize>,
+    /// Executor shard widths to sweep (both endpoints).
+    pub shards: Option<Vec<usize>>,
+    /// Client connections per cell.
+    pub conns: Option<usize>,
+    /// Instance-size multiplier applied to every cell's trace mix.
+    pub payload_scale: Option<f64>,
+}
+
+impl LoadOptions {
+    fn is_default_grid(&self) -> bool {
+        self.rates.is_none()
+            && self.sessions.is_none()
+            && self.shards.is_none()
+            && self.conns.is_none()
+            && self.payload_scale.is_none()
+    }
+}
+
+/// One cell of the load sweep.
+#[derive(Clone, Debug)]
+pub struct LoadCell {
+    /// Short key naming the cell inside metric names (`load_<key>_…`).
+    pub key: String,
+    /// Sessions injected.
+    pub sessions: usize,
+    /// Target offered rate, sessions/sec.
+    pub rate: f64,
+    /// Inter-arrival law.
+    pub arrival: Arrival,
+    /// Executor shards on both endpoints.
+    pub shards: usize,
+    /// Concurrent client connections (sessions split round-robin).
+    pub conns: usize,
+    /// The protocol blend and sizing of the trace.
+    pub mix: TraceMix,
+}
+
+/// What one cell measured.
+pub struct CellResult {
+    /// The rate the (deterministic) schedule actually encodes.
+    pub offered_per_sec: f64,
+    /// Completed sessions over the span from first arrival to last settle.
+    pub achieved_per_sec: f64,
+    /// Sessions that completed on both endpoints.
+    pub completed: usize,
+    /// Sessions that failed under load — verified by [`run_cell`] to be
+    /// exactly the sessions whose instances also fail in the serial
+    /// in-memory reference (a trace can legitimately contain instances
+    /// whose decode fails; load must not add or mask failures).
+    pub failed: usize,
+    /// Scheduled-arrival-to-settle latencies, in **microseconds**.
+    pub hist: LogHistogram,
+    /// The generator's own worst tardiness (injection after schedule).
+    pub max_inject_lag: Duration,
+}
+
+impl CellResult {
+    /// A histogram quantile converted to milliseconds.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        self.hist.value_at_quantile(q) as f64 / 1e3
+    }
+}
+
+/// The default sweep for the mode, with CLI overrides applied. Quick
+/// mode is a small rate × shard grid sized for CI smoke; full mode adds
+/// the overload, multi-connection, and big-payload cells (only when no
+/// axis was overridden — an explicit sweep means the caller wants
+/// exactly that grid).
+pub fn cells(quick: bool, opts: &LoadOptions) -> Vec<LoadCell> {
+    let sessions = opts.sessions.unwrap_or(if quick { 48 } else { 160 });
+    let rates = opts.rates.clone().unwrap_or_else(|| {
+        if quick {
+            vec![50.0, 200.0]
+        } else {
+            vec![100.0, 300.0]
+        }
+    });
+    let shard_sweep =
+        opts.shards
+            .clone()
+            .unwrap_or_else(|| if quick { vec![1, 2] } else { vec![1, 4] });
+    let arrival = opts.arrival.unwrap_or(Arrival::Exponential);
+    let conns = opts.conns.unwrap_or(1);
+    let mix = TraceMix::production_day().scaled(opts.payload_scale.unwrap_or(1.0));
+
+    let mut cells = Vec::new();
+    for &rate in &rates {
+        for &shards in &shard_sweep {
+            cells.push(LoadCell {
+                key: format!("r{}_s{shards}", rate_token(rate)),
+                sessions,
+                rate,
+                arrival,
+                shards,
+                conns,
+                mix,
+            });
+        }
+    }
+    if !quick && opts.is_default_grid() {
+        // Overload: offered well above the 1-core capacity N1 measures
+        // (~500 sessions/sec), so the queue — not the service time —
+        // sets the tail.
+        cells.push(LoadCell {
+            key: "r900_s4".into(),
+            sessions,
+            rate: 900.0,
+            arrival,
+            shards: 4,
+            conns: 1,
+            mix,
+        });
+        // Two connections sharing one server, half the sessions each.
+        cells.push(LoadCell {
+            key: "c2_r300_s2".into(),
+            sessions,
+            rate: 300.0,
+            arrival,
+            shards: 2,
+            conns: 2,
+            mix,
+        });
+        // Double-size instances at a gentle rate: payload-bound latency.
+        cells.push(LoadCell {
+            key: "big_r100_s4".into(),
+            sessions: 96,
+            rate: 100.0,
+            arrival,
+            shards: 4,
+            conns: 1,
+            mix: mix.scaled(2.0),
+        });
+    }
+    cells
+}
+
+fn rate_token(rate: f64) -> String {
+    if rate.fract() == 0.0 {
+        format!("{rate:.0}")
+    } else {
+        format!("{rate}").replace('.', "p")
+    }
+}
+
+/// Runs one cell: builds the trace, binds a loopback server, injects the
+/// sessions on the cell's schedule over `conns` connections, and folds
+/// every completed session's latency into one histogram. Every session's
+/// outcome (and, for completed ones, measured transcript bits) must
+/// agree with the serial in-memory reference — load may change *when* a
+/// session finishes, never *how*.
+pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
+    let entries = sample_trace_with(cell.sessions, seed, &cell.mix);
+    let factory = Arc::new(TraceFactory {
+        instances: entries.iter().map(Instance::build).collect(),
+    });
+    // The untimed correctness reference (the same instances, serially).
+    let baseline: Vec<Result<u64, String>> = factory
+        .instances
+        .iter()
+        .map(Instance::run_in_memory)
+        .collect();
+    let schedule = loadgen::schedule(cell.sessions, cell.rate, cell.arrival, seed);
+
+    let server = ReconServer::bind("127.0.0.1:0", Arc::clone(&factory))
+        .expect("bind loopback")
+        .with_shards(cell.shards);
+    let addr = server.local_addr().expect("bound address");
+
+    let reports = std::thread::scope(|s| {
+        let server_handles: Vec<_> = (0..cell.conns)
+            .map(|_| s.spawn(|| server.serve_one()))
+            .collect();
+        let client_handles: Vec<_> = (0..cell.conns)
+            .map(|c| {
+                // Connection `c` takes every `conns`-th session; the
+                // sub-schedule stays non-decreasing and the ids are the
+                // global trace positions the shared factory serves.
+                let sessions: Vec<(u64, Box<dyn NetSession + '_>)> = factory
+                    .instances
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % cell.conns == c)
+                    .map(|(i, inst)| (i as u64, inst.alice_session()))
+                    .collect();
+                let sub_schedule: Vec<Duration> = schedule
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % cell.conns == c)
+                    .map(|(_, &at)| at)
+                    .collect();
+                let shards = cell.shards;
+                s.spawn(move || {
+                    let client = ReconClient::connect(addr)
+                        .expect("connect loopback")
+                        .with_shards(shards);
+                    client
+                        .set_read_timeout(Some(Duration::from_secs(120)))
+                        .expect("set timeout");
+                    client
+                        .run_load(sessions, &sub_schedule)
+                        .expect("load run completes")
+                })
+            })
+            .collect();
+        let reports: Vec<_> = client_handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect();
+        for h in server_handles {
+            h.join().expect("server thread").expect("connection served");
+        }
+        reports
+    });
+
+    let mut hist = LogHistogram::new(DEFAULT_SUB_BITS);
+    let mut completed = 0;
+    let mut failed = 0;
+    let mut max_inject_lag = Duration::ZERO;
+    let mut span = Duration::ZERO;
+    for report in &reports {
+        completed += report.completed();
+        failed += report.failed();
+        max_inject_lag = max_inject_lag.max(report.max_inject_lag());
+        span = span.max(report.elapsed);
+        for session in &report.sessions {
+            let mem = &baseline[session.id as usize];
+            match mem {
+                Ok(bits) => {
+                    assert!(
+                        session.is_ok(),
+                        "cell {}: session {} ok in memory but failed under load: {:?}",
+                        cell.key,
+                        session.id,
+                        session.error
+                    );
+                    assert_eq!(
+                        *bits,
+                        session.transcript.total_bits(),
+                        "cell {}: session {} transcript bits under load",
+                        cell.key,
+                        session.id
+                    );
+                }
+                Err(_) => assert!(
+                    !session.is_ok(),
+                    "cell {}: session {} fails in memory but completed under load",
+                    cell.key,
+                    session.id
+                ),
+            }
+            // Only completed sessions contribute latency: a failed
+            // session settles fast for the wrong reason and would
+            // flatter the percentiles.
+            if session.is_ok() {
+                if let Some(latency) = session.latency() {
+                    hist.record(latency.as_micros() as u64);
+                }
+            }
+        }
+    }
+    let achieved_per_sec = if span > Duration::ZERO {
+        completed as f64 / span.as_secs_f64()
+    } else {
+        0.0
+    };
+    CellResult {
+        offered_per_sec: loadgen::offered_rate(&schedule),
+        achieved_per_sec,
+        completed,
+        failed,
+        hist,
+        max_inject_lag,
+    }
+}
+
+/// Runs the sweep with default options, discarding the JSON keys — the
+/// `run_all`/report entry point.
+pub fn run(quick: bool) -> String {
+    let mut bench = BenchReport::new("net", quick);
+    extend(&mut bench, quick, &LoadOptions::default())
+}
+
+/// Runs the sweep and appends every cell's metrics to `bench` (the
+/// combined `BENCH_net.json` the `exp_net --load --json` path commits).
+/// Returns the markdown section.
+pub fn extend(bench: &mut BenchReport, quick: bool, opts: &LoadOptions) -> String {
+    let cells = cells(quick, opts);
+    let arrival = opts.arrival.unwrap_or(Arrival::Exponential);
+    let base_seed = 0x10ad_7ace_u64;
+
+    let mut table = Table::new(&[
+        "cell",
+        "sessions",
+        "conns",
+        "offered/s",
+        "achieved/s",
+        "done",
+        "p50 ms",
+        "p90 ms",
+        "p95 ms",
+        "p99 ms",
+        "max ms",
+        "lag ms",
+    ]);
+    let mut sections = Vec::new();
+    for (i, cell) in cells.iter().enumerate() {
+        let result = run_cell(cell, base_seed + i as u64);
+        table.row(vec![
+            cell.key.clone(),
+            cell.sessions.to_string(),
+            cell.conns.to_string(),
+            format!("{:.0}", result.offered_per_sec),
+            format!("{:.0}", result.achieved_per_sec),
+            result.completed.to_string(),
+            format!("{:.2}", result.quantile_ms(0.50)),
+            format!("{:.2}", result.quantile_ms(0.90)),
+            format!("{:.2}", result.quantile_ms(0.95)),
+            format!("{:.2}", result.quantile_ms(0.99)),
+            format!("{:.2}", result.quantile_ms(1.0)),
+            format!("{:.2}", result.max_inject_lag.as_secs_f64() * 1e3),
+        ]);
+        let k = &cell.key;
+        bench.push(format!("load_{k}_offered_per_sec"), result.offered_per_sec);
+        bench.push(
+            format!("load_{k}_achieved_per_sec"),
+            result.achieved_per_sec,
+        );
+        bench.push(format!("load_{k}_completed"), result.completed as f64);
+        bench.push(format!("load_{k}_p50_ms"), result.quantile_ms(0.50));
+        bench.push(format!("load_{k}_p90_ms"), result.quantile_ms(0.90));
+        bench.push(format!("load_{k}_p95_ms"), result.quantile_ms(0.95));
+        bench.push(format!("load_{k}_p99_ms"), result.quantile_ms(0.99));
+        bench.push(format!("load_{k}_max_ms"), result.quantile_ms(1.0));
+        bench.push(
+            format!("load_{k}_inject_lag_ms"),
+            result.max_inject_lag.as_secs_f64() * 1e3,
+        );
+        sections.push(format!(
+            "cell `{k}`: {} sessions over {} connection(s), {} arrivals at \
+             {:.0}/s offered, {} shards",
+            cell.sessions,
+            cell.conns,
+            arrival.token(),
+            cell.rate,
+            cell.shards
+        ));
+    }
+
+    format!(
+        "## L1 — open-loop latency under load\n\n\
+         Injected each cell's production-day trace \
+         (emd-heavy blend, periodic bulk sessions) on a pre-computed \
+         {}-arrival schedule against the loopback server; every session's \
+         outcome and transcript bits matched the serial in-memory \
+         reference (instances whose decode intrinsically fails must fail \
+         identically under load). Latency is measured from the *scheduled* \
+         arrival to full settle (local half done and server `DONE`), so \
+         generator lag is charged to the system, never forgiven \
+         (coordinated omission — docs/loadgen.md). Percentiles come from a \
+         log-bucketed histogram with ≤{:.1}% relative bucket error.\n\n\
+         Cells: {}.\n\n{}",
+        arrival.token(),
+        LogHistogram::new(DEFAULT_SUB_BITS).relative_error() * 100.0,
+        sections.join("; "),
+        table.render()
+    )
+}

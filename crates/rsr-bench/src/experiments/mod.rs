@@ -1,6 +1,7 @@
 //! One module per experiment: T1–T12/F1 reproduce the paper's
-//! evaluation; N1 (transport throughput) and P1 (assignment solvers)
-//! measure the layers this repo added.
+//! evaluation; N1 (transport throughput), L1 (open-loop latency under
+//! load), and P1 (assignment solvers) measure the layers this repo
+//! added.
 
 pub mod ablation_dsbf;
 pub mod ablation_peel;
@@ -14,6 +15,7 @@ pub mod gap;
 pub mod gap_lowdim;
 pub mod hypergraph;
 pub mod iblt_threshold;
+pub mod load;
 pub mod lower_bound;
 pub mod mlsh_collision;
 pub mod net;
@@ -44,6 +46,7 @@ pub fn all() -> Vec<Experiment> {
         ("T11", "hypergraph", hypergraph::run),
         ("T12", "exact_recon", exact_recon::run),
         ("N1", "net", net::run),
+        ("L1", "load", load::run),
         ("P1", "emd_solvers", emd_solvers::run),
         ("A1/A2", "ablation_peel", ablation_peel::run),
         ("A3", "ablation_dsbf", ablation_dsbf::run),

@@ -15,9 +15,13 @@
 
 pub mod benchjson;
 pub mod experiments;
+pub mod hist;
+pub mod loadgen;
 pub mod table;
 
-pub use benchjson::{regressions, BenchReport, Regression};
+pub use benchjson::{latency_regressions, regressions, BenchReport, Regression};
+pub use hist::LogHistogram;
+pub use loadgen::Arrival;
 pub use table::Table;
 
 /// Parses the conventional `--quick` flag from process args.

@@ -21,12 +21,20 @@
 use crate::codec::{read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR};
 use crate::executor::{default_shards, PLACEMENT_SEED};
 use crate::server::NetSession;
-use rsr_core::executor::{with_executor, ExecEvent, Injector};
+use rsr_core::executor::{with_executor, ExecEvent, Injector, Wait};
 use rsr_core::transcript::{Party, Transcript};
 use std::collections::HashMap;
 use std::io::{self, BufReader, BufWriter, Write};
 use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// The injector shared between the driving loop (which submits sessions
+/// — all upfront in batch mode, on schedule in load mode) and the reader
+/// thread (which routes and validates server records). Contention is one
+/// uncontended lock per record; shutdown-by-dropping still works because
+/// the executor winds down when the last clone is gone.
+type SharedInjector<'env> = Arc<Mutex<Injector<'env>>>;
 
 /// One session's client-side record within a [`BatchReport`].
 #[derive(Clone, Debug)]
@@ -87,6 +95,98 @@ impl BatchReport {
     }
 }
 
+/// One session's client-side record within a [`LoadReport`]: the batch
+/// fields plus the open-loop timing the load harness needs.
+#[derive(Clone, Debug)]
+pub struct LoadSessionReport {
+    /// The session id used on the wire.
+    pub id: u64,
+    /// When this session was *scheduled* to arrive, as an offset from the
+    /// run's start — fixed before the run by the arrival schedule.
+    pub scheduled: Duration,
+    /// When the generator actually injected it (OPEN written, Alice half
+    /// submitted). `injected - scheduled` is the generator's own lag; a
+    /// large lag means the load loop itself could not keep up and the
+    /// cell's numbers should be treated with suspicion.
+    pub injected: Duration,
+    /// When the session fully settled (local half done *and* server
+    /// `DONE` received), as an offset from the run's start; `None` if it
+    /// never settled cleanly.
+    pub settled: Option<Duration>,
+    /// Both directions of the session's traffic with measured bit sizes.
+    pub transcript: Transcript,
+    /// `None` if both halves completed; the first error otherwise.
+    pub error: Option<String>,
+}
+
+impl LoadSessionReport {
+    /// True when both the local Alice half and the server's Bob half
+    /// finished cleanly.
+    pub fn is_ok(&self) -> bool {
+        self.error.is_none()
+    }
+
+    /// The session's open-loop latency: settle time minus *scheduled*
+    /// arrival. Measuring from the schedule (not the actual injection)
+    /// charges generator lag to the measurement instead of silently
+    /// forgiving it — the coordinated-omission rule (docs/loadgen.md).
+    pub fn latency(&self) -> Option<Duration> {
+        self.settled.map(|s| s.saturating_sub(self.scheduled))
+    }
+}
+
+/// What one [`ReconClient::run_load`] call did.
+#[derive(Debug, Default)]
+pub struct LoadReport {
+    /// Per-session reports, in schedule order.
+    pub sessions: Vec<LoadSessionReport>,
+    /// From the run's start to the last session settling (or to the loop
+    /// ending, when sessions failed).
+    pub elapsed: Duration,
+    /// Frames sent to the server (all sessions).
+    pub frames_out: usize,
+    /// Frames received from the server and routed to a known session id.
+    pub frames_in: usize,
+    /// Raw bytes written, record headers included.
+    pub wire_bytes_out: u64,
+    /// Raw bytes read, record headers included.
+    pub wire_bytes_in: u64,
+}
+
+impl LoadReport {
+    /// Sessions that completed on both endpoints.
+    pub fn completed(&self) -> usize {
+        self.sessions.iter().filter(|s| s.is_ok()).count()
+    }
+
+    /// Sessions that failed (locally or server-side).
+    pub fn failed(&self) -> usize {
+        self.sessions.len() - self.completed()
+    }
+
+    /// The achieved completion rate in sessions/sec: completed sessions
+    /// over the run's elapsed span (0 for an empty or instant run).
+    pub fn achieved_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.completed() as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The largest `injected - scheduled` lag across the run — the
+    /// generator's own tardiness, reported so a cell can prove its
+    /// open-loop numbers are trustworthy.
+    pub fn max_inject_lag(&self) -> Duration {
+        self.sessions
+            .iter()
+            .map(|s| s.injected.saturating_sub(s.scheduled))
+            .max()
+            .unwrap_or(Duration::ZERO)
+    }
+}
+
 /// Injected-event code base for a server `DONE`; the status rides in
 /// `code - CODE_SERVER_DONE`.
 const CODE_SERVER_DONE: u32 = 0x100;
@@ -107,6 +207,30 @@ struct ClientSlot {
     /// The executor reported the local Alice half finished, failed, or
     /// stranded — its transcript has been collected.
     local_done: bool,
+    /// The instant both of the above became true — the session's settle
+    /// time. Stamped once, inside the event loop, so load mode can report
+    /// per-session latency; batch mode ignores it.
+    settled_at: Option<Instant>,
+}
+
+impl ClientSlot {
+    fn new(id: u64) -> ClientSlot {
+        ClientSlot {
+            id,
+            transcript: Transcript::new(),
+            error: None,
+            settled: false,
+            local_done: false,
+            settled_at: None,
+        }
+    }
+
+    /// Stamps the settle time on the transition to fully-settled.
+    fn note_progress(&mut self) {
+        if self.settled && self.local_done && self.settled_at.is_none() {
+            self.settled_at = Some(Instant::now());
+        }
+    }
 }
 
 /// The client end of a multiplexed reconciliation connection. One batch
@@ -172,13 +296,7 @@ impl ReconClient {
         }
         let mut slots: Vec<ClientSlot> = sessions
             .iter()
-            .map(|(id, _)| ClientSlot {
-                id: *id,
-                transcript: Transcript::new(),
-                error: None,
-                settled: false,
-                local_done: false,
-            })
+            .map(|(id, _)| ClientSlot::new(*id))
             .collect();
         let mut report = BatchReport::default();
 
@@ -196,10 +314,11 @@ impl ReconClient {
                     injector.submit(id, Party::Alice, session);
                 }
 
-                // The reader owns the injector: every server record is a
+                // The reader takes the injector: every server record is a
                 // wake (deliver/close) plus, for control flow, an event
                 // injected *before* the wake so the main loop always
                 // learns the cause before the executor's consequence.
+                let injector = Arc::new(Mutex::new(injector));
                 let reader_thread = scope.spawn(move || client_read_loop(reader, injector));
 
                 let mut fatal: Option<NetError> = None;
@@ -264,6 +383,203 @@ impl ReconClient {
             .collect();
         Ok(report)
     }
+
+    /// Runs `(session id, Alice session)` pairs as an **open-loop** load:
+    /// the i-th session is injected at offset `schedule[i]` from the
+    /// run's start regardless of how many earlier sessions are still in
+    /// flight. The schedule must be non-decreasing and as long as the
+    /// session list (build one with
+    /// [`rsr-bench::loadgen`](crate::client) or by hand).
+    ///
+    /// Latency in the returned [`LoadReport`] is measured from the
+    /// *scheduled* arrival, not the actual injection, so any lag the
+    /// generator itself accumulates is charged to the measurement rather
+    /// than silently forgiven (coordinated omission). The largest such
+    /// lag is reported via [`LoadReport::max_inject_lag`].
+    pub fn run_load<'s>(
+        self,
+        sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
+        schedule: &[Duration],
+    ) -> Result<LoadReport, NetError> {
+        let ReconClient {
+            reader,
+            mut writer,
+            shards,
+        } = self;
+        if sessions.len() != schedule.len() {
+            return Err(NetError::Malformed(
+                "arrival schedule length must match session count",
+            ));
+        }
+        if schedule.windows(2).any(|w| w[0] > w[1]) {
+            return Err(NetError::Malformed(
+                "arrival schedule must be non-decreasing",
+            ));
+        }
+        let n = sessions.len();
+        let mut index: HashMap<u64, usize> = HashMap::with_capacity(n);
+        for (pos, (id, _)) in sessions.iter().enumerate() {
+            if index.insert(*id, pos).is_some() {
+                return Err(NetError::Malformed("duplicate session id in batch"));
+            }
+        }
+        let mut slots: Vec<ClientSlot> = sessions
+            .iter()
+            .map(|(id, _)| ClientSlot::new(*id))
+            .collect();
+        // Counters reuse the batch shape so `handle_event` is shared
+        // verbatim between the closed-loop and open-loop drivers.
+        let mut counters = BatchReport::default();
+        let mut injected: Vec<Option<Duration>> = vec![None; n];
+        let mut loop_end = Duration::ZERO;
+        let mut t0 = Instant::now();
+
+        let outcome: Result<(), NetError> =
+            with_executor(shards, PLACEMENT_SEED, |scope, injector, events| {
+                // The reader needs no sessions up front: the server only
+                // speaks about a session after seeing its OPEN, and every
+                // OPEN is written after that session's `submit` below, so
+                // the reader never routes a frame for an unsubmitted id.
+                let injector = Arc::new(Mutex::new(injector));
+                let reader_injector = Arc::clone(&injector);
+                let reader_thread = scope.spawn(move || client_read_loop(reader, reader_injector));
+                let mut pending = sessions.into_iter();
+                let mut next_up = 0usize;
+                let mut fatal: Option<NetError> = None;
+                let mut aborted = false;
+                t0 = Instant::now();
+
+                loop {
+                    // Inject everything that is due. Submit *before*
+                    // writing OPEN: were OPEN flushed first, the server
+                    // could answer before the executor knows the id and
+                    // the reader would treat the reply as fatal.
+                    let mut burst = false;
+                    while next_up < n && fatal.is_none() && t0.elapsed() >= schedule[next_up] {
+                        let (id, session) = pending.next().expect("sessions match schedule");
+                        injector
+                            .lock()
+                            .expect("injector lock")
+                            .submit(id, Party::Alice, session);
+                        match write_record(&mut writer, &Record::Open { session: id }) {
+                            Ok(b) => counters.wire_bytes_out += b,
+                            Err(e) => fatal = Some(e),
+                        }
+                        injected[next_up] = Some(t0.elapsed());
+                        next_up += 1;
+                        burst = true;
+                    }
+                    if burst && fatal.is_none() {
+                        if let Err(e) = writer.flush() {
+                            fatal = Some(e.into());
+                        }
+                    }
+                    if aborted || fatal.is_some() {
+                        break;
+                    }
+                    if next_up == n && slots.iter().all(|s| s.settled && s.local_done) {
+                        break;
+                    }
+
+                    // Sleep until the next scheduled arrival (or forever
+                    // once the schedule is drained), waking early for any
+                    // executor event.
+                    let timeout =
+                        (next_up < n).then(|| schedule[next_up].saturating_sub(t0.elapsed()));
+                    match events.next(timeout) {
+                        Wait::Event(first) => {
+                            let mut next_ev = Some(first);
+                            while let Some(ev) = next_ev {
+                                handle_event(
+                                    ev,
+                                    &index,
+                                    &mut slots,
+                                    &mut writer,
+                                    &mut counters,
+                                    &mut fatal,
+                                    &mut aborted,
+                                );
+                                next_ev = events.try_recv();
+                            }
+                            if fatal.is_none() {
+                                if let Err(e) = writer.flush() {
+                                    fatal = Some(e.into());
+                                }
+                            }
+                            if aborted || fatal.is_some() {
+                                break;
+                            }
+                        }
+                        Wait::Timeout => {}
+                        Wait::Closed => break,
+                    }
+                }
+                loop_end = t0.elapsed();
+
+                // Shutdown mirrors `run_batch`: close our write half so
+                // the server unwinds cleanly, both halves on failure so
+                // the reader unblocks immediately.
+                writer.flush().ok();
+                if fatal.is_some() || aborted {
+                    writer.get_ref().shutdown(Shutdown::Both).ok();
+                } else {
+                    writer.get_ref().shutdown(Shutdown::Write).ok();
+                }
+                let (wire_bytes_in, frames_in, read_error) =
+                    reader_thread.join().expect("client reader thread");
+                counters.wire_bytes_in = wire_bytes_in;
+                counters.frames_in = frames_in;
+                if let Some(e) = fatal {
+                    return Err(e);
+                }
+                if let Some(e) = read_error {
+                    return Err(e);
+                }
+                Ok(())
+            });
+        outcome?;
+
+        let mut report = LoadReport {
+            frames_out: counters.frames_out,
+            frames_in: counters.frames_in,
+            wire_bytes_out: counters.wire_bytes_out,
+            wire_bytes_in: counters.wire_bytes_in,
+            ..LoadReport::default()
+        };
+        report.sessions = slots
+            .into_iter()
+            .zip(schedule.iter().zip(injected))
+            .map(|(slot, (scheduled, injected_at))| {
+                let mut error = slot.error;
+                if injected_at.is_none() {
+                    error.get_or_insert_with(|| {
+                        "load run ended before this session was injected".into()
+                    });
+                }
+                LoadSessionReport {
+                    id: slot.id,
+                    scheduled: *scheduled,
+                    injected: injected_at.unwrap_or(loop_end),
+                    settled: slot.settled_at.map(|at| at.saturating_duration_since(t0)),
+                    transcript: slot.transcript,
+                    error,
+                }
+            })
+            .collect();
+        // The honest span: to the last settle when everything completed,
+        // to the loop's end when anything failed or never settled.
+        report.elapsed = if report.failed() == 0 {
+            report
+                .sessions
+                .iter()
+                .filter_map(|s| s.settled)
+                .max()
+                .unwrap_or(loop_end)
+        } else {
+            loop_end
+        };
+        Ok(report)
+    }
 }
 
 /// Applies one executor event to the batch state.
@@ -316,6 +632,7 @@ fn handle_event(
                 }
                 slot.error.get_or_insert(e);
             }
+            slot.note_progress();
         }
         // Executor shutdown caught the half still live: the connection
         // is gone and its `CODE_EOF`/`CODE_FATAL` cause was already
@@ -326,6 +643,7 @@ fn handle_event(
             slot.transcript = transcript;
             slot.error
                 .get_or_insert_with(|| "connection closed before session settled".into());
+            slot.note_progress();
         }
         ExecEvent::Injected { id, code, note } => match code {
             CODE_EOF => {
@@ -333,6 +651,7 @@ fn handle_event(
                     slot.settled = true;
                     slot.error
                         .get_or_insert_with(|| "connection closed before session settled".into());
+                    slot.note_progress();
                 }
             }
             CODE_FATAL => *aborted = true,
@@ -344,6 +663,7 @@ fn handle_event(
                     slot.error
                         .get_or_insert(format!("server status {status}: {note}"));
                 }
+                slot.note_progress();
             }
         },
     }
@@ -354,7 +674,7 @@ fn handle_event(
 /// injector on exit is what ultimately shuts the executor down.
 fn client_read_loop(
     mut reader: BufReader<TcpStream>,
-    injector: Injector<'_>,
+    injector: SharedInjector<'_>,
 ) -> (u64, usize, Option<NetError>) {
     let mut wire_bytes_in = 0u64;
     let mut frames_in = 0usize;
@@ -362,9 +682,12 @@ fn client_read_loop(
         match read_record(&mut reader) {
             Ok(Some((record, n))) => {
                 wire_bytes_in += n;
+                // One lock per record: uncontended except against the
+                // load generator's scheduled submits.
+                let inj = injector.lock().expect("injector lock");
                 match record {
                     Record::Open { .. } => {
-                        injector.inject(0, CODE_FATAL, "server sent an open record");
+                        inj.inject(0, CODE_FATAL, "server sent an open record");
                         return (
                             wire_bytes_in,
                             frames_in,
@@ -372,8 +695,8 @@ fn client_read_loop(
                         );
                     }
                     Record::Frame { session: id, frame } => {
-                        if injector.shard_of(id).is_none() {
-                            injector.inject(0, CODE_FATAL, "record for an unknown session");
+                        if inj.shard_of(id).is_none() {
+                            inj.inject(0, CODE_FATAL, "record for an unknown session");
                             return (
                                 wire_bytes_in,
                                 frames_in,
@@ -383,15 +706,15 @@ fn client_read_loop(
                             );
                         }
                         frames_in += 1;
-                        injector.deliver(id, frame);
+                        inj.deliver(id, frame);
                     }
                     Record::Done {
                         session: id,
                         status,
                         message,
                     } => {
-                        if injector.shard_of(id).is_none() {
-                            injector.inject(0, CODE_FATAL, "record for an unknown session");
+                        if inj.shard_of(id).is_none() {
+                            inj.inject(0, CODE_FATAL, "record for an unknown session");
                             return (
                                 wire_bytes_in,
                                 frames_in,
@@ -405,22 +728,28 @@ fn client_read_loop(
                         // in even if it cannot finish on its own. The
                         // close is stale — a silent no-op — whenever the
                         // half already completed.
-                        injector.inject(id, CODE_SERVER_DONE + status as u32, message.clone());
+                        inj.inject(id, CODE_SERVER_DONE + status as u32, message.clone());
                         let reason = if status == STATUS_OK {
                             "server finished but the local session is incomplete".to_owned()
                         } else {
                             format!("server status {status}: {message}")
                         };
-                        injector.close(id, reason);
+                        inj.close(id, reason);
                     }
                 }
             }
             Ok(None) => {
-                injector.inject(0, CODE_EOF, "");
+                injector
+                    .lock()
+                    .expect("injector lock")
+                    .inject(0, CODE_EOF, "");
                 return (wire_bytes_in, frames_in, None);
             }
             Err(e) => {
-                injector.inject(0, CODE_FATAL, e.to_string());
+                injector
+                    .lock()
+                    .expect("injector lock")
+                    .inject(0, CODE_FATAL, e.to_string());
                 return (wire_bytes_in, frames_in, Some(e));
             }
         }

@@ -36,7 +36,7 @@ pub mod executor;
 pub mod server;
 pub mod tcp;
 
-pub use client::{BatchReport, ReconClient, SessionReport};
+pub use client::{BatchReport, LoadReport, LoadSessionReport, ReconClient, SessionReport};
 pub use codec::{
     read_record, write_record, NetError, Record, MAX_RECORD_BYTES, STATUS_OK, STATUS_SESSION_ERROR,
     STATUS_UNKNOWN_SESSION,

@@ -20,4 +20,6 @@ pub mod stats;
 pub mod trace;
 
 pub use generators::{planted_emd, planted_emd_sparse, sensor_pairs, GapWorkload, Workload};
-pub use trace::{read_trace, sample_trace, write_trace, TraceEntry, TraceProtocol};
+pub use trace::{
+    read_trace, sample_trace, sample_trace_with, write_trace, TraceEntry, TraceMix, TraceProtocol,
+};

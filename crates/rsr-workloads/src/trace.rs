@@ -168,6 +168,105 @@ pub fn sample_trace(count: usize, seed: u64) -> Vec<TraceEntry> {
         .collect()
 }
 
+/// A weighted protocol blend for [`sample_trace_with`]: what fraction of
+/// sessions run each protocol, how much to scale instance sizes, and how
+/// often a periodic "bulk" session (double-size, modelling a batch sync
+/// riding on interactive traffic) appears. [`sample_trace`] is the
+/// uniform, unscaled special case and its output is unchanged by this
+/// type's existence.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct TraceMix {
+    /// Relative draw weights for `[emd, semd, gap]`; any non-negative
+    /// values with a positive sum (they need not sum to 1).
+    pub weights: [f64; 3],
+    /// Multiplies every sampled per-party set size (clamped to at least
+    /// 8 points so instances stay meaningful). `1.0` keeps the base
+    /// ranges [`sample_trace`] uses.
+    pub n_scale: f64,
+    /// When `Some(b)`, every `b`-th session is a bulk session with its
+    /// (already scaled) size doubled.
+    pub bulk_every: Option<usize>,
+}
+
+impl TraceMix {
+    /// Equal protocol weights, base sizes, no bulk sessions — the
+    /// [`sample_trace`] blend expressed as a mix.
+    pub fn uniform() -> TraceMix {
+        TraceMix {
+            weights: [1.0, 1.0, 1.0],
+            n_scale: 1.0,
+            bulk_every: None,
+        }
+    }
+
+    /// A "production day" blend: mostly interactive EMD reconciliations,
+    /// a quarter interval-scaled, a trickle of Gap audits, and every
+    /// 16th session a double-size bulk sync.
+    pub fn production_day() -> TraceMix {
+        TraceMix {
+            weights: [0.60, 0.25, 0.15],
+            n_scale: 1.0,
+            bulk_every: Some(16),
+        }
+    }
+
+    /// The same blend with every instance size multiplied by `n_scale` —
+    /// the payload-size axis of a load sweep.
+    pub fn scaled(mut self, n_scale: f64) -> TraceMix {
+        assert!(n_scale > 0.0, "n_scale must be positive");
+        self.n_scale *= n_scale;
+        self
+    }
+}
+
+/// Samples a `count`-session trace deterministically from `seed` with a
+/// weighted protocol [`TraceMix`]. Like [`sample_trace`], the same
+/// `(count, seed, mix)` always yields the same trace; unlike it, the
+/// protocol of each session is *drawn* from the mix's weights rather
+/// than cycled, so a long trace looks like sampled production traffic
+/// instead of a round-robin.
+pub fn sample_trace_with(count: usize, seed: u64, mix: &TraceMix) -> Vec<TraceEntry> {
+    let total: f64 = mix.weights.iter().sum();
+    assert!(
+        mix.weights.iter().all(|w| *w >= 0.0) && total > 0.0,
+        "mix weights must be non-negative with a positive sum"
+    );
+    assert!(mix.n_scale > 0.0, "n_scale must be positive");
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x7ace_0001);
+    (0..count)
+        .map(|i| {
+            let mut pick = rng.gen::<f64>() * total;
+            let mut protocol = TraceProtocol::Gap;
+            for (w, p) in mix.weights.iter().zip([
+                TraceProtocol::Emd,
+                TraceProtocol::ScaledEmd,
+                TraceProtocol::Gap,
+            ]) {
+                if pick < *w {
+                    protocol = p;
+                    break;
+                }
+                pick -= w;
+            }
+            let (n, dim) = match protocol {
+                TraceProtocol::Emd => (rng.gen_range(24..=48), 24 + 8 * rng.gen_range(0..=1usize)),
+                TraceProtocol::ScaledEmd => (rng.gen_range(24..=40), 2),
+                TraceProtocol::Gap => (rng.gen_range(32..=56), 128),
+            };
+            let bulk = mix.bulk_every.is_some_and(|b| b > 0 && (i + 1) % b == 0);
+            let scale = mix.n_scale * if bulk { 2.0 } else { 1.0 };
+            let n = ((n as f64 * scale).round() as usize).max(8);
+            TraceEntry {
+                protocol,
+                n,
+                k: rng.gen_range(2..=3),
+                dim,
+                seed: rng.gen(),
+            }
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -194,6 +293,64 @@ mod tests {
             assert_eq!(a.iter().filter(|e| e.protocol == proto).count(), 4);
         }
         assert_ne!(sample_trace(12, 8), a, "seed must matter");
+    }
+
+    #[test]
+    fn mix_sampling_is_deterministic_and_weighted() {
+        let mix = TraceMix::production_day();
+        let a = sample_trace_with(64, 9, &mix);
+        assert_eq!(a, sample_trace_with(64, 9, &mix));
+        assert_ne!(a, sample_trace_with(64, 10, &mix), "seed must matter");
+        // The dominant protocol should dominate and nothing with positive
+        // weight should vanish over 64 draws.
+        let count = |p: TraceProtocol| a.iter().filter(|e| e.protocol == p).count();
+        assert!(count(TraceProtocol::Emd) > count(TraceProtocol::Gap));
+        assert!(count(TraceProtocol::ScaledEmd) > 0);
+        assert!(count(TraceProtocol::Gap) > 0);
+    }
+
+    #[test]
+    fn zero_weight_protocols_never_appear() {
+        let mix = TraceMix {
+            weights: [0.0, 1.0, 0.0],
+            n_scale: 1.0,
+            bulk_every: None,
+        };
+        let trace = sample_trace_with(32, 3, &mix);
+        assert!(trace.iter().all(|e| e.protocol == TraceProtocol::ScaledEmd));
+    }
+
+    #[test]
+    fn bulk_and_scale_grow_instances() {
+        let base = TraceMix::uniform();
+        let scaled = base.scaled(2.0);
+        let a = sample_trace_with(24, 5, &base);
+        let b = sample_trace_with(24, 5, &scaled);
+        // Same protocols and seeds (same rng draw sequence), doubled sizes.
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.protocol, y.protocol);
+            assert_eq!(x.seed, y.seed);
+            assert_eq!(y.n, (x.n * 2).max(8));
+        }
+        // Bulk sessions double again at the configured cadence.
+        let bulky = TraceMix {
+            bulk_every: Some(4),
+            ..base
+        };
+        let c = sample_trace_with(24, 5, &bulky);
+        for (i, (x, y)) in a.iter().zip(&c).enumerate() {
+            let expect = if (i + 1) % 4 == 0 { x.n * 2 } else { x.n };
+            assert_eq!(y.n, expect.max(8), "session {i}");
+        }
+    }
+
+    #[test]
+    fn mix_traces_round_trip_and_validate() {
+        let entries = sample_trace_with(20, 77, &TraceMix::production_day());
+        let mut buf = Vec::new();
+        write_trace(&mut buf, &entries).unwrap();
+        assert_eq!(read_trace(&mut buf.as_slice()).unwrap(), entries);
+        assert!(entries.iter().all(|e| e.k <= e.n && e.n >= 8));
     }
 
     #[test]
