@@ -1,0 +1,430 @@
+//! A minimal readiness shim for nonblocking sockets: `poll(2)` plus a
+//! self-pipe waker, with no dependencies outside `std`.
+//!
+//! The build environment has no crates.io access, so the usual readiness
+//! crates (`mio`, `polling`) are out of reach; this stand-in covers the
+//! narrow slice `rsr-net`'s reactor needs:
+//!
+//! * [`PollFd`] — one registered descriptor with an interest set,
+//!   `#[repr(C)]`-compatible with the platform's `struct pollfd` so the
+//!   slice can be handed to `poll(2)` directly.
+//! * [`Poller`] — owns the wakeup pipe and makes the `poll(2)` call;
+//!   [`Poller::wait`] blocks until a registered descriptor is ready, the
+//!   timeout elapses, or a [`Waker`] fires from another thread.
+//! * [`Waker`] — cloneable, `Send + Sync` handle that interrupts a
+//!   concurrent (or the next) [`Poller::wait`]. Writes one byte down a
+//!   pipe registered alongside the caller's descriptors; an atomic flag
+//!   dedupes bursts so the pipe never accumulates more than one byte.
+//!
+//! On Unix this is the real `poll(2)` via a direct `extern "C"`
+//! declaration (the symbol lives in the platform libc every Rust binary
+//! already links; no `libc` crate needed). On other platforms the
+//! fallback is a bounded sleep that reports every descriptor ready —
+//! level-triggered emulation that is correct (callers must handle
+//! `WouldBlock` anyway) but burns a syscall per millisecond; the only
+//! tier-1 target is Linux.
+//!
+//! ```
+//! use netpoll::{Poller, PollFd};
+//! use std::time::Duration;
+//!
+//! let (mut poller, waker) = Poller::new().unwrap();
+//! let handle = std::thread::spawn(move || waker.wake());
+//! // No descriptors registered: only the waker can end the wait early.
+//! let n = poller.wait(&mut [], Some(Duration::from_secs(5))).unwrap();
+//! assert_eq!(n, 0); // the waker readiness is internal, not counted
+//! handle.join().unwrap();
+//! ```
+
+use std::io;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Interest / readiness: data may be read without blocking.
+pub const POLLIN: i16 = 0x001;
+/// Interest / readiness: data may be written without blocking.
+pub const POLLOUT: i16 = 0x004;
+/// Readiness only: the descriptor is in an error state.
+pub const POLLERR: i16 = 0x008;
+/// Readiness only: the peer hung up.
+pub const POLLHUP: i16 = 0x010;
+/// Readiness only: the descriptor is not open.
+pub const POLLNVAL: i16 = 0x020;
+
+/// One registered descriptor: layout-identical to the platform
+/// `struct pollfd` (fd, events, revents — all that `poll(2)` defines).
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    fd: i32,
+    events: i16,
+    revents: i16,
+}
+
+impl PollFd {
+    /// Registers `fd` with an interest mask built from [`POLLIN`] and/or
+    /// [`POLLOUT`].
+    pub fn new(fd: i32, events: i16) -> PollFd {
+        PollFd {
+            fd,
+            events,
+            revents: 0,
+        }
+    }
+
+    /// The registered descriptor.
+    pub fn fd(&self) -> i32 {
+        self.fd
+    }
+
+    /// Readable — or hung up / errored, which a reader must also observe
+    /// (the read will return 0 or the error).
+    pub fn readable(&self) -> bool {
+        self.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Writable — or errored, which the write will surface.
+    pub fn writable(&self) -> bool {
+        self.revents & (POLLOUT | POLLHUP | POLLERR | POLLNVAL) != 0
+    }
+
+    /// Any readiness at all.
+    pub fn ready(&self) -> bool {
+        self.revents != 0
+    }
+}
+
+/// The descriptor of a `TcpStream`, for registering it in a [`PollFd`].
+/// (Platform gating lives here so callers stay cfg-free; the non-Unix
+/// fallback returns `-1`, which its emulated wait never inspects.)
+pub fn stream_fd(stream: &std::net::TcpStream) -> i32 {
+    #[cfg(unix)]
+    {
+        std::os::fd::AsRawFd::as_raw_fd(stream)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = stream;
+        -1
+    }
+}
+
+/// The descriptor of a `TcpListener` — see [`stream_fd`].
+pub fn listener_fd(listener: &std::net::TcpListener) -> i32 {
+    #[cfg(unix)]
+    {
+        std::os::fd::AsRawFd::as_raw_fd(listener)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = listener;
+        -1
+    }
+}
+
+/// Interrupts a [`Poller::wait`] from any thread. Cloneable; all clones
+/// feed the same poller.
+#[derive(Clone)]
+pub struct Waker {
+    shared: Arc<WakeShared>,
+}
+
+struct WakeShared {
+    /// True while a wake is pending (written but not yet drained); gates
+    /// the pipe write so bursts of wakes cost one byte, not one each.
+    signaled: AtomicBool,
+    #[cfg(unix)]
+    writer: std::io::PipeWriter,
+}
+
+impl Waker {
+    /// Makes the poller's current (or next) [`Poller::wait`] return
+    /// promptly. Cheap when a wake is already pending: one atomic swap.
+    pub fn wake(&self) {
+        if !self.shared.signaled.swap(true, Ordering::AcqRel) {
+            #[cfg(unix)]
+            {
+                use std::io::Write;
+                let _ = (&self.shared.writer).write(&[1u8]);
+            }
+        }
+    }
+}
+
+/// Owns the wakeup channel and performs the blocking wait.
+pub struct Poller {
+    shared: Arc<WakeShared>,
+    #[cfg(unix)]
+    reader: std::io::PipeReader,
+    /// Scratch: caller fds + the waker pipe, handed to `poll(2)`.
+    #[cfg(unix)]
+    scratch: Vec<PollFd>,
+}
+
+impl Poller {
+    /// A poller and its waker handle.
+    pub fn new() -> io::Result<(Poller, Waker)> {
+        #[cfg(unix)]
+        {
+            let (reader, writer) = std::io::pipe()?;
+            let shared = Arc::new(WakeShared {
+                signaled: AtomicBool::new(false),
+                writer,
+            });
+            let waker = Waker {
+                shared: Arc::clone(&shared),
+            };
+            Ok((
+                Poller {
+                    shared,
+                    reader,
+                    scratch: Vec::new(),
+                },
+                waker,
+            ))
+        }
+        #[cfg(not(unix))]
+        {
+            let shared = Arc::new(WakeShared {
+                signaled: AtomicBool::new(false),
+            });
+            let waker = Waker {
+                shared: Arc::clone(&shared),
+            };
+            Ok((Poller { shared }, waker))
+        }
+    }
+
+    /// Blocks until at least one of `fds` is ready, the [`Waker`] fires,
+    /// or `timeout` elapses (`None` = no limit). Fills in each entry's
+    /// readiness and returns how many of the *caller's* descriptors are
+    /// ready — a bare waker interruption returns `Ok(0)` with no entry
+    /// marked, so callers distinguish "new work was signaled" (re-check
+    /// queues) from descriptor readiness by the entries themselves.
+    pub fn wait(&mut self, fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        #[cfg(unix)]
+        {
+            self.wait_unix(fds, timeout)
+        }
+        #[cfg(not(unix))]
+        {
+            self.wait_fallback(fds, timeout)
+        }
+    }
+
+    #[cfg(unix)]
+    fn wait_unix(&mut self, fds: &mut [PollFd], timeout: Option<Duration>) -> io::Result<usize> {
+        use std::io::Read;
+        use std::os::fd::AsRawFd;
+
+        // A wake that arrived since the last drain means pending work:
+        // don't block at all, just collect instantaneous readiness.
+        let timeout = if self.shared.signaled.load(Ordering::Acquire) {
+            Some(Duration::ZERO)
+        } else {
+            timeout
+        };
+
+        self.scratch.clear();
+        for fd in fds.iter() {
+            let mut entry = *fd;
+            entry.revents = 0;
+            self.scratch.push(entry);
+        }
+        self.scratch
+            .push(PollFd::new(self.reader.as_raw_fd(), POLLIN));
+
+        loop {
+            let ms = match timeout {
+                None => -1i32,
+                // Round up so a sub-millisecond deadline sleeps one tick
+                // instead of degenerating into a zero-timeout spin.
+                Some(t) => t
+                    .as_millis()
+                    .saturating_add(u128::from(t.subsec_nanos() % 1_000_000 != 0))
+                    .min(i32::MAX as u128) as i32,
+            };
+            let rc = unsafe {
+                sys::poll(
+                    self.scratch.as_mut_ptr(),
+                    self.scratch.len() as sys::NfdsT,
+                    ms,
+                )
+            };
+            if rc >= 0 {
+                break;
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+            // EINTR: retry with the original timeout (a rare, bounded
+            // over-wait beats tracking a deadline here).
+        }
+
+        // Drain the waker *before* clearing the flag: a wake landing in
+        // between skips its write (flag still set) but its cause is
+        // already queued, and the caller re-checks queues after every
+        // wait. The reverse order could leave the flag set with an empty
+        // pipe — a permanently lost wakeup.
+        let waker_entry = self.scratch.last().expect("waker entry pushed above");
+        if waker_entry.readable() {
+            let mut sink = [0u8; 16];
+            let _ = self.reader.read(&mut sink);
+            self.shared.signaled.store(false, Ordering::Release);
+        } else {
+            // Zero-timeout pass for a pending wake whose byte had not
+            // landed yet: clear the flag anyway — the caller re-checks
+            // its queues after every wait, and the straggling byte only
+            // costs one spurious (immediately drained) wakeup later.
+            self.shared.signaled.store(false, Ordering::Release);
+        }
+
+        let mut ready = 0;
+        for (dst, src) in fds.iter_mut().zip(self.scratch.iter()) {
+            dst.revents = src.revents;
+            if dst.ready() {
+                ready += 1;
+            }
+        }
+        Ok(ready)
+    }
+
+    #[cfg(not(unix))]
+    fn wait_fallback(
+        &mut self,
+        fds: &mut [PollFd],
+        timeout: Option<Duration>,
+    ) -> io::Result<usize> {
+        // No readiness API: sleep a bounded tick (cut short only by the
+        // deadline), then conservatively report everything ready —
+        // callers treat WouldBlock as "not actually ready".
+        const TICK: Duration = Duration::from_millis(1);
+        if !self.shared.signaled.swap(false, Ordering::AcqRel) {
+            std::thread::sleep(timeout.unwrap_or(TICK).min(TICK));
+            self.shared.signaled.store(false, Ordering::Release);
+        }
+        for fd in fds.iter_mut() {
+            fd.revents = fd.events;
+        }
+        Ok(fds.len())
+    }
+}
+
+#[cfg(unix)]
+mod sys {
+    use super::PollFd;
+    use std::os::raw::c_int;
+
+    #[cfg(any(target_os = "linux", target_os = "android"))]
+    pub type NfdsT = std::os::raw::c_ulong;
+    #[cfg(not(any(target_os = "linux", target_os = "android")))]
+    pub type NfdsT = std::os::raw::c_uint;
+
+    extern "C" {
+        /// `poll(2)` from the platform libc (already linked into every
+        /// Rust binary); [`PollFd`] is `#[repr(C)]`-identical to the
+        /// platform's `struct pollfd`.
+        pub fn poll(fds: *mut PollFd, nfds: NfdsT, timeout: c_int) -> c_int;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{Read, Write};
+    use std::net::{TcpListener, TcpStream};
+    use std::time::Instant;
+
+    #[test]
+    fn timeout_elapses_without_activity() {
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let t0 = Instant::now();
+        let n = poller
+            .wait(&mut [], Some(Duration::from_millis(30)))
+            .unwrap();
+        assert_eq!(n, 0);
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn waker_interrupts_a_blocking_wait() {
+        let (mut poller, waker) = Poller::new().unwrap();
+        let t0 = Instant::now();
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(20));
+            waker.wake();
+        });
+        let n = poller.wait(&mut [], Some(Duration::from_secs(10))).unwrap();
+        handle.join().unwrap();
+        assert_eq!(n, 0, "waker readiness is internal");
+        assert!(
+            t0.elapsed() < Duration::from_secs(5),
+            "wait should return well before the timeout"
+        );
+    }
+
+    #[test]
+    fn pending_wake_makes_the_next_wait_immediate() {
+        let (mut poller, waker) = Poller::new().unwrap();
+        waker.wake();
+        waker.wake(); // dedupe: still one byte in the pipe
+        let t0 = Instant::now();
+        poller.wait(&mut [], Some(Duration::from_secs(10))).unwrap();
+        assert!(t0.elapsed() < Duration::from_secs(1));
+        // Drained: the following wait must block for its full timeout.
+        let t0 = Instant::now();
+        poller
+            .wait(&mut [], Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(t0.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn socket_readiness_is_reported() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let mut fds = [PollFd::new(stream_fd(&server), POLLIN)];
+        // Nothing written yet: not readable within a short wait.
+        let n = poller
+            .wait(&mut fds, Some(Duration::from_millis(10)))
+            .unwrap();
+        if cfg!(unix) {
+            assert_eq!(n, 0);
+            assert!(!fds[0].readable());
+        }
+
+        client.write_all(b"ping").unwrap();
+        client.flush().unwrap();
+        let n = poller
+            .wait(&mut fds, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(fds[0].readable());
+        let mut buf = [0u8; 4];
+        server.read_exact(&mut buf).unwrap();
+        assert_eq!(&buf, b"ping");
+    }
+
+    #[test]
+    fn hangup_counts_as_readable() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        drop(client);
+
+        let (mut poller, _waker) = Poller::new().unwrap();
+        let mut fds = [PollFd::new(stream_fd(&server), POLLIN)];
+        let n = poller
+            .wait(&mut fds, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(n >= 1);
+        assert!(fds[0].readable(), "EOF must surface as read-readiness");
+    }
+}

@@ -210,6 +210,28 @@ pub fn latency_regressions(
         .collect()
 }
 
+/// Compares every baseline `_threads` metric against the fresh report
+/// and returns those that **increased at all** — zero tolerance. Thread
+/// counts are structural, not noisy: the reactor architecture pins one
+/// reactor thread plus a fixed executor pool per endpoint regardless of
+/// connection count, so any upward drift is a per-connection thread
+/// leaking back in, not scheduler jitter. A baseline key missing from
+/// the fresh report is treated as `+∞` and always flagged; decreases
+/// and fresh-only keys never flag.
+pub fn thread_regressions(baseline: &BenchReport, fresh: &BenchReport) -> Vec<Regression> {
+    baseline
+        .metrics
+        .iter()
+        .filter(|(k, _)| k.ends_with("_threads"))
+        .map(|(key, base)| Regression {
+            key: key.clone(),
+            baseline: *base,
+            fresh: fresh.metric(key).unwrap_or(f64::INFINITY),
+        })
+        .filter(|r| r.fresh > r.baseline)
+        .collect()
+}
+
 /// Compares every baseline `_per_sec` metric against the fresh report
 /// and returns those where `fresh < baseline * (1 - tolerance)`. A
 /// baseline throughput key *missing* from the fresh report is treated
@@ -375,6 +397,28 @@ mod tests {
         let regs = latency_regressions(&baseline, &fresh, 1.0, 3.0);
         assert_eq!(regs.len(), 1);
         assert_eq!(regs[0].key, "load_r100_s4_max_ms");
+        assert!(regs[0].fresh.is_infinite());
+    }
+
+    #[test]
+    fn thread_counts_gate_with_zero_tolerance() {
+        let mut baseline = BenchReport::new("net", true);
+        baseline.push("sweep_c16_s64_sessions_per_sec", 400.0);
+        baseline.push("sweep_c16_s64_threads", 11.0);
+        let mut fresh = baseline.clone();
+        // Identical passes; so does a decrease.
+        assert!(thread_regressions(&baseline, &fresh).is_empty());
+        fresh.metrics[1].1 = 9.0;
+        assert!(thread_regressions(&baseline, &fresh).is_empty());
+        // Even one extra thread flags — no tolerance band.
+        fresh.metrics[1].1 = 12.0;
+        let regs = thread_regressions(&baseline, &fresh);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "sweep_c16_s64_threads");
+        // A dropped key fails loudly as infinite.
+        fresh.metrics.retain(|(k, _)| k != "sweep_c16_s64_threads");
+        let regs = thread_regressions(&baseline, &fresh);
+        assert_eq!(regs.len(), 1);
         assert!(regs[0].fresh.is_infinite());
     }
 

@@ -10,13 +10,15 @@
 //! if any shared latency percentile (`_p50_ms`/`_p90_ms`/`_p95_ms`
 //! body keys, `_p99_ms`/`_max_ms` tail keys) is above its baseline by
 //! more than the latency tolerance (default 100% body, 300% tail, and
-//! never for sub-millisecond deltas), if the two files describe
-//! different benches or modes, or if either file fails to parse.
+//! never for sub-millisecond deltas), if any `_threads` metric increased
+//! at all (thread counts are structural — zero tolerance, no flag to
+//! loosen it), if the two files describe different benches or modes, or
+//! if either file fails to parse.
 //! Improvements never fail the check; a baseline key missing from the
 //! fresh run fails loudly in both gates (a silent rename must not pass
 //! as green). Rules and rationale: docs/benchmarks.md.
 
-use rsr_bench::{latency_regressions, regressions, BenchReport};
+use rsr_bench::{latency_regressions, regressions, thread_regressions, BenchReport};
 use std::process::exit;
 
 fn main() {
@@ -77,9 +79,10 @@ fn main() {
 
     let throughput_regs = regressions(&baseline, &fresh, tolerance);
     let latency_regs = latency_regressions(&baseline, &fresh, latency_tolerance, tail_tolerance);
-    if throughput_regs.is_empty() && latency_regs.is_empty() {
+    let thread_regs = thread_regressions(&baseline, &fresh);
+    if throughput_regs.is_empty() && latency_regs.is_empty() && thread_regs.is_empty() {
         println!(
-            "ok: no throughput regression beyond {:.0}%, no latency regression beyond {:.0}% (tail {:.0}%)",
+            "ok: no throughput regression beyond {:.0}%, no latency regression beyond {:.0}% (tail {:.0}%), no thread-count increase",
             tolerance * 100.0,
             latency_tolerance * 100.0,
             tail_tolerance * 100.0
@@ -95,6 +98,19 @@ fn main() {
             r.drop_fraction() * 100.0,
             tolerance * 100.0
         );
+    }
+    for r in &thread_regs {
+        if r.fresh.is_infinite() {
+            eprintln!(
+                "THREAD REGRESSION {}: {:.0} -> (absent from fresh report)",
+                r.key, r.baseline
+            );
+        } else {
+            eprintln!(
+                "THREAD REGRESSION {}: {:.0} -> {:.0} (thread counts must never increase)",
+                r.key, r.baseline, r.fresh
+            );
+        }
     }
     for r in &latency_regs {
         let tol = if rsr_bench::benchjson::is_tail_latency_key(&r.key) {

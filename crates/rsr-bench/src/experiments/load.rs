@@ -25,7 +25,7 @@ use crate::experiments::net::{Instance, TraceFactory};
 use crate::hist::{LogHistogram, DEFAULT_SUB_BITS};
 use crate::loadgen::{self, Arrival};
 use crate::table::Table;
-use rsr_net::{NetSession, ReconClient, ReconServer};
+use rsr_net::{MultiClient, ReconServer, SessionPlan};
 use rsr_workloads::trace::{sample_trace_with, TraceMix};
 use std::sync::Arc;
 use std::time::Duration;
@@ -208,21 +208,26 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
         .with_shards(cell.shards);
     let addr = server.local_addr().expect("bound address");
 
+    // One server reactor accepts every connection; one client reactor
+    // injects every schedule. All connections share one executor and one
+    // clock on each endpoint — no per-connection threads on either side.
     let reports = std::thread::scope(|s| {
-        let server_handles: Vec<_> = (0..cell.conns)
-            .map(|_| s.spawn(|| server.serve_one()))
-            .collect();
-        let client_handles: Vec<_> = (0..cell.conns)
+        let server_handle = s.spawn(|| server.serve(Some(cell.conns)));
+        let mut client = MultiClient::connect(addr, cell.conns)
+            .expect("connect loopback")
+            .with_shards(cell.shards)
+            .with_idle_timeout(Some(Duration::from_secs(120)));
+        // Connection `c` takes every `conns`-th session; each
+        // sub-schedule stays non-decreasing and the ids are the global
+        // trace positions the shared factory serves.
+        let loads: Vec<(Vec<SessionPlan<'_>>, Vec<Duration>)> = (0..cell.conns)
             .map(|c| {
-                // Connection `c` takes every `conns`-th session; the
-                // sub-schedule stays non-decreasing and the ids are the
-                // global trace positions the shared factory serves.
-                let sessions: Vec<(u64, Box<dyn NetSession + '_>)> = factory
+                let sessions: Vec<SessionPlan<'_>> = factory
                     .instances
                     .iter()
                     .enumerate()
                     .filter(|(i, _)| i % cell.conns == c)
-                    .map(|(i, inst)| (i as u64, inst.alice_session()))
+                    .map(|(i, inst)| SessionPlan::new(i as u64, inst.alice_session()))
                     .collect();
                 let sub_schedule: Vec<Duration> = schedule
                     .iter()
@@ -230,27 +235,15 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
                     .filter(|(i, _)| i % cell.conns == c)
                     .map(|(_, &at)| at)
                     .collect();
-                let shards = cell.shards;
-                s.spawn(move || {
-                    let client = ReconClient::connect(addr)
-                        .expect("connect loopback")
-                        .with_shards(shards);
-                    client
-                        .set_read_timeout(Some(Duration::from_secs(120)))
-                        .expect("set timeout");
-                    client
-                        .run_load(sessions, &sub_schedule)
-                        .expect("load run completes")
-                })
+                (sessions, sub_schedule)
             })
             .collect();
-        let reports: Vec<_> = client_handles
-            .into_iter()
-            .map(|h| h.join().expect("client thread"))
-            .collect();
-        for h in server_handles {
-            h.join().expect("server thread").expect("connection served");
-        }
+        let reports = client.run_loads(loads).expect("load run completes");
+        client.finish();
+        server_handle
+            .join()
+            .expect("server thread")
+            .expect("connections served");
         reports
     });
 
@@ -260,6 +253,12 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
     let mut max_inject_lag = Duration::ZERO;
     let mut span = Duration::ZERO;
     for report in &reports {
+        assert!(
+            report.transport_error.is_none(),
+            "cell {}: transport failed: {:?}",
+            cell.key,
+            report.transport_error
+        );
         completed += report.completed();
         failed += report.failed();
         max_inject_lag = max_inject_lag.max(report.max_inject_lag());

@@ -20,6 +20,7 @@
 
 use crate::benchjson::BenchReport;
 use crate::table::Table;
+use rsr_core::channel::Frame;
 use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
 use rsr_core::executor::{drive_batch, DynSession, DEFAULT_STALL_TIMEOUT};
 use rsr_core::gap_protocol::{GapConfig, GapProtocol};
@@ -27,11 +28,14 @@ use rsr_core::ScaledEmdProtocol;
 use rsr_hash::lsh::LshParams;
 use rsr_hash::BitSamplingFamily;
 use rsr_metric::{MetricSpace, Point};
-use rsr_net::{NetSession, ReconClient, ReconServer, SessionFactory};
+use rsr_net::{
+    MultiClient, NetSession, ReconClient, ReconServer, SessionFactory, SessionPlan, SessionSpec,
+    PROTO_EMD, PROTO_GAP, PROTO_SCALED_EMD,
+};
 use rsr_workloads::trace::{read_trace, sample_trace, write_trace, TraceEntry, TraceProtocol};
 use rsr_workloads::{planted_emd, sensor_pairs};
 use std::sync::Arc;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// One buildable, runnable protocol instance from a trace entry. Owns
 /// the protocol object (public coins) and both parties' points; sessions
@@ -171,6 +175,130 @@ impl SessionFactory for TraceFactory {
             .get(session_id as usize)
             .map(|inst| inst.bob_session())
     }
+}
+
+/// The wire spec that lets a [`SpecFactory`] server rebuild `entry`'s
+/// instance from the OPEN record alone — no pre-shared trace.
+pub fn spec_of(entry: &TraceEntry) -> SessionSpec {
+    SessionSpec {
+        protocol: match entry.protocol {
+            TraceProtocol::Emd => PROTO_EMD,
+            TraceProtocol::ScaledEmd => PROTO_SCALED_EMD,
+            TraceProtocol::Gap => PROTO_GAP,
+        },
+        n: entry.n as u32,
+        k: entry.k as u32,
+        dim: entry.dim as u32,
+        seed: entry.seed,
+    }
+}
+
+/// The trace entry a wire spec pins, or `None` for a protocol code this
+/// build does not speak.
+pub fn entry_of(spec: &SessionSpec) -> Option<TraceEntry> {
+    let protocol = match spec.protocol {
+        PROTO_EMD => TraceProtocol::Emd,
+        PROTO_SCALED_EMD => TraceProtocol::ScaledEmd,
+        PROTO_GAP => TraceProtocol::Gap,
+        _ => return None,
+    };
+    Some(TraceEntry {
+        protocol,
+        n: spec.n as usize,
+        k: spec.k as usize,
+        dim: spec.dim as usize,
+        seed: spec.seed,
+    })
+}
+
+/// A Bob session that owns the instance backing it, so a factory can
+/// build instances at OPEN time from the wire spec instead of holding a
+/// pre-agreed trace.
+struct OwnedBobSession {
+    /// Borrows from `_instance`; declared first so it drops first.
+    session: Box<dyn NetSession + 'static>,
+    /// The heap-pinned instance `session` borrows.
+    _instance: Box<Instance>,
+}
+
+impl OwnedBobSession {
+    fn build(entry: &TraceEntry) -> OwnedBobSession {
+        let instance = Box::new(Instance::build(entry));
+        let session: Box<dyn NetSession + '_> = instance.bob_session();
+        // SAFETY: `session` borrows the `Instance` behind `instance`'s
+        // heap allocation, whose address is stable however the box
+        // moves. The box moves into this struct alongside the session,
+        // the struct is never taken apart, and the field order drops
+        // `session` first, so the erased borrow never dangles.
+        let session: Box<dyn NetSession + 'static> = unsafe { std::mem::transmute(session) };
+        OwnedBobSession {
+            session,
+            _instance: instance,
+        }
+    }
+}
+
+impl NetSession for OwnedBobSession {
+    fn poll_send(&mut self) -> Result<Option<Frame>, String> {
+        self.session.poll_send()
+    }
+
+    fn on_frame(&mut self, frame: Frame) -> Result<(), String> {
+        self.session.on_frame(frame)
+    }
+
+    fn is_done(&self) -> bool {
+        self.session.is_done()
+    }
+}
+
+/// Serves any session whose OPEN carries a [`SessionSpec`]: the
+/// instance is rebuilt on demand from the wire parameters. Bare OPENs
+/// are refused — this factory has no other source of truth.
+pub struct SpecFactory;
+
+impl SessionFactory for SpecFactory {
+    fn open(&self, _session_id: u64) -> Option<Box<dyn NetSession + '_>> {
+        None
+    }
+
+    fn open_spec(&self, _session_id: u64, spec: &SessionSpec) -> Option<Box<dyn NetSession + '_>> {
+        Some(Box::new(OwnedBobSession::build(&entry_of(spec)?)))
+    }
+}
+
+/// The process's current thread count, from `/proc/self/status` (0 when
+/// unreadable, e.g. off Linux — the flat-count assertion still holds).
+fn current_threads() -> usize {
+    std::fs::read_to_string("/proc/self/status")
+        .ok()
+        .and_then(|s| {
+            s.lines()
+                .find_map(|l| l.strip_prefix("Threads:"))
+                .and_then(|v| v.trim().parse().ok())
+        })
+        .unwrap_or(0)
+}
+
+/// Runs `f` while a sampler thread records the peak process thread
+/// count. The sampler itself is one extra thread, identically present
+/// in every cell, so peaks stay comparable across cells.
+fn max_threads_during<R>(f: impl FnOnce() -> R) -> (R, usize) {
+    use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+    let stop = AtomicBool::new(false);
+    let peak = AtomicUsize::new(0);
+    std::thread::scope(|s| {
+        let sampler = s.spawn(|| {
+            while !stop.load(Ordering::Relaxed) {
+                peak.fetch_max(current_threads(), Ordering::Relaxed);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+        });
+        let result = f();
+        stop.store(true, Ordering::Relaxed);
+        sampler.join().expect("sampler thread");
+        (result, peak.load(Ordering::Relaxed))
+    })
 }
 
 /// Runs the experiment, discarding the machine-readable report.
@@ -364,6 +492,124 @@ pub fn run_with_json(quick: bool) -> (String, BenchReport) {
         format!("{:.2}x", tcp_rate / serial_rate),
     ]);
 
+    // Driver D: the connections × sessions sweep. C connections carry
+    // several successive batch rounds each, all multiplexed through ONE
+    // server reactor and ONE client reactor sharing one executor per
+    // endpoint; sessions negotiate their instance over the wire (the
+    // OPEN spec), so the server rebuilds each instance on demand instead
+    // of holding a pre-agreed trace. The process thread count is sampled
+    // throughout and must stay flat as C grows — adding connections adds
+    // sockets, never threads. The client replays a small instance pool
+    // (cheap borrowed session views), bounding memory while the session
+    // count scales.
+    let pool_entries = sample_trace(16, trace_seed ^ 0x51ee9);
+    let pool: Vec<Instance> = pool_entries.iter().map(Instance::build).collect();
+    let pool_specs: Vec<SessionSpec> = pool_entries.iter().map(spec_of).collect();
+    let pool_baseline: Vec<Result<u64, String>> =
+        pool.iter().map(Instance::run_in_memory).collect();
+    // (connections, rounds, sessions per connection per round).
+    let sweep: &[(usize, usize, usize)] = if quick {
+        &[(1, 2, 32), (4, 2, 8), (16, 2, 2)]
+    } else {
+        &[(1, 4, 256), (8, 4, 32), (64, 5, 32)]
+    };
+    let mut sweep_table = Table::new(&[
+        "connections",
+        "rounds",
+        "sessions",
+        "elapsed ms",
+        "sessions/sec",
+        "peak threads",
+    ]);
+    let mut peaks: Vec<usize> = Vec::new();
+    for &(conns, rounds, per_round) in sweep {
+        let total = conns * rounds * per_round;
+        let server = ReconServer::bind("127.0.0.1:0", Arc::new(SpecFactory))
+            .expect("bind loopback")
+            .with_shards(tcp_shards);
+        let addr = server.local_addr().expect("bound address");
+        let server_thread = std::thread::spawn(move || server.serve(Some(conns)));
+        let mut client = MultiClient::connect(addr, conns)
+            .expect("connect loopback")
+            .with_shards(tcp_shards)
+            .with_idle_timeout(Some(Duration::from_secs(120)));
+        let (elapsed, peak) = max_threads_during(|| {
+            let t0 = Instant::now();
+            for round in 0..rounds {
+                let batches: Vec<Vec<SessionPlan<'_>>> = (0..conns)
+                    .map(|_| {
+                        (0..per_round)
+                            .map(|i| {
+                                let id = (round * per_round + i) as u64;
+                                let p = id as usize % pool.len();
+                                SessionPlan::new(id, pool[p].alice_session())
+                                    .with_spec(pool_specs[p])
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let reports = client.run_batches(batches).expect("sweep round");
+                for report in &reports {
+                    assert!(
+                        report.transport_error.is_none(),
+                        "c{conns} round {round}: {:?}",
+                        report.transport_error
+                    );
+                    for s in &report.sessions {
+                        let p = s.id as usize % pool.len();
+                        match &pool_baseline[p] {
+                            Ok(bits) => {
+                                assert!(
+                                    s.is_ok(),
+                                    "c{conns} session {}: in-memory ok but sweep failed: {:?}",
+                                    s.id,
+                                    s.error
+                                );
+                                assert_eq!(
+                                    *bits,
+                                    s.transcript.total_bits(),
+                                    "c{conns} session {} bits",
+                                    s.id
+                                );
+                            }
+                            Err(_) => assert!(
+                                !s.is_ok(),
+                                "c{conns} session {}: in-memory failed but sweep ok",
+                                s.id
+                            ),
+                        }
+                    }
+                }
+            }
+            t0.elapsed()
+        });
+        client.finish();
+        server_thread
+            .join()
+            .expect("server thread")
+            .expect("server serves the sweep");
+        let rate = total as f64 / elapsed.as_secs_f64();
+        sweep_table.row(vec![
+            conns.to_string(),
+            rounds.to_string(),
+            total.to_string(),
+            format!("{:.1}", elapsed.as_secs_f64() * 1e3),
+            format!("{rate:.0}"),
+            peak.to_string(),
+        ]);
+        bench.push(format!("sweep_c{conns}_s{total}_sessions_per_sec"), rate);
+        bench.push(format!("sweep_c{conns}_s{total}_threads"), peak as f64);
+        peaks.push(peak);
+    }
+    let (peak_min, peak_max) = (
+        *peaks.iter().min().expect("non-empty sweep"),
+        *peaks.iter().max().expect("non-empty sweep"),
+    );
+    assert_eq!(
+        peak_min, peak_max,
+        "thread count must stay flat across the connection sweep: {peaks:?}"
+    );
+
     let report = format!(
         "## N1 — session throughput: serial vs sharded executor vs TCP\n\n\
          Replayed one {count}-session trace (seed {trace_seed:#x}; emd/semd/gap \
@@ -375,11 +621,19 @@ pub fn run_with_json(quick: bool) -> (String, BenchReport) {
          sessions ({} frames in, {} frames out) across {tcp_shards} worker \
          shards per endpoint; framing overhead was {} bytes over the \
          {payload_bytes}-byte payload. Two-choice placement spread the \
-         sessions over the shards; scaling depends on available cores.\n\n{}",
+         sessions over the shards; scaling depends on available cores.\n\n{}\n\n\
+         ### Connections × sessions sweep (one reactor, flat threads)\n\n\
+         Each sweep cell multiplexes its connections through one server \
+         reactor and one client reactor (one executor per endpoint); every \
+         session negotiates its instance over the wire via the OPEN spec, \
+         and each connection carries several successive batch rounds. The \
+         peak process thread count was {peak_max} in every cell — flat \
+         across the connection sweep by construction, and asserted so.\n\n{}",
         conn.frames_in,
         conn.frames_out,
         wire_bytes - payload_bytes,
-        table.render()
+        table.render(),
+        sweep_table.render()
     );
     (report, bench)
 }

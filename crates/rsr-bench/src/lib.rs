@@ -19,7 +19,9 @@ pub mod hist;
 pub mod loadgen;
 pub mod table;
 
-pub use benchjson::{latency_regressions, regressions, BenchReport, Regression};
+pub use benchjson::{
+    latency_regressions, regressions, thread_regressions, BenchReport, Regression,
+};
 pub use hist::LogHistogram;
 pub use loadgen::Arrival;
 pub use table::Table;

@@ -33,8 +33,36 @@ use crate::transcript::{Party, Transcript};
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::thread::Scope;
 use std::time::Duration;
+
+/// A wakeup hook a consumer can hang on the event stream: called after
+/// *every* event append — worker-emitted and [`Injector::inject`]ed alike
+/// — so a consumer that blocks somewhere other than [`Events::recv`]
+/// (e.g. a socket readiness loop in `poll(2)`) learns there is something
+/// to drain. Must be cheap and must never block; implementations
+/// typically flip an atomic and poke a self-pipe.
+pub type Notify = Arc<dyn Fn() + Send + Sync>;
+
+/// The event stream's sending half: an mpsc sender plus the optional
+/// consumer wakeup hook, so no append can be lost on a consumer that
+/// waits outside the channel.
+#[derive(Clone)]
+struct EventTx {
+    tx: mpsc::Sender<ExecEvent>,
+    notify: Option<Notify>,
+}
+
+impl EventTx {
+    fn send(&self, ev: ExecEvent) -> Result<(), mpsc::SendError<ExecEvent>> {
+        let sent = self.tx.send(ev);
+        if let Some(notify) = &self.notify {
+            notify();
+        }
+        sent
+    }
+}
 
 /// A [`Session`] with its error type erased to `String` and a `Send`
 /// bound so it can move onto a worker shard. Blanket-implemented for
@@ -196,7 +224,7 @@ enum ShardMsg<'env> {
 /// frames, closes sessions, and injects consumer-defined events.
 pub struct Injector<'env> {
     shard_txs: Vec<mpsc::Sender<ShardMsg<'env>>>,
-    event_tx: mpsc::Sender<ExecEvent>,
+    event_tx: EventTx,
     placement: Placement,
     shard_of: HashMap<u64, usize>,
 }
@@ -360,9 +388,25 @@ pub fn with_executor<'env, R>(
     placement_seed: u64,
     f: impl for<'scope> FnOnce(&'scope Scope<'scope, 'env>, Injector<'env>, Events) -> R,
 ) -> R {
+    with_executor_notified(shards, placement_seed, None, f)
+}
+
+/// [`with_executor`] with a consumer wakeup hook: `notify` (when given)
+/// runs after every event append, from whichever thread appended it.
+/// This is how a consumer that blocks in a socket readiness wait rather
+/// than on [`Events::recv`] — `rsr-net`'s reactor — hears the executor:
+/// the hook pokes the reactor's waker, the reactor drains
+/// [`Events::try_recv`] on its next iteration.
+pub fn with_executor_notified<'env, R>(
+    shards: usize,
+    placement_seed: u64,
+    notify: Option<Notify>,
+    f: impl for<'scope> FnOnce(&'scope Scope<'scope, 'env>, Injector<'env>, Events) -> R,
+) -> R {
     assert!(shards >= 1, "executor needs at least one shard");
     std::thread::scope(|s| {
-        let (event_tx, event_rx) = mpsc::channel();
+        let (tx, event_rx) = mpsc::channel();
+        let event_tx = EventTx { tx, notify };
         let mut shard_txs = Vec::with_capacity(shards);
         for _ in 0..shards {
             let (tx, rx) = mpsc::channel::<ShardMsg<'env>>();
@@ -387,7 +431,7 @@ struct WorkerSlot<'env> {
     transcript: Transcript,
 }
 
-fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: mpsc::Sender<ExecEvent>) {
+fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: EventTx) {
     let mut slots: HashMap<u64, WorkerSlot<'_>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
         match msg {
@@ -447,7 +491,7 @@ fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: mpsc::Sender<ExecEvent
 
 /// Pumps everything `slot` can say, emitting frames (and `Done` when the
 /// session finishes or errors). Returns whether the slot is still live.
-fn pump(id: u64, slot: &mut WorkerSlot<'_>, events: &mpsc::Sender<ExecEvent>) -> bool {
+fn pump(id: u64, slot: &mut WorkerSlot<'_>, events: &EventTx) -> bool {
     loop {
         match slot.session.poll_send() {
             Ok(Some(frame)) => {

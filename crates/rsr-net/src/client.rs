@@ -1,40 +1,49 @@
-//! [`ReconClient`]: batch many Alice sessions over one connection,
-//! driven by the sharded session executor.
+//! [`ReconClient`] and [`MultiClient`]: batch many Alice sessions over
+//! one or many connections, all driven by **one** shared session
+//! executor behind the readiness reactor.
 //!
-//! The client plays **Alice** for every session it runs. A batch first
-//! `OPEN`s every session (so a server speaking first — the Gap
-//! protocol's round 1 — can start immediately), then submits all Alice
-//! halves to a worker-pool executor: each half's opening say is pumped
-//! on its shard and the frames of different sessions interleave on the
-//! wire. A dedicated reader thread routes the server's records to
-//! sessions by id — wake-on-frame, each record waking exactly one
-//! session — for the whole lifetime of the batch, so a server flooding
-//! many sessions at once can never fill both socket buffers and
-//! deadlock against the client's own writing. The calling thread drains
-//! the executor's event stream, writing produced frames and tracking
-//! which sessions have settled.
+//! The client plays **Alice** for every session it runs. A round first
+//! `OPEN`s every session — each `OPEN` optionally carrying a negotiated
+//! [`SessionSpec`] so the server can build its Bob half from the wire
+//! instead of out-of-band trace state — then submits all Alice halves
+//! to the shared worker-pool executor: each half's opening say is
+//! pumped on its shard and the frames of different sessions (and
+//! different connections) interleave. The reactor loop owns every
+//! socket: nonblocking reads run through the incremental record
+//! decoder, routed to sessions by id — wake-on-frame, each record
+//! waking exactly one session — while produced frames queue per
+//! connection and drain as sockets accept them. No reader threads, no
+//! writer threads: a client drives C connections with `1 + shards`
+//! threads total.
 //!
-//! A session-level failure (local decode error, server error status)
-//! marks that one session failed and the batch carries on; only
-//! transport-level failures abort the whole batch.
+//! Failure is scoped tightly. A session-level failure (local decode
+//! error, server error status) marks that one session failed and the
+//! round carries on. A *connection*-level failure — abrupt disconnect,
+//! truncated record, idle timeout — settles every unsettled session on
+//! that connection with an error, closes their local halves so each
+//! reports in (the blocking design instead deadlocked waiting on
+//! them), and leaves every other connection's sessions untouched. The
+//! single-connection [`ReconClient`] surfaces a connection failure as
+//! the batch-level `Err` it always did — but as a returned error, never
+//! a `join().expect` panic.
+//!
+//! [`MultiClient`] keeps its connections alive between rounds: call
+//! [`MultiClient::run_batches`] repeatedly to keep injecting new
+//! session batches on live connections, then [`MultiClient::finish`]
+//! to half-close and drain them.
 
-use crate::codec::{read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR};
+use crate::codec::{NetError, Record, SessionSpec, STATUS_OK, STATUS_SESSION_ERROR};
 use crate::executor::{default_shards, PLACEMENT_SEED};
+use crate::reactor::{ConnIo, READ_CHUNK};
 use crate::server::NetSession;
-use rsr_core::executor::{with_executor, ExecEvent, Injector, Wait};
+use netpoll::{PollFd, Poller, POLLIN};
+use rsr_core::executor::{with_executor_notified, ExecEvent, Injector, Notify};
 use rsr_core::transcript::{Party, Transcript};
-use std::collections::HashMap;
-use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpStream, ToSocketAddrs};
-use std::sync::{Arc, Mutex};
+use std::collections::{HashMap, HashSet};
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
-
-/// The injector shared between the driving loop (which submits sessions
-/// — all upfront in batch mode, on schedule in load mode) and the reader
-/// thread (which routes and validates server records). Contention is one
-/// uncontended lock per record; shutdown-by-dropping still works because
-/// the executor winds down when the last clone is gone.
-type SharedInjector<'env> = Arc<Mutex<Injector<'env>>>;
 
 /// One session's client-side record within a [`BatchReport`].
 #[derive(Clone, Debug)]
@@ -56,7 +65,7 @@ impl SessionReport {
     }
 }
 
-/// What one [`ReconClient::run_batch`] call did.
+/// What one round did on one connection.
 #[derive(Debug, Default)]
 pub struct BatchReport {
     /// Per-session reports, in the order the batch supplied them.
@@ -73,6 +82,11 @@ pub struct BatchReport {
     pub wire_bytes_out: u64,
     /// Raw bytes read, record headers included.
     pub wire_bytes_in: u64,
+    /// The connection-level failure, when this connection's transport
+    /// died mid-round (every unsettled session then carries a matching
+    /// per-session error). `None` for an orderly round — including one
+    /// where the server closed cleanly before every session settled.
+    pub transport_error: Option<NetError>,
 }
 
 impl BatchReport {
@@ -104,7 +118,7 @@ pub struct LoadSessionReport {
     /// When this session was *scheduled* to arrive, as an offset from the
     /// run's start — fixed before the run by the arrival schedule.
     pub scheduled: Duration,
-    /// When the generator actually injected it (OPEN written, Alice half
+    /// When the generator actually injected it (OPEN queued, Alice half
     /// submitted). `injected - scheduled` is the generator's own lag; a
     /// large lag means the load loop itself could not keep up and the
     /// cell's numbers should be treated with suspicion.
@@ -135,7 +149,7 @@ impl LoadSessionReport {
     }
 }
 
-/// What one [`ReconClient::run_load`] call did.
+/// What one open-loop run did on one connection.
 #[derive(Debug, Default)]
 pub struct LoadReport {
     /// Per-session reports, in schedule order.
@@ -151,6 +165,9 @@ pub struct LoadReport {
     pub wire_bytes_out: u64,
     /// Raw bytes read, record headers included.
     pub wire_bytes_in: u64,
+    /// The connection-level failure, when this connection's transport
+    /// died mid-run; see [`BatchReport::transport_error`].
+    pub transport_error: Option<NetError>,
 }
 
 impl LoadReport {
@@ -187,16 +204,39 @@ impl LoadReport {
     }
 }
 
-/// Injected-event code base for a server `DONE`; the status rides in
-/// `code - CODE_SERVER_DONE`.
-const CODE_SERVER_DONE: u32 = 0x100;
-/// Injected-event code: the server closed the connection cleanly.
-const CODE_EOF: u32 = 1;
-/// Injected-event code: the transport failed or the server violated the
-/// record contract; the reader thread carries the typed error out.
-const CODE_FATAL: u32 = 2;
+/// One session a round will run: its wire id, the Alice half, and an
+/// optional [`SessionSpec`] to carry on the `OPEN` so the server builds
+/// its Bob half from the wire instead of out-of-band state.
+pub struct SessionPlan<'s> {
+    /// The session id to use on the wire — unique per connection across
+    /// the connection's whole lifetime (rounds included).
+    pub id: u64,
+    /// Negotiation to send with the `OPEN`; `None` sends the legacy
+    /// bare open and leaves instance lookup to the server's factory.
+    pub spec: Option<SessionSpec>,
+    /// The local Alice half.
+    pub session: Box<dyn NetSession + 's>,
+}
 
-/// Client-side bookkeeping for one session of the batch.
+impl<'s> SessionPlan<'s> {
+    /// A plan with no negotiation spec (the server's factory resolves
+    /// the id by itself).
+    pub fn new(id: u64, session: Box<dyn NetSession + 's>) -> SessionPlan<'s> {
+        SessionPlan {
+            id,
+            spec: None,
+            session,
+        }
+    }
+
+    /// Attaches a negotiation spec to send with the `OPEN`.
+    pub fn with_spec(mut self, spec: SessionSpec) -> SessionPlan<'s> {
+        self.spec = Some(spec);
+        self
+    }
+}
+
+/// Client-side bookkeeping for one session of a round.
 struct ClientSlot {
     id: u64,
     transcript: Transcript,
@@ -205,7 +245,8 @@ struct ClientSlot {
     /// nothing further is expected on the wire for it.
     settled: bool,
     /// The executor reported the local Alice half finished, failed, or
-    /// stranded — its transcript has been collected.
+    /// stranded — its transcript has been collected. (Also set directly
+    /// for sessions that were never injected.)
     local_done: bool,
     /// The instant both of the above became true — the session's settle
     /// time. Stamped once, inside the event loop, so load mode can report
@@ -225,6 +266,10 @@ impl ClientSlot {
         }
     }
 
+    fn resolved(&self) -> bool {
+        self.settled && self.local_done
+    }
+
     /// Stamps the settle time on the transition to fully-settled.
     fn note_progress(&mut self) {
         if self.settled && self.local_done && self.settled_at.is_none() {
@@ -233,12 +278,818 @@ impl ClientSlot {
     }
 }
 
-/// The client end of a multiplexed reconciliation connection. One batch
-/// per connection: [`ReconClient::run_batch`] consumes the client and
-/// shuts the connection down when the batch settles.
+/// Per-session error when the transport under it died.
+const FAILED_BEFORE_SETTLE: &str = "connection failed before session settled";
+/// Per-session error when the server closed cleanly first.
+const CLOSED_BEFORE_SETTLE: &str = "connection closed before session settled";
+
+/// How long a round keeps trying to drain already-queued output after
+/// every session resolved, before giving the connection up as wedged.
+const FLUSH_GRACE: Duration = Duration::from_secs(5);
+/// How long [`MultiClient::finish`] waits for the server's EOFs.
+const FINISH_GRACE: Duration = Duration::from_secs(5);
+
+/// One connection's plan for a round: the sessions plus, in open-loop
+/// mode, the arrival schedule.
+struct RoundPlan<'s> {
+    sessions: Vec<SessionPlan<'s>>,
+    schedule: Option<Vec<Duration>>,
+}
+
+/// One connection's state while a round runs.
+struct RoundConn<'s> {
+    slots: Vec<ClientSlot>,
+    wire_to_slot: HashMap<u64, usize>,
+    /// Slot index → executor id, once injected.
+    exec_of_slot: Vec<Option<u64>>,
+    pending: std::vec::IntoIter<SessionPlan<'s>>,
+    schedule: Option<Vec<Duration>>,
+    next_up: usize,
+    injected: Vec<Option<Duration>>,
+    frames_in: usize,
+    frames_out: usize,
+    base_in: u64,
+    base_out: u64,
+    /// First transport-level failure on this connection.
+    transport_error: Option<NetError>,
+    /// Socket unusable after a failure.
+    dead: bool,
+    /// The server closed its side cleanly (no failure, but the
+    /// connection is spent).
+    eof_clean: bool,
+    /// Set when every slot resolved but output is still draining.
+    flush_deadline: Option<Instant>,
+}
+
+impl RoundConn<'_> {
+    fn usable(&self) -> bool {
+        !self.dead && !self.eof_clean
+    }
+
+    /// Sessions injected on the wire and not yet settled — the ones an
+    /// idle deadline protects.
+    fn in_flight(&self) -> bool {
+        self.slots[..self.next_up].iter().any(|s| !s.settled)
+    }
+
+    fn all_resolved(&self) -> bool {
+        self.slots.iter().all(ClientSlot::resolved)
+    }
+}
+
+/// One connection's result of a round, before shaping into a
+/// [`BatchReport`] or [`LoadReport`].
+struct RoundOutcome {
+    slots: Vec<ClientSlot>,
+    injected: Vec<Option<Duration>>,
+    frames_in: usize,
+    frames_out: usize,
+    wire_bytes_in: u64,
+    wire_bytes_out: u64,
+    transport_error: Option<NetError>,
+}
+
+/// A pooled connection between rounds.
+struct PoolConn {
+    io: Option<ConnIo>,
+    /// Why `io` is `None` — surfaced when a later round still names
+    /// this connection.
+    closed_reason: Option<String>,
+    /// Session ids ever used on this connection; reuse would collide
+    /// with the server's per-connection id map.
+    used: HashSet<u64>,
+}
+
+/// Marks a connection failed mid-round: kills the socket, settles every
+/// unsettled session with an error, and closes each injected session's
+/// local half so it reports in. The close is what lets the round
+/// terminate — the blocking design left those halves waiting forever.
+fn fail_conn(
+    rc: &mut RoundConn<'_>,
+    io: Option<&mut ConnIo>,
+    injector: &Injector<'_>,
+    e: NetError,
+) {
+    let msg = format!("{FAILED_BEFORE_SETTLE}: {e}");
+    if rc.transport_error.is_none() {
+        rc.transport_error = Some(e);
+    }
+    rc.dead = true;
+    if let Some(io) = io {
+        io.kill();
+    }
+    settle_leftovers(rc, injector, &msg);
+}
+
+/// The server closed its side cleanly; anything unsettled becomes a
+/// per-session error but the round (and report) stays `Ok`.
+fn close_conn_clean(rc: &mut RoundConn<'_>, injector: &Injector<'_>) {
+    rc.eof_clean = true;
+    settle_leftovers(rc, injector, CLOSED_BEFORE_SETTLE);
+}
+
+fn settle_leftovers(rc: &mut RoundConn<'_>, injector: &Injector<'_>, msg: &str) {
+    for (idx, slot) in rc.slots.iter_mut().enumerate() {
+        if slot.settled {
+            continue;
+        }
+        slot.settled = true;
+        slot.error.get_or_insert_with(|| msg.to_owned());
+        match rc.exec_of_slot[idx] {
+            // Stale closes (local half already finished) are no-ops.
+            Some(exec) => {
+                injector.close(exec, msg);
+            }
+            // Never injected: there is no local half to wait for.
+            None => slot.local_done = true,
+        }
+        slot.note_progress();
+    }
+}
+
+/// The round driver: injects each connection's sessions (on schedule in
+/// open-loop mode, immediately otherwise), routes wire records and
+/// executor events, and runs until every session on every connection is
+/// resolved. Returns per-connection outcomes plus the shared clock —
+/// `Err` only for argument errors and poller setup, never for
+/// connection failures (those are per-connection outcomes).
+fn drive_rounds<'s>(
+    pool: &mut [PoolConn],
+    plans: Vec<RoundPlan<'s>>,
+    shards: usize,
+    idle_timeout: Option<Duration>,
+) -> Result<(Vec<RoundOutcome>, Instant, Duration), NetError> {
+    if plans.len() != pool.len() {
+        return Err(NetError::Malformed("one session plan per connection"));
+    }
+    for (conn, plan) in pool.iter_mut().zip(&plans) {
+        if let Some(schedule) = &plan.schedule {
+            if schedule.len() != plan.sessions.len() {
+                return Err(NetError::Malformed(
+                    "arrival schedule length must match session count",
+                ));
+            }
+            if schedule.windows(2).any(|w| w[0] > w[1]) {
+                return Err(NetError::Malformed(
+                    "arrival schedule must be non-decreasing",
+                ));
+            }
+        }
+        let mut seen = HashSet::with_capacity(plan.sessions.len());
+        for s in &plan.sessions {
+            if !seen.insert(s.id) {
+                return Err(NetError::Malformed("duplicate session id in batch"));
+            }
+            if !conn.used.insert(s.id) {
+                return Err(NetError::Malformed("session id reused on this connection"));
+            }
+        }
+    }
+
+    let mut state: Vec<RoundConn<'s>> = Vec::with_capacity(plans.len());
+    for (conn, plan) in pool.iter().zip(plans) {
+        let n = plan.sessions.len();
+        let slots: Vec<ClientSlot> = plan
+            .sessions
+            .iter()
+            .map(|s| ClientSlot::new(s.id))
+            .collect();
+        let wire_to_slot = plan
+            .sessions
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (s.id, i))
+            .collect();
+        let (base_in, base_out) = conn
+            .io
+            .as_ref()
+            .map_or((0, 0), |io| (io.wire_bytes_in, io.wire_bytes_out));
+        state.push(RoundConn {
+            slots,
+            wire_to_slot,
+            exec_of_slot: vec![None; n],
+            pending: plan.sessions.into_iter(),
+            schedule: plan.schedule,
+            next_up: 0,
+            injected: vec![None; n],
+            frames_in: 0,
+            frames_out: 0,
+            base_in,
+            base_out,
+            transport_error: None,
+            dead: false,
+            eof_clean: false,
+            flush_deadline: None,
+        });
+    }
+
+    let (mut poller, waker) = Poller::new()?;
+    let notify: Notify = Arc::new(move || waker.wake());
+    let t0 = Instant::now();
+    let mut loop_end = Duration::ZERO;
+
+    with_executor_notified(
+        shards,
+        PLACEMENT_SEED,
+        Some(notify),
+        |_scope, mut injector, events| {
+            // Connections already closed by an earlier round: resolve
+            // their sessions immediately.
+            for (c, rc) in state.iter_mut().enumerate() {
+                if pool[c].io.is_none() {
+                    let reason = pool[c]
+                        .closed_reason
+                        .clone()
+                        .unwrap_or_else(|| "connection already closed".into());
+                    rc.eof_clean = true;
+                    for slot in &mut rc.slots {
+                        slot.settled = true;
+                        slot.local_done = true;
+                        slot.error.get_or_insert_with(|| reason.clone());
+                    }
+                }
+            }
+
+            // Executor id → (connection index, slot index). Wire ids are
+            // per-connection; the shared executor needs unique ids.
+            let mut routes: HashMap<u64, (usize, usize)> = HashMap::new();
+            let mut next_exec: u64 = 0;
+            let mut scratch = vec![0u8; READ_CHUNK];
+            let mut fds: Vec<PollFd> = Vec::new();
+            let mut fd_conns: Vec<usize> = Vec::new();
+
+            loop {
+                // Inject everything that is due. Submit before queueing
+                // OPEN: were OPEN flushed first, the server could answer
+                // before the executor knows the id.
+                for c in 0..state.len() {
+                    let rc = &mut state[c];
+                    if !rc.usable() {
+                        continue;
+                    }
+                    let elapsed = t0.elapsed();
+                    while rc.next_up < rc.slots.len() {
+                        let due = match &rc.schedule {
+                            Some(schedule) => elapsed >= schedule[rc.next_up],
+                            None => true,
+                        };
+                        if !due {
+                            break;
+                        }
+                        let plan = rc.pending.next().expect("pending matches slots");
+                        let exec = next_exec;
+                        next_exec += 1;
+                        let slot_idx = rc.next_up;
+                        rc.exec_of_slot[slot_idx] = Some(exec);
+                        routes.insert(exec, (c, slot_idx));
+                        injector.submit(exec, Party::Alice, plan.session);
+                        let io = pool[c].io.as_mut().expect("usable conn has io");
+                        io.last_activity = Instant::now();
+                        let open = Record::Open {
+                            session: plan.id,
+                            spec: plan.spec,
+                        };
+                        rc.injected[slot_idx] = Some(t0.elapsed());
+                        rc.next_up += 1;
+                        if let Err(e) = io.queue(&open) {
+                            fail_conn(rc, Some(io), &injector, e);
+                            break;
+                        }
+                    }
+                }
+
+                // Route executor events: frames out, local halves done.
+                while let Some(ev) = events.try_recv() {
+                    match ev {
+                        ExecEvent::Frame { id, frame } => {
+                            let &(c, s) = routes.get(&id).expect("routed session");
+                            let rc = &mut state[c];
+                            rc.frames_out += 1;
+                            if rc.usable() {
+                                let rec = Record::Frame {
+                                    session: rc.slots[s].id,
+                                    frame,
+                                };
+                                let io = pool[c].io.as_mut().expect("usable conn has io");
+                                if let Err(e) = io.queue(&rec) {
+                                    fail_conn(rc, Some(io), &injector, e);
+                                }
+                            }
+                        }
+                        ExecEvent::Done {
+                            id,
+                            transcript,
+                            error,
+                        } => {
+                            let (c, s) = routes.remove(&id).expect("routed session");
+                            let rc = &mut state[c];
+                            rc.slots[s].local_done = true;
+                            rc.slots[s].transcript = transcript;
+                            if let Some(e) = error {
+                                // A genuine local failure (not one relayed
+                                // from a server DONE — those arrive with
+                                // `settled` already set) abandons the
+                                // session so a Bob blocked on this Alice
+                                // cannot wedge the connection.
+                                if !rc.slots[s].settled {
+                                    rc.slots[s].settled = true;
+                                    if rc.usable() {
+                                        let rec = Record::Done {
+                                            session: rc.slots[s].id,
+                                            status: STATUS_SESSION_ERROR,
+                                            message: e.clone(),
+                                        };
+                                        let io = pool[c].io.as_mut().expect("usable conn has io");
+                                        if let Err(err) = io.queue(&rec) {
+                                            fail_conn(rc, Some(io), &injector, err);
+                                        }
+                                    }
+                                }
+                                rc.slots[s].error.get_or_insert(e);
+                            }
+                            rc.slots[s].note_progress();
+                        }
+                        ExecEvent::Stranded { id, transcript } => {
+                            let (c, s) = routes.remove(&id).expect("routed session");
+                            let rc = &mut state[c];
+                            rc.slots[s].local_done = true;
+                            rc.slots[s].transcript = transcript;
+                            rc.slots[s]
+                                .error
+                                .get_or_insert_with(|| CLOSED_BEFORE_SETTLE.into());
+                            rc.slots[s].note_progress();
+                        }
+                        // The reactor injects nothing.
+                        ExecEvent::Injected { .. } => {}
+                    }
+                }
+
+                // Flush queued output; sweep idle and flush-stalled conns.
+                let now = Instant::now();
+                for c in 0..state.len() {
+                    let rc = &mut state[c];
+                    if !rc.usable() {
+                        continue;
+                    }
+                    let io = pool[c].io.as_mut().expect("usable conn has io");
+                    if let Err(e) = io.try_flush() {
+                        fail_conn(rc, Some(io), &injector, e);
+                        continue;
+                    }
+                    if let Some(idle) = idle_timeout {
+                        if rc.in_flight() && now.duration_since(io.last_activity) >= idle {
+                            let e = io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                format!("no wire activity for {idle:?} with sessions in flight"),
+                            );
+                            fail_conn(rc, Some(io), &injector, e.into());
+                            continue;
+                        }
+                    }
+                    if rc.all_resolved() && io.wants_write() {
+                        let deadline = *rc.flush_deadline.get_or_insert(now + FLUSH_GRACE);
+                        if now >= deadline {
+                            let e = io::Error::new(
+                                io::ErrorKind::TimedOut,
+                                "output stalled after every session resolved",
+                            );
+                            fail_conn(rc, Some(io), &injector, e.into());
+                        }
+                    }
+                }
+
+                // Done when every connection's round is over: all slots
+                // resolved and (for live conns) the output drained.
+                let round_over = state.iter().enumerate().all(|(c, rc)| {
+                    rc.all_resolved()
+                        && (!rc.usable() || !pool[c].io.as_ref().is_some_and(ConnIo::wants_write))
+                });
+                if round_over {
+                    break;
+                }
+
+                // Wait for readiness: sockets, the next scheduled
+                // arrival, the nearest idle/flush deadline, or the
+                // executor's waker.
+                fds.clear();
+                fd_conns.clear();
+                let mut deadline: Option<Instant> = None;
+                let note = |at: Instant, deadline: &mut Option<Instant>| {
+                    *deadline = Some(deadline.map_or(at, |d| d.min(at)));
+                };
+                for (c, rc) in state.iter().enumerate() {
+                    if !rc.usable() {
+                        continue;
+                    }
+                    let io = pool[c].io.as_ref().expect("usable conn has io");
+                    let interest = io.interest();
+                    if interest != 0 {
+                        fds.push(PollFd::new(io.fd(), interest));
+                        fd_conns.push(c);
+                    }
+                    if let Some(schedule) = &rc.schedule {
+                        if rc.next_up < rc.slots.len() {
+                            note(t0 + schedule[rc.next_up], &mut deadline);
+                        }
+                    }
+                    if let Some(idle) = idle_timeout {
+                        if rc.in_flight() {
+                            note(io.last_activity + idle, &mut deadline);
+                        }
+                    }
+                    if let Some(flush) = rc.flush_deadline {
+                        note(flush, &mut deadline);
+                    }
+                }
+                let timeout = deadline.map(|at| at.saturating_duration_since(Instant::now()));
+                if let Err(e) = poller.wait(&mut fds, timeout) {
+                    // Poller failure is unrecoverable for the whole round:
+                    // fail every live connection and settle out.
+                    for c in 0..state.len() {
+                        let rc = &mut state[c];
+                        if rc.usable() {
+                            let err = io::Error::new(e.kind(), e.to_string());
+                            fail_conn(rc, pool[c].io.as_mut(), &injector, err.into());
+                        }
+                    }
+                    continue;
+                }
+
+                // Drain readable sockets into the executor.
+                for (fd, &c) in fds.iter().zip(&fd_conns) {
+                    if !fd.readable() {
+                        continue;
+                    }
+                    let rc = &mut state[c];
+                    if !rc.usable() {
+                        continue;
+                    }
+                    let io = pool[c].io.as_mut().expect("usable conn has io");
+                    if let Err(e) = io.fill(&mut scratch) {
+                        fail_conn(rc, Some(io), &injector, e);
+                        continue;
+                    }
+                    loop {
+                        match io.next_record() {
+                            Ok(Some(record)) => {
+                                if let Err(e) = route_server_record(rc, record, &injector) {
+                                    fail_conn(rc, Some(io), &injector, e);
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            Err(e) => {
+                                fail_conn(rc, Some(io), &injector, e);
+                                break;
+                            }
+                        }
+                    }
+                    if rc.usable() && io.read_closed {
+                        match io.eof_truncation() {
+                            Some(e) => fail_conn(rc, Some(io), &injector, e),
+                            None => close_conn_clean(rc, &injector),
+                        }
+                    }
+                }
+            }
+            loop_end = t0.elapsed();
+        },
+    );
+
+    // Shape outcomes and update the pool: dead and cleanly-closed
+    // connections drop out of it.
+    let mut outcomes = Vec::with_capacity(state.len());
+    for (c, rc) in state.into_iter().enumerate() {
+        let conn = &mut pool[c];
+        let (wire_in, wire_out) = conn.io.as_ref().map_or((rc.base_in, rc.base_out), |io| {
+            (io.wire_bytes_in, io.wire_bytes_out)
+        });
+        if rc.dead {
+            let reason = rc
+                .transport_error
+                .as_ref()
+                .map_or_else(|| "connection failed".to_owned(), NetError::to_string);
+            conn.io = None;
+            conn.closed_reason.get_or_insert(reason);
+        } else if rc.eof_clean {
+            conn.io = None;
+            conn.closed_reason
+                .get_or_insert_with(|| "connection closed by server".into());
+        }
+        outcomes.push(RoundOutcome {
+            slots: rc.slots,
+            injected: rc.injected,
+            frames_in: rc.frames_in,
+            frames_out: rc.frames_out,
+            wire_bytes_in: wire_in - rc.base_in,
+            wire_bytes_out: wire_out - rc.base_out,
+            transport_error: rc.transport_error,
+        });
+    }
+    Ok((outcomes, t0, loop_end))
+}
+
+/// Applies one server record to a connection's round state. `Err` means
+/// the server violated the record contract and the connection is done
+/// for.
+fn route_server_record(
+    rc: &mut RoundConn<'_>,
+    record: Record,
+    injector: &Injector<'_>,
+) -> Result<(), NetError> {
+    match record {
+        Record::Open { .. } => Err(NetError::Malformed("server sent an open record")),
+        Record::Frame { session, frame } => {
+            let (s, exec) = lookup(rc, session)?;
+            rc.frames_in += 1;
+            let _ = s;
+            injector.deliver(exec, frame);
+            Ok(())
+        }
+        Record::Done {
+            session,
+            status,
+            message,
+        } => {
+            let (s, exec) = lookup(rc, session)?;
+            let slot = &mut rc.slots[s];
+            slot.settled = true;
+            // Close the local half so it reports in even if it cannot
+            // finish on its own; the close is stale — a silent no-op —
+            // whenever the half already completed.
+            let reason = if status == STATUS_OK {
+                "server finished but the local session is incomplete".to_owned()
+            } else {
+                let e = format!("server status {status}: {message}");
+                slot.error.get_or_insert_with(|| e.clone());
+                e
+            };
+            injector.close(exec, reason);
+            slot.note_progress();
+            Ok(())
+        }
+    }
+}
+
+/// Resolves a wire session id to `(slot index, executor id)`; a record
+/// for an id this round never injected is a contract violation.
+fn lookup(rc: &RoundConn<'_>, wire: u64) -> Result<(usize, u64), NetError> {
+    let unknown = NetError::Malformed("record for a session id not in the batch");
+    let Some(&s) = rc.wire_to_slot.get(&wire) else {
+        return Err(unknown);
+    };
+    match rc.exec_of_slot[s] {
+        Some(exec) => Ok((s, exec)),
+        None => Err(unknown),
+    }
+}
+
+fn slots_into_session_reports(slots: Vec<ClientSlot>) -> Vec<SessionReport> {
+    slots
+        .into_iter()
+        .map(|s| SessionReport {
+            id: s.id,
+            transcript: s.transcript,
+            error: s.error,
+        })
+        .collect()
+}
+
+fn outcome_into_batch_report(outcome: RoundOutcome) -> BatchReport {
+    BatchReport {
+        sessions: slots_into_session_reports(outcome.slots),
+        frames_out: outcome.frames_out,
+        frames_in: outcome.frames_in,
+        wire_bytes_out: outcome.wire_bytes_out,
+        wire_bytes_in: outcome.wire_bytes_in,
+        transport_error: outcome.transport_error,
+    }
+}
+
+fn outcome_into_load_report(
+    outcome: RoundOutcome,
+    schedule: &[Duration],
+    t0: Instant,
+    loop_end: Duration,
+) -> LoadReport {
+    let mut report = LoadReport {
+        frames_out: outcome.frames_out,
+        frames_in: outcome.frames_in,
+        wire_bytes_out: outcome.wire_bytes_out,
+        wire_bytes_in: outcome.wire_bytes_in,
+        transport_error: outcome.transport_error,
+        ..LoadReport::default()
+    };
+    report.sessions = outcome
+        .slots
+        .into_iter()
+        .zip(schedule.iter().zip(outcome.injected))
+        .map(|(slot, (scheduled, injected_at))| {
+            let mut error = slot.error;
+            if injected_at.is_none() {
+                error.get_or_insert_with(|| {
+                    "load run ended before this session was injected".into()
+                });
+            }
+            LoadSessionReport {
+                id: slot.id,
+                scheduled: *scheduled,
+                injected: injected_at.unwrap_or(loop_end),
+                settled: slot.settled_at.map(|at| at.saturating_duration_since(t0)),
+                transcript: slot.transcript,
+                error,
+            }
+        })
+        .collect();
+    // The honest span: to the last settle when everything completed,
+    // to the loop's end when anything failed or never settled.
+    report.elapsed = if report.failed() == 0 {
+        report
+            .sessions
+            .iter()
+            .filter_map(|s| s.settled)
+            .max()
+            .unwrap_or(loop_end)
+    } else {
+        loop_end
+    };
+    report
+}
+
+/// A pool of connections to one
+/// [`ReconServer`](crate::server::ReconServer), all driven by a single
+/// reactor loop and **one** shared executor: C connections cost
+/// `1 + shards` threads, not `C × threads`. Connections stay alive
+/// between rounds — keep calling [`MultiClient::run_batches`] /
+/// [`MultiClient::run_loads`] to inject new session batches onto live
+/// connections — and a connection that fails mid-round takes only its
+/// own sessions down, never its neighbors'.
+pub struct MultiClient {
+    conns: Vec<PoolConn>,
+    shards: usize,
+    idle_timeout: Option<Duration>,
+}
+
+impl MultiClient {
+    /// Connects `conns` connections (≥ 1) to `addr`.
+    pub fn connect(addr: impl ToSocketAddrs, conns: usize) -> io::Result<MultiClient> {
+        assert!(conns >= 1, "a client pool needs at least one connection");
+        let mut streams = Vec::with_capacity(conns);
+        for _ in 0..conns {
+            streams.push(TcpStream::connect(&addr)?);
+        }
+        MultiClient::from_streams(streams, default_shards(), None)
+    }
+
+    fn from_streams(
+        streams: Vec<TcpStream>,
+        shards: usize,
+        idle_timeout: Option<Duration>,
+    ) -> io::Result<MultiClient> {
+        let mut conns = Vec::with_capacity(streams.len());
+        for stream in streams {
+            conns.push(PoolConn {
+                io: Some(ConnIo::new(stream)?),
+                closed_reason: None,
+                used: HashSet::new(),
+            });
+        }
+        Ok(MultiClient {
+            conns,
+            shards,
+            idle_timeout,
+        })
+    }
+
+    /// Sets the shared executor's worker-shard count.
+    pub fn with_shards(mut self, shards: usize) -> MultiClient {
+        assert!(shards >= 1, "the executor needs at least one shard");
+        self.shards = shards;
+        self
+    }
+
+    /// Sets (or disables) the per-connection idle deadline: a
+    /// connection with sessions in flight but no wire activity for this
+    /// long is failed — its sessions settle with errors, other
+    /// connections are untouched.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> MultiClient {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// The configured worker-shard count.
+    pub fn shards(&self) -> usize {
+        self.shards
+    }
+
+    /// How many connections the pool was built with.
+    pub fn conns(&self) -> usize {
+        self.conns.len()
+    }
+
+    /// Connections still usable for further rounds.
+    pub fn live_conns(&self) -> usize {
+        self.conns.iter().filter(|c| c.io.is_some()).count()
+    }
+
+    /// Runs one round: `batches[i]` is the session batch for connection
+    /// `i` (empty batches are fine). Session ids must be unique per
+    /// connection across the connection's lifetime. Returns one
+    /// [`BatchReport`] per connection; a connection-level failure is
+    /// reported in that connection's
+    /// [`transport_error`](BatchReport::transport_error), never as a
+    /// call-level `Err` — other connections' sessions settle normally.
+    pub fn run_batches<'s>(
+        &mut self,
+        batches: Vec<Vec<SessionPlan<'s>>>,
+    ) -> Result<Vec<BatchReport>, NetError> {
+        let plans = batches
+            .into_iter()
+            .map(|sessions| RoundPlan {
+                sessions,
+                schedule: None,
+            })
+            .collect();
+        let (outcomes, _t0, _end) =
+            drive_rounds(&mut self.conns, plans, self.shards, self.idle_timeout)?;
+        Ok(outcomes
+            .into_iter()
+            .map(outcome_into_batch_report)
+            .collect())
+    }
+
+    /// Runs one **open-loop** round: for connection `i`, session `j` of
+    /// `loads[i].0` is injected at offset `loads[i].1[j]` from the
+    /// round's start regardless of how many earlier sessions are still
+    /// in flight. All connections share one clock and one executor.
+    /// Latency accounting follows the coordinated-omission rule — see
+    /// [`LoadSessionReport::latency`].
+    pub fn run_loads<'s>(
+        &mut self,
+        loads: Vec<(Vec<SessionPlan<'s>>, Vec<Duration>)>,
+    ) -> Result<Vec<LoadReport>, NetError> {
+        let mut schedules = Vec::with_capacity(loads.len());
+        let plans = loads
+            .into_iter()
+            .map(|(sessions, schedule)| {
+                schedules.push(schedule.clone());
+                RoundPlan {
+                    sessions,
+                    schedule: Some(schedule),
+                }
+            })
+            .collect();
+        let (outcomes, t0, loop_end) =
+            drive_rounds(&mut self.conns, plans, self.shards, self.idle_timeout)?;
+        Ok(outcomes
+            .into_iter()
+            .zip(schedules)
+            .map(|(outcome, schedule)| outcome_into_load_report(outcome, &schedule, t0, loop_end))
+            .collect())
+    }
+
+    /// Half-closes every live connection (shutdown of the write side —
+    /// the server sees EOF, finishes, and closes) and drains the read
+    /// sides to EOF, bounded by a grace period. Errors at this point
+    /// are ignored: the connections are being thrown away.
+    pub fn finish(self) {
+        let mut ios: Vec<ConnIo> = self.conns.into_iter().filter_map(|c| c.io).collect();
+        for io in &ios {
+            io.shutdown_write();
+        }
+        let Ok((mut poller, _waker)) = Poller::new() else {
+            return;
+        };
+        let deadline = Instant::now() + FINISH_GRACE;
+        let mut scratch = vec![0u8; READ_CHUNK];
+        while !ios.is_empty() {
+            let now = Instant::now();
+            if now >= deadline {
+                return;
+            }
+            let mut fds: Vec<PollFd> = ios.iter().map(|io| PollFd::new(io.fd(), POLLIN)).collect();
+            if poller.wait(&mut fds, Some(deadline - now)).is_err() {
+                return;
+            }
+            let mut keep = Vec::with_capacity(ios.len());
+            for (io, fd) in ios.into_iter().zip(&fds) {
+                let mut io = io;
+                if !fd.readable() || !io.drain_read(&mut scratch) {
+                    keep.push(io);
+                }
+            }
+            ios = keep;
+        }
+    }
+}
+
+/// The client end of a single multiplexed reconciliation connection.
+/// One batch per connection: [`ReconClient::run_batch`] consumes the
+/// client and shuts the connection down when the batch settles. (For
+/// many connections, or many batches on one connection, use
+/// [`MultiClient`].)
 pub struct ReconClient {
-    reader: BufReader<TcpStream>,
-    writer: BufWriter<TcpStream>,
+    stream: TcpStream,
     shards: usize,
 }
 
@@ -248,11 +1099,8 @@ impl ReconClient {
     /// [`ReconClient::with_shards`] overrides it.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<ReconClient> {
         let stream = TcpStream::connect(addr)?;
-        stream.set_nodelay(true).ok();
-        let reader = BufReader::new(stream.try_clone()?);
         Ok(ReconClient {
-            reader,
-            writer: BufWriter::new(stream),
+            stream,
             shards: default_shards(),
         })
     }
@@ -269,10 +1117,14 @@ impl ReconClient {
         self.shards
     }
 
-    /// Bounds how long the batch blocks on a silent server before the
-    /// batch fails with a transport error.
+    /// Bounds how long the batch tolerates a silent server with
+    /// sessions in flight before the batch fails with a transport
+    /// error.
     pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
-        self.reader.get_ref().set_read_timeout(timeout)
+        // Stored on the socket; the reactor reads it back as the
+        // connection's idle deadline (nonblocking reads never block, so
+        // the kernel-level timeout itself is inert).
+        self.stream.set_read_timeout(timeout)
     }
 
     /// Runs a batch of `(session id, Alice session)` pairs over this
@@ -283,104 +1135,19 @@ impl ReconClient {
         self,
         sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
     ) -> Result<BatchReport, NetError> {
-        let ReconClient {
-            reader,
-            mut writer,
-            shards,
-        } = self;
-        let mut index: HashMap<u64, usize> = HashMap::with_capacity(sessions.len());
-        for (pos, (id, _)) in sessions.iter().enumerate() {
-            if index.insert(*id, pos).is_some() {
-                return Err(NetError::Malformed("duplicate session id in batch"));
-            }
-        }
-        let mut slots: Vec<ClientSlot> = sessions
-            .iter()
-            .map(|(id, _)| ClientSlot::new(*id))
-            .collect();
-        let mut report = BatchReport::default();
-
-        let outcome: Result<(), NetError> =
-            with_executor(shards, PLACEMENT_SEED, |scope, mut injector, events| {
-                // Announce every session before the first frame, so the
-                // server can build all its halves (and speak first where
-                // the protocol starts server-side) while we still write.
-                for (id, _) in &sessions {
-                    report.wire_bytes_out +=
-                        write_record(&mut writer, &Record::Open { session: *id })?;
-                }
-                writer.flush()?;
-                for (id, session) in sessions {
-                    injector.submit(id, Party::Alice, session);
-                }
-
-                // The reader takes the injector: every server record is a
-                // wake (deliver/close) plus, for control flow, an event
-                // injected *before* the wake so the main loop always
-                // learns the cause before the executor's consequence.
-                let injector = Arc::new(Mutex::new(injector));
-                let reader_thread = scope.spawn(move || client_read_loop(reader, injector));
-
-                let mut fatal: Option<NetError> = None;
-                let mut aborted = false;
-                while slots.iter().any(|s| !s.settled || !s.local_done) {
-                    let Some(first) = events.recv() else { break };
-                    let mut next = Some(first);
-                    while let Some(ev) = next {
-                        handle_event(
-                            ev,
-                            &index,
-                            &mut slots,
-                            &mut writer,
-                            &mut report,
-                            &mut fatal,
-                            &mut aborted,
-                        );
-                        next = events.try_recv();
-                    }
-                    if fatal.is_none() {
-                        if let Err(e) = writer.flush() {
-                            fatal = Some(e.into());
-                        }
-                    }
-                    if aborted || fatal.is_some() {
-                        break;
-                    }
-                }
-
-                // Nothing more to say (or the transport died): close our
-                // write half so the server's handler sees EOF, finishes,
-                // and releases the connection — which in turn EOFs our
-                // reader thread so the scope can join it. On a failure
-                // shut both halves to unblock the reader immediately.
-                writer.flush().ok();
-                if fatal.is_some() || aborted {
-                    writer.get_ref().shutdown(Shutdown::Both).ok();
-                } else {
-                    writer.get_ref().shutdown(Shutdown::Write).ok();
-                }
-                let (wire_bytes_in, frames_in, read_error) =
-                    reader_thread.join().expect("client reader thread");
-                report.wire_bytes_in = wire_bytes_in;
-                report.frames_in = frames_in;
-                if let Some(e) = fatal {
-                    return Err(e);
-                }
-                if let Some(e) = read_error {
-                    return Err(e);
-                }
-                Ok(())
-            });
-        outcome?;
-
-        report.sessions = slots
+        let ReconClient { stream, shards } = self;
+        let idle = stream.read_timeout()?;
+        let mut client = MultiClient::from_streams(vec![stream], shards, idle)?;
+        let plans = sessions
             .into_iter()
-            .map(|s| SessionReport {
-                id: s.id,
-                transcript: s.transcript,
-                error: s.error,
-            })
+            .map(|(id, session)| SessionPlan::new(id, session))
             .collect();
+        let mut reports = client.run_batches(vec![plans])?;
+        let mut report = reports.pop().expect("one report per connection");
+        if let Some(e) = report.transport_error.take() {
+            return Err(e);
+        }
+        client.finish();
         Ok(report)
     }
 
@@ -388,8 +1155,7 @@ impl ReconClient {
     /// the i-th session is injected at offset `schedule[i]` from the
     /// run's start regardless of how many earlier sessions are still in
     /// flight. The schedule must be non-decreasing and as long as the
-    /// session list (build one with
-    /// [`rsr-bench::loadgen`](crate::client) or by hand).
+    /// session list.
     ///
     /// Latency in the returned [`LoadReport`] is measured from the
     /// *scheduled* arrival, not the actual injection, so any lag the
@@ -401,357 +1167,19 @@ impl ReconClient {
         sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
         schedule: &[Duration],
     ) -> Result<LoadReport, NetError> {
-        let ReconClient {
-            reader,
-            mut writer,
-            shards,
-        } = self;
-        if sessions.len() != schedule.len() {
-            return Err(NetError::Malformed(
-                "arrival schedule length must match session count",
-            ));
-        }
-        if schedule.windows(2).any(|w| w[0] > w[1]) {
-            return Err(NetError::Malformed(
-                "arrival schedule must be non-decreasing",
-            ));
-        }
-        let n = sessions.len();
-        let mut index: HashMap<u64, usize> = HashMap::with_capacity(n);
-        for (pos, (id, _)) in sessions.iter().enumerate() {
-            if index.insert(*id, pos).is_some() {
-                return Err(NetError::Malformed("duplicate session id in batch"));
-            }
-        }
-        let mut slots: Vec<ClientSlot> = sessions
-            .iter()
-            .map(|(id, _)| ClientSlot::new(*id))
-            .collect();
-        // Counters reuse the batch shape so `handle_event` is shared
-        // verbatim between the closed-loop and open-loop drivers.
-        let mut counters = BatchReport::default();
-        let mut injected: Vec<Option<Duration>> = vec![None; n];
-        let mut loop_end = Duration::ZERO;
-        let mut t0 = Instant::now();
-
-        let outcome: Result<(), NetError> =
-            with_executor(shards, PLACEMENT_SEED, |scope, injector, events| {
-                // The reader needs no sessions up front: the server only
-                // speaks about a session after seeing its OPEN, and every
-                // OPEN is written after that session's `submit` below, so
-                // the reader never routes a frame for an unsubmitted id.
-                let injector = Arc::new(Mutex::new(injector));
-                let reader_injector = Arc::clone(&injector);
-                let reader_thread = scope.spawn(move || client_read_loop(reader, reader_injector));
-                let mut pending = sessions.into_iter();
-                let mut next_up = 0usize;
-                let mut fatal: Option<NetError> = None;
-                let mut aborted = false;
-                t0 = Instant::now();
-
-                loop {
-                    // Inject everything that is due. Submit *before*
-                    // writing OPEN: were OPEN flushed first, the server
-                    // could answer before the executor knows the id and
-                    // the reader would treat the reply as fatal.
-                    let mut burst = false;
-                    while next_up < n && fatal.is_none() && t0.elapsed() >= schedule[next_up] {
-                        let (id, session) = pending.next().expect("sessions match schedule");
-                        injector
-                            .lock()
-                            .expect("injector lock")
-                            .submit(id, Party::Alice, session);
-                        match write_record(&mut writer, &Record::Open { session: id }) {
-                            Ok(b) => counters.wire_bytes_out += b,
-                            Err(e) => fatal = Some(e),
-                        }
-                        injected[next_up] = Some(t0.elapsed());
-                        next_up += 1;
-                        burst = true;
-                    }
-                    if burst && fatal.is_none() {
-                        if let Err(e) = writer.flush() {
-                            fatal = Some(e.into());
-                        }
-                    }
-                    if aborted || fatal.is_some() {
-                        break;
-                    }
-                    if next_up == n && slots.iter().all(|s| s.settled && s.local_done) {
-                        break;
-                    }
-
-                    // Sleep until the next scheduled arrival (or forever
-                    // once the schedule is drained), waking early for any
-                    // executor event.
-                    let timeout =
-                        (next_up < n).then(|| schedule[next_up].saturating_sub(t0.elapsed()));
-                    match events.next(timeout) {
-                        Wait::Event(first) => {
-                            let mut next_ev = Some(first);
-                            while let Some(ev) = next_ev {
-                                handle_event(
-                                    ev,
-                                    &index,
-                                    &mut slots,
-                                    &mut writer,
-                                    &mut counters,
-                                    &mut fatal,
-                                    &mut aborted,
-                                );
-                                next_ev = events.try_recv();
-                            }
-                            if fatal.is_none() {
-                                if let Err(e) = writer.flush() {
-                                    fatal = Some(e.into());
-                                }
-                            }
-                            if aborted || fatal.is_some() {
-                                break;
-                            }
-                        }
-                        Wait::Timeout => {}
-                        Wait::Closed => break,
-                    }
-                }
-                loop_end = t0.elapsed();
-
-                // Shutdown mirrors `run_batch`: close our write half so
-                // the server unwinds cleanly, both halves on failure so
-                // the reader unblocks immediately.
-                writer.flush().ok();
-                if fatal.is_some() || aborted {
-                    writer.get_ref().shutdown(Shutdown::Both).ok();
-                } else {
-                    writer.get_ref().shutdown(Shutdown::Write).ok();
-                }
-                let (wire_bytes_in, frames_in, read_error) =
-                    reader_thread.join().expect("client reader thread");
-                counters.wire_bytes_in = wire_bytes_in;
-                counters.frames_in = frames_in;
-                if let Some(e) = fatal {
-                    return Err(e);
-                }
-                if let Some(e) = read_error {
-                    return Err(e);
-                }
-                Ok(())
-            });
-        outcome?;
-
-        let mut report = LoadReport {
-            frames_out: counters.frames_out,
-            frames_in: counters.frames_in,
-            wire_bytes_out: counters.wire_bytes_out,
-            wire_bytes_in: counters.wire_bytes_in,
-            ..LoadReport::default()
-        };
-        report.sessions = slots
+        let ReconClient { stream, shards } = self;
+        let idle = stream.read_timeout()?;
+        let mut client = MultiClient::from_streams(vec![stream], shards, idle)?;
+        let plans = sessions
             .into_iter()
-            .zip(schedule.iter().zip(injected))
-            .map(|(slot, (scheduled, injected_at))| {
-                let mut error = slot.error;
-                if injected_at.is_none() {
-                    error.get_or_insert_with(|| {
-                        "load run ended before this session was injected".into()
-                    });
-                }
-                LoadSessionReport {
-                    id: slot.id,
-                    scheduled: *scheduled,
-                    injected: injected_at.unwrap_or(loop_end),
-                    settled: slot.settled_at.map(|at| at.saturating_duration_since(t0)),
-                    transcript: slot.transcript,
-                    error,
-                }
-            })
+            .map(|(id, session)| SessionPlan::new(id, session))
             .collect();
-        // The honest span: to the last settle when everything completed,
-        // to the loop's end when anything failed or never settled.
-        report.elapsed = if report.failed() == 0 {
-            report
-                .sessions
-                .iter()
-                .filter_map(|s| s.settled)
-                .max()
-                .unwrap_or(loop_end)
-        } else {
-            loop_end
-        };
+        let mut reports = client.run_loads(vec![(plans, schedule.to_vec())])?;
+        let mut report = reports.pop().expect("one report per connection");
+        if let Some(e) = report.transport_error.take() {
+            return Err(e);
+        }
+        client.finish();
         Ok(report)
-    }
-}
-
-/// Applies one executor event to the batch state.
-fn handle_event(
-    ev: ExecEvent,
-    index: &HashMap<u64, usize>,
-    slots: &mut [ClientSlot],
-    writer: &mut BufWriter<TcpStream>,
-    report: &mut BatchReport,
-    fatal: &mut Option<NetError>,
-    aborted: &mut bool,
-) {
-    match ev {
-        // The local half produced a frame: put it on the wire.
-        ExecEvent::Frame { id, frame } => {
-            report.frames_out += 1;
-            if fatal.is_none() {
-                match write_record(writer, &Record::Frame { session: id, frame }) {
-                    Ok(n) => report.wire_bytes_out += n,
-                    Err(e) => *fatal = Some(e),
-                }
-            }
-        }
-        // The local half left the executor: collect its transcript; a
-        // genuine local failure (not one relayed from a server DONE —
-        // those arrive with `settled` already set) abandons the session
-        // so a Bob blocked on this Alice cannot wedge the connection.
-        ExecEvent::Done {
-            id,
-            transcript,
-            error,
-        } => {
-            let slot = &mut slots[index[&id]];
-            slot.local_done = true;
-            slot.transcript = transcript;
-            if let Some(e) = error {
-                if !slot.settled && fatal.is_none() {
-                    match write_record(
-                        writer,
-                        &Record::Done {
-                            session: id,
-                            status: STATUS_SESSION_ERROR,
-                            message: e.clone(),
-                        },
-                    ) {
-                        Ok(n) => report.wire_bytes_out += n,
-                        Err(err) => *fatal = Some(err),
-                    }
-                    slot.settled = true;
-                }
-                slot.error.get_or_insert(e);
-            }
-            slot.note_progress();
-        }
-        // Executor shutdown caught the half still live: the connection
-        // is gone and its `CODE_EOF`/`CODE_FATAL` cause was already
-        // handled; just collect what crossed.
-        ExecEvent::Stranded { id, transcript } => {
-            let slot = &mut slots[index[&id]];
-            slot.local_done = true;
-            slot.transcript = transcript;
-            slot.error
-                .get_or_insert_with(|| "connection closed before session settled".into());
-            slot.note_progress();
-        }
-        ExecEvent::Injected { id, code, note } => match code {
-            CODE_EOF => {
-                for slot in slots.iter_mut().filter(|s| !s.settled) {
-                    slot.settled = true;
-                    slot.error
-                        .get_or_insert_with(|| "connection closed before session settled".into());
-                    slot.note_progress();
-                }
-            }
-            CODE_FATAL => *aborted = true,
-            code => {
-                let status = (code - CODE_SERVER_DONE) as u8;
-                let slot = &mut slots[index[&id]];
-                slot.settled = true;
-                if status != STATUS_OK {
-                    slot.error
-                        .get_or_insert(format!("server status {status}: {note}"));
-                }
-                slot.note_progress();
-            }
-        },
-    }
-}
-
-/// The reader thread: routes server records into the executor. Returns
-/// `(wire bytes read, frames read, transport error)`; dropping the
-/// injector on exit is what ultimately shuts the executor down.
-fn client_read_loop(
-    mut reader: BufReader<TcpStream>,
-    injector: SharedInjector<'_>,
-) -> (u64, usize, Option<NetError>) {
-    let mut wire_bytes_in = 0u64;
-    let mut frames_in = 0usize;
-    loop {
-        match read_record(&mut reader) {
-            Ok(Some((record, n))) => {
-                wire_bytes_in += n;
-                // One lock per record: uncontended except against the
-                // load generator's scheduled submits.
-                let inj = injector.lock().expect("injector lock");
-                match record {
-                    Record::Open { .. } => {
-                        inj.inject(0, CODE_FATAL, "server sent an open record");
-                        return (
-                            wire_bytes_in,
-                            frames_in,
-                            Some(NetError::Malformed("server sent an open record")),
-                        );
-                    }
-                    Record::Frame { session: id, frame } => {
-                        if inj.shard_of(id).is_none() {
-                            inj.inject(0, CODE_FATAL, "record for an unknown session");
-                            return (
-                                wire_bytes_in,
-                                frames_in,
-                                Some(NetError::Malformed(
-                                    "record for a session id not in the batch",
-                                )),
-                            );
-                        }
-                        frames_in += 1;
-                        inj.deliver(id, frame);
-                    }
-                    Record::Done {
-                        session: id,
-                        status,
-                        message,
-                    } => {
-                        if inj.shard_of(id).is_none() {
-                            inj.inject(0, CODE_FATAL, "record for an unknown session");
-                            return (
-                                wire_bytes_in,
-                                frames_in,
-                                Some(NetError::Malformed(
-                                    "record for a session id not in the batch",
-                                )),
-                            );
-                        }
-                        // Inject the cause first (the event stream is
-                        // FIFO), then close the local half so it reports
-                        // in even if it cannot finish on its own. The
-                        // close is stale — a silent no-op — whenever the
-                        // half already completed.
-                        inj.inject(id, CODE_SERVER_DONE + status as u32, message.clone());
-                        let reason = if status == STATUS_OK {
-                            "server finished but the local session is incomplete".to_owned()
-                        } else {
-                            format!("server status {status}: {message}")
-                        };
-                        inj.close(id, reason);
-                    }
-                }
-            }
-            Ok(None) => {
-                injector
-                    .lock()
-                    .expect("injector lock")
-                    .inject(0, CODE_EOF, "");
-                return (wire_bytes_in, frames_in, None);
-            }
-            Err(e) => {
-                injector
-                    .lock()
-                    .expect("injector lock")
-                    .inject(0, CODE_FATAL, e.to_string());
-                return (wire_bytes_in, frames_in, Some(e));
-            }
-        }
     }
 }

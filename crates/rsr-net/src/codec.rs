@@ -10,9 +10,15 @@
 //! ...  kind-specific body (see below)
 //! ```
 //!
-//! * `OPEN` — no further body. The client announces a session so the
-//!   server can create its half and speak first if the protocol starts
-//!   server-side (the Gap protocol's round 1 is Bob's).
+//! * `OPEN` — either no further body (a *bare* open: the server must
+//!   already know what instance the session id denotes, e.g. from a
+//!   shared trace), or a negotiation block (see [`SessionSpec`]): `u8`
+//!   flag = 1, `u8` protocol code, `u32` n, `u32` k, `u32` dim, `u64`
+//!   seed, all big-endian. The spec tells the server which protocol
+//!   instance to build for the session — the session-id → instance
+//!   mapping travels on the wire instead of living in out-of-band trace
+//!   state. An empty body remains exactly PR 3's wire form, so bare
+//!   opens are bit-compatible in both directions.
 //! * `FRAME` — `u16` label length, the UTF-8 label, `u64` exact bit
 //!   length, then the payload bytes (exactly `bit_len.div_ceil(8)` of
 //!   them). This is a [`Frame`] as the session layer knows it; the label
@@ -49,6 +55,41 @@ pub const STATUS_UNKNOWN_SESSION: u8 = 2;
 const KIND_OPEN: u8 = 0;
 const KIND_FRAME: u8 = 1;
 const KIND_DONE: u8 = 2;
+
+/// [`SessionSpec`] protocol code: the EMD protocol.
+pub const PROTO_EMD: u8 = 0;
+/// [`SessionSpec`] protocol code: the scaled-EMD protocol.
+pub const PROTO_SCALED_EMD: u8 = 1;
+/// [`SessionSpec`] protocol code: the Gap protocol.
+pub const PROTO_GAP: u8 = 2;
+
+/// The negotiation block an `OPEN` record may carry: which protocol
+/// instance the session id denotes, compactly parameterized the same way
+/// a trace entry is (`protocol n k dim seed` — the server rebuilds the
+/// instance deterministically from these five numbers, exactly as a
+/// trace replay would). The codec does not interpret the fields beyond
+/// framing them; the `PROTO_*` constants are the codes `rsr-bench`'s
+/// trace replay assigns, and a custom [`SessionFactory`] may assign its
+/// own meanings.
+///
+/// [`SessionFactory`]: crate::server::SessionFactory
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// Protocol code (`PROTO_EMD`, `PROTO_SCALED_EMD`, `PROTO_GAP`, or a
+    /// factory-defined value).
+    pub protocol: u8,
+    /// Set size parameter n.
+    pub n: u32,
+    /// Difference bound k.
+    pub k: u32,
+    /// Point dimensionality.
+    pub dim: u32,
+    /// Instance seed.
+    pub seed: u64,
+}
+
+/// Wire length of an encoded [`SessionSpec`] (flag byte included).
+const SPEC_WIRE_BYTES: usize = 1 + 1 + 4 + 4 + 4 + 8;
 
 /// Everything that can go wrong on an `rsr-net` transport.
 #[derive(Debug)]
@@ -108,10 +149,15 @@ impl From<io::Error> for NetError {
 /// One unit of the connection protocol.
 #[derive(Clone, Debug)]
 pub enum Record {
-    /// Client announces a session; the server creates its half.
+    /// Client announces a session; the server creates its half. With a
+    /// [`SessionSpec`] the record also *negotiates* which protocol
+    /// instance the id denotes; without one the server must know the id
+    /// out of band (a shared trace).
     Open {
         /// The session being opened.
         session: u64,
+        /// The negotiation block, if the opener sent one.
+        spec: Option<SessionSpec>,
     },
     /// One protocol frame, tagged with its session.
     Frame {
@@ -136,7 +182,7 @@ impl Record {
     /// The session id every record variant carries.
     pub fn session(&self) -> u64 {
         match *self {
-            Record::Open { session }
+            Record::Open { session, .. }
             | Record::Frame { session, .. }
             | Record::Done { session, .. } => session,
         }
@@ -145,7 +191,8 @@ impl Record {
     fn body_len(&self) -> usize {
         1 + 8
             + match self {
-                Record::Open { .. } => 0,
+                Record::Open { spec: None, .. } => 0,
+                Record::Open { spec: Some(_), .. } => SPEC_WIRE_BYTES,
                 Record::Frame { frame, .. } => 2 + frame.label.len() + 8 + frame.payload.len(),
                 Record::Done { message, .. } => 1 + 2 + message.len(),
             }
@@ -185,9 +232,16 @@ pub fn write_record<W: Write>(w: &mut W, record: &Record) -> Result<u64, NetErro
     }
     w.write_all(&(body_len as u32).to_be_bytes())?;
     match record {
-        Record::Open { session } => {
+        Record::Open { session, spec } => {
             w.write_all(&[KIND_OPEN])?;
             w.write_all(&session.to_be_bytes())?;
+            if let Some(spec) = spec {
+                w.write_all(&[1u8, spec.protocol])?;
+                w.write_all(&spec.n.to_be_bytes())?;
+                w.write_all(&spec.k.to_be_bytes())?;
+                w.write_all(&spec.dim.to_be_bytes())?;
+                w.write_all(&spec.seed.to_be_bytes())?;
+            }
         }
         Record::Frame { session, frame } => {
             let label = frame.label.as_bytes();
@@ -260,10 +314,30 @@ fn parse_body(body: &[u8]) -> Result<Record, NetError> {
     const TRUNCATED: NetError = NetError::Malformed("record body ends mid-field");
     let record = match kind {
         KIND_OPEN => {
+            let spec = if cur.remaining() == 0 {
+                None // bare open: PR 3's wire form
+            } else {
+                let flag = cur.u8().ok_or(TRUNCATED)?;
+                if flag != 1 {
+                    return Err(NetError::Malformed("unknown open negotiation flag"));
+                }
+                let protocol = cur.u8().ok_or(TRUNCATED)?;
+                let n = cur.u32().ok_or(TRUNCATED)?;
+                let k = cur.u32().ok_or(TRUNCATED)?;
+                let dim = cur.u32().ok_or(TRUNCATED)?;
+                let seed = cur.u64().ok_or(TRUNCATED)?;
+                Some(SessionSpec {
+                    protocol,
+                    n,
+                    k,
+                    dim,
+                    seed,
+                })
+            };
             if !cur.rest().is_empty() {
                 return Err(NetError::Malformed("trailing bytes after open record"));
             }
-            Record::Open { session }
+            Record::Open { session, spec }
         }
         KIND_FRAME => {
             let label_len = cur.u16().ok_or(TRUNCATED)? as usize;
@@ -326,12 +400,100 @@ impl<'a> Cursor<'a> {
         Some(u16::from_be_bytes(self.bytes(2)?.try_into().unwrap()))
     }
 
+    fn u32(&mut self) -> Option<u32> {
+        Some(u32::from_be_bytes(self.bytes(4)?.try_into().unwrap()))
+    }
+
     fn u64(&mut self) -> Option<u64> {
         Some(u64::from_be_bytes(self.bytes(8)?.try_into().unwrap()))
     }
 
+    fn remaining(&self) -> usize {
+        self.0.len()
+    }
+
     fn rest(&mut self) -> &'a [u8] {
         std::mem::take(&mut self.0)
+    }
+}
+
+/// Incremental record framing for a *nonblocking* byte source: feed
+/// whatever bytes a read produced, pull complete records out. The
+/// validation is byte-for-byte [`read_record`]'s — same oversize check
+/// *before* the body is retained, same strict body parsing — but the
+/// decoder never blocks and never sees the socket: the reactor owns the
+/// reads and hands bytes in.
+///
+/// EOF handling belongs to the caller: when the peer's stream ends,
+/// [`RecordDecoder::is_mid_record`] distinguishes a clean end (empty
+/// buffer — a record boundary) from a truncation (prefix or body cut
+/// mid-record), which callers must surface as
+/// [`NetError::Malformed`] — the symmetric half-close rule.
+#[derive(Debug, Default)]
+pub struct RecordDecoder {
+    buf: Vec<u8>,
+    /// Consumed prefix of `buf`; compacted when it outgrows the tail.
+    start: usize,
+}
+
+impl RecordDecoder {
+    /// An empty decoder.
+    pub fn new() -> RecordDecoder {
+        RecordDecoder::default()
+    }
+
+    /// Appends bytes read from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact before growing: never hold more than one buffer's
+        // worth of dead prefix.
+        if self.start > 0 && self.start >= self.buf.len().saturating_sub(self.start) {
+            self.buf.drain(..self.start);
+            self.start = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Extracts the next complete record, if the buffer holds one.
+    /// Returns `Ok(None)` when more bytes are needed; errors are
+    /// terminal for the stream (the caller tears the connection down, so
+    /// the decoder does not need to resynchronize).
+    pub fn next_record(&mut self) -> Result<Option<(Record, u64)>, NetError> {
+        let pending = &self.buf[self.start..];
+        let Some(prefix) = pending.first_chunk::<4>() else {
+            return Ok(None);
+        };
+        let body_len = u32::from_be_bytes(*prefix);
+        if body_len > MAX_RECORD_BYTES {
+            return Err(NetError::Oversized { claimed: body_len });
+        }
+        if body_len < 9 {
+            return Err(NetError::Malformed("record body shorter than its header"));
+        }
+        let total = 4 + body_len as usize;
+        if pending.len() < total {
+            return Ok(None);
+        }
+        let record = parse_body(&pending[4..total])?;
+        self.start += total;
+        Ok(Some((record, total as u64)))
+    }
+
+    /// True when buffered bytes form an incomplete record — an EOF now
+    /// is a truncation, not a clean close.
+    pub fn is_mid_record(&self) -> bool {
+        self.buf.len() > self.start
+    }
+
+    /// The error an EOF at this point implies: `None` at a record
+    /// boundary (a clean close), the matching [`NetError::Malformed`]
+    /// otherwise — byte-for-byte the diagnosis the blocking
+    /// [`read_record`] makes when its stream ends mid-record.
+    pub fn truncation(&self) -> Option<NetError> {
+        match self.buf.len() - self.start {
+            0 => None,
+            1..=3 => Some(NetError::Malformed("truncated length prefix")),
+            _ => Some(NetError::Malformed("truncated record body")),
+        }
     }
 }
 
@@ -353,10 +515,81 @@ mod tests {
 
     #[test]
     fn open_round_trips() {
-        match roundtrip(Record::Open { session: 42 }) {
-            Record::Open { session } => assert_eq!(session, 42),
+        match roundtrip(Record::Open {
+            session: 42,
+            spec: None,
+        }) {
+            Record::Open { session, spec } => {
+                assert_eq!(session, 42);
+                assert_eq!(spec, None);
+            }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn open_with_spec_round_trips() {
+        let spec = SessionSpec {
+            protocol: PROTO_GAP,
+            n: 48,
+            k: 3,
+            dim: 128,
+            seed: 0xDEAD_BEEF_0BAD_F00D,
+        };
+        match roundtrip(Record::Open {
+            session: 9,
+            spec: Some(spec),
+        }) {
+            Record::Open { session, spec: got } => {
+                assert_eq!(session, 9);
+                assert_eq!(got, Some(spec));
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn bare_open_wire_form_is_unchanged() {
+        // The negotiation extension must not perturb PR 3's bare opens:
+        // 4-byte prefix + kind + session, nothing else.
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 0x0102_0304_0506_0708,
+                spec: None,
+            },
+        )
+        .unwrap();
+        assert_eq!(
+            buf,
+            [0, 0, 0, 9, 0, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07, 0x08]
+        );
+    }
+
+    #[test]
+    fn unknown_open_flag_is_malformed() {
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 1,
+                spec: Some(SessionSpec {
+                    protocol: PROTO_EMD,
+                    n: 8,
+                    k: 1,
+                    dim: 2,
+                    seed: 0,
+                }),
+            },
+        )
+        .unwrap();
+        buf[4 + 1 + 8] = 7; // corrupt the negotiation flag byte
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_record(&mut r),
+            Err(NetError::Malformed("unknown open negotiation flag"))
+        ));
     }
 
     #[test]
@@ -400,8 +633,43 @@ mod tests {
 
     #[test]
     fn open_record_with_trailing_bytes_is_malformed() {
+        // A single byte after a bare open is read as a (bad) negotiation
+        // flag...
         let mut buf = Vec::new();
-        write_record(&mut buf, &Record::Open { session: 3 }).unwrap();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 3,
+                spec: None,
+            },
+        )
+        .unwrap();
+        buf.push(0xEE);
+        let new_len = (buf.len() as u32 - 4).to_be_bytes();
+        buf[..4].copy_from_slice(&new_len);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_record(&mut r),
+            Err(NetError::Malformed("unknown open negotiation flag"))
+        ));
+
+        // ...while bytes after a complete negotiation spec are trailing
+        // garbage.
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 3,
+                spec: Some(SessionSpec {
+                    protocol: PROTO_EMD,
+                    n: 8,
+                    k: 1,
+                    dim: 2,
+                    seed: 9,
+                }),
+            },
+        )
+        .unwrap();
         buf.push(0xEE);
         let new_len = (buf.len() as u32 - 4).to_be_bytes();
         buf[..4].copy_from_slice(&new_len);
@@ -430,6 +698,106 @@ mod tests {
     }
 
     #[test]
+    fn incremental_decoder_matches_blocking_reader_byte_by_byte() {
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 5,
+                spec: Some(SessionSpec {
+                    protocol: PROTO_SCALED_EMD,
+                    n: 24,
+                    k: 2,
+                    dim: 16,
+                    seed: 77,
+                }),
+            },
+        )
+        .unwrap();
+        write_record(
+            &mut buf,
+            &Record::Frame {
+                session: 5,
+                frame: Frame {
+                    label: Cow::Borrowed("f"),
+                    payload: vec![0xFF, 0x01],
+                    bit_len: 16,
+                },
+            },
+        )
+        .unwrap();
+        write_record(
+            &mut buf,
+            &Record::Done {
+                session: 5,
+                status: STATUS_OK,
+                message: String::new(),
+            },
+        )
+        .unwrap();
+
+        // Feed one byte at a time: records must pop out at exactly the
+        // boundaries, with the same wire-length accounting.
+        let mut dec = RecordDecoder::new();
+        let mut out = Vec::new();
+        for (i, b) in buf.iter().enumerate() {
+            dec.feed(&[*b]);
+            while let Some((rec, n)) = dec.next_record().expect("valid stream") {
+                out.push((rec, n, i + 1));
+            }
+        }
+        assert!(!dec.is_mid_record(), "all bytes consumed at a boundary");
+        assert_eq!(out.len(), 3);
+        assert!(matches!(
+            out[0].0,
+            Record::Open {
+                session: 5,
+                spec: Some(_)
+            }
+        ));
+        assert!(matches!(out[1].0, Record::Frame { session: 5, .. }));
+        assert!(matches!(out[2].0, Record::Done { session: 5, .. }));
+        // Cross-check against the blocking reader on the same bytes.
+        let mut r = &buf[..];
+        for (rec, n, _) in &out {
+            let (blocking, bn) = read_record(&mut r).unwrap().unwrap();
+            assert_eq!(*n, bn);
+            assert_eq!(format!("{rec:?}"), format!("{blocking:?}"));
+        }
+    }
+
+    #[test]
+    fn incremental_decoder_flags_mid_record_truncation() {
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Frame {
+                session: 1,
+                frame: Frame {
+                    label: Cow::Borrowed("x"),
+                    payload: vec![0xAA; 8],
+                    bit_len: 64,
+                },
+            },
+        )
+        .unwrap();
+        let mut dec = RecordDecoder::new();
+        dec.feed(&buf[..buf.len() - 3]);
+        assert!(dec.next_record().unwrap().is_none(), "incomplete body");
+        assert!(dec.is_mid_record(), "an EOF here would be a truncation");
+        dec.feed(&buf[buf.len() - 3..]);
+        assert!(dec.next_record().unwrap().is_some());
+        assert!(!dec.is_mid_record());
+    }
+
+    #[test]
+    fn incremental_decoder_rejects_oversized_prefix_immediately() {
+        let mut dec = RecordDecoder::new();
+        dec.feed(&(MAX_RECORD_BYTES + 1).to_be_bytes());
+        assert!(matches!(dec.next_record(), Err(NetError::Oversized { .. })));
+    }
+
+    #[test]
     fn eof_at_record_boundary_is_none() {
         let mut empty: &[u8] = &[];
         assert!(read_record(&mut empty).expect("clean eof").is_none());
@@ -438,7 +806,14 @@ mod tests {
     #[test]
     fn concatenated_records_frame_correctly() {
         let mut buf = Vec::new();
-        write_record(&mut buf, &Record::Open { session: 1 }).unwrap();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 1,
+                spec: None,
+            },
+        )
+        .unwrap();
         write_record(
             &mut buf,
             &Record::Done {
@@ -451,7 +826,7 @@ mod tests {
         let mut r = &buf[..];
         assert!(matches!(
             read_record(&mut r).unwrap().unwrap().0,
-            Record::Open { session: 1 }
+            Record::Open { session: 1, .. }
         ));
         assert!(matches!(
             read_record(&mut r).unwrap().unwrap().0,

@@ -1,46 +1,23 @@
-//! The sharded connection driver: `rsr-core`'s worker-pool session
-//! executor wired to the record codec.
+//! Executor tuning shared by the server and client reactors: shard
+//! defaults and the fixed placement seed.
 //!
-//! PR 3's server drove the sessions of a connection inline on the
-//! connection thread, one frame at a time — correct, but serial: one
-//! slow Bob half (an EMD decode) stalled every other session behind it.
-//! This module replaces that loop. The connection thread becomes a pure
-//! *reader*: it parses records and feeds them to the session executor
-//! engine ([`rsr_core::executor`]) — `OPEN`
-//! submits the factory's Bob half (placed on a shard by power-of-two
-//! choices), `FRAME` wakes exactly the addressed session on its shard,
-//! `DONE` closes it. A dedicated *writer* thread drains the executor's
-//! event stream back onto the socket, so record order per session is
-//! preserved (one worker owns a session; one channel orders its output)
-//! while sessions on different shards make progress concurrently.
-//!
-//! Control replies that belong to no session (an unknown session id, a
-//! duplicate `OPEN`) are serialized into the same event stream with
-//! [`Injector::inject`](rsr_core::executor::Injector::inject), keeping
-//! the writer the single owner of the socket's write half.
-//!
-//! The client's batch loop in [`crate::client`] is the mirror image:
-//! its reader feeds server records into an executor over the Alice
-//! halves, and its main thread drains events into `FRAME` records.
+//! PR 6 drove each connection with its own executor pool behind
+//! blocking reader/writer threads; PR 7 moved connection I/O into the
+//! readiness reactor (`crate::reactor`), which multiplexes **every**
+//! connection over one shared executor. What remains here is the
+//! tuning both endpoints agree on: how many worker shards to run by
+//! default, and the placement salt that keeps session→shard assignment
+//! reproducible.
 
-use crate::codec::{
-    read_record, write_record, NetError, Record, STATUS_OK, STATUS_SESSION_ERROR,
-    STATUS_UNKNOWN_SESSION,
-};
-use crate::server::{ConnectionReport, SessionFactory, SessionSummary};
-use rsr_core::executor::{with_executor, Events, ExecEvent};
-use rsr_core::transcript::Party;
-use std::collections::HashMap;
-use std::io::{BufReader, BufWriter, Write};
-use std::net::{Shutdown, TcpStream};
-
-/// Cap on [`default_shards`]: connection concurrency rarely benefits
-/// from more workers than this, and an unbounded default would spawn a
-/// thread per hardware thread on large hosts for every connection.
+/// Cap on [`default_shards`]: session concurrency rarely benefits from
+/// more workers than this, and an unbounded default would spawn a
+/// thread per hardware thread on large hosts.
 pub const MAX_DEFAULT_SHARDS: usize = 8;
 
 /// The default worker-shard count: available parallelism, capped at
-/// [`MAX_DEFAULT_SHARDS`], at least 1.
+/// [`MAX_DEFAULT_SHARDS`], at least 1. With the shared reactor this is
+/// a **per-process** pool, not per-connection: an endpoint runs
+/// `1 + shards` threads no matter how many connections are live.
 pub fn default_shards() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
@@ -51,247 +28,3 @@ pub fn default_shards() -> usize {
 /// Placement salt for the two-choice session→shard assignment. Fixed so
 /// a replayed trace lands on the same shards everywhere.
 pub(crate) const PLACEMENT_SEED: u64 = 0x2c01_ce5e_ed00_7357;
-
-/// Injected-event code: a record referenced a session id the factory
-/// does not know.
-const INJ_UNKNOWN_SESSION: u32 = 1;
-/// Injected-event code: an `OPEN` for a session that is already open.
-const INJ_DUP_OPEN: u32 = 2;
-
-/// Close reason for sessions the client abandoned via `DONE`; the
-/// writer recognizes it and does not echo a `DONE` back.
-const ABANDONED: &str = "abandoned by client";
-/// Error recorded for sessions still live when the client hung up.
-const CLOSED_MID_SESSION: &str = "connection closed mid-session";
-
-/// Serves every session the client multiplexes onto `stream`, driving
-/// them over a `shards`-wide executor, until the client closes the
-/// connection. Semantics match the serial PR 3 loop record for record:
-/// per-session `DONE` isolation, implicit open on a first `FRAME`,
-/// unknown ids answered with [`STATUS_UNKNOWN_SESSION`], and
-/// per-session transcripts identical to the in-memory driver's.
-pub(crate) fn drive_server_connection<F: SessionFactory + ?Sized>(
-    factory: &F,
-    stream: TcpStream,
-    shards: usize,
-) -> Result<ConnectionReport, NetError> {
-    stream.set_nodelay(true).ok();
-    let reader_stream = stream.try_clone()?;
-    let writer = BufWriter::new(stream);
-    with_executor(
-        shards,
-        PLACEMENT_SEED,
-        move |scope, mut injector, events| {
-            let writer_thread = scope.spawn(move || server_write_loop(writer, events));
-
-            let mut reader = BufReader::new(reader_stream);
-            let mut order: Vec<u64> = Vec::new();
-            let mut frames_in = 0usize;
-            let mut wire_bytes_in = 0u64;
-            let read_outcome: Result<(), NetError> = loop {
-                match read_record(&mut reader) {
-                    Ok(None) => break Ok(()),
-                    Err(e) => break Err(e),
-                    Ok(Some((record, n))) => {
-                        wire_bytes_in += n;
-                        match record {
-                            Record::Open { session: id } => {
-                                if injector.shard_of(id).is_some() {
-                                    injector.inject(id, INJ_DUP_OPEN, "session opened twice");
-                                } else if let Some(session) = factory.open(id) {
-                                    order.push(id);
-                                    injector.submit(id, Party::Bob, session);
-                                } else {
-                                    injector.inject(id, INJ_UNKNOWN_SESSION, "unknown session id");
-                                }
-                            }
-                            Record::Frame { session: id, frame } => {
-                                // A first frame without OPEN implicitly opens
-                                // the session (Alice-initiated protocols over
-                                // a bare TcpChannel).
-                                if injector.shard_of(id).is_none() {
-                                    match factory.open(id) {
-                                        Some(session) => {
-                                            order.push(id);
-                                            injector.submit(id, Party::Bob, session);
-                                        }
-                                        None => {
-                                            injector.inject(
-                                                id,
-                                                INJ_UNKNOWN_SESSION,
-                                                "unknown session id",
-                                            );
-                                            continue;
-                                        }
-                                    }
-                                }
-                                frames_in += 1;
-                                injector.deliver(id, frame);
-                            }
-                            Record::Done { session: id, .. } => {
-                                // The client gave up on the session; drop our
-                                // half. Stale closes are no-ops.
-                                injector.close(id, ABANDONED);
-                            }
-                        }
-                    }
-                }
-            };
-
-            // Shut the executor down: workers drain their queues (frames
-            // already read keep flowing to the writer), strand what is still
-            // live, and the writer exits once the event stream closes.
-            drop(injector);
-            let (mut summaries, frames_out, wire_bytes_out, write_error) =
-                writer_thread.join().expect("connection writer thread");
-            if let Some(e) = write_error {
-                return Err(e);
-            }
-            read_outcome?;
-
-            let mut report = ConnectionReport {
-                sessions: Vec::with_capacity(order.len()),
-                frames_in,
-                frames_out,
-                wire_bytes_in,
-                wire_bytes_out,
-            };
-            for id in order {
-                let summary = summaries
-                    .remove(&id)
-                    .expect("every submitted session reports Done or Stranded");
-                report.sessions.push(summary);
-            }
-            Ok(report)
-        },
-    )
-}
-
-/// What the writer thread hands back: per-session summaries keyed by
-/// id, frames written, wire bytes written, and the first write error.
-type WriterOut = (HashMap<u64, SessionSummary>, usize, u64, Option<NetError>);
-
-fn server_write_loop(mut writer: BufWriter<TcpStream>, events: Events) -> WriterOut {
-    let mut summaries: HashMap<u64, SessionSummary> = HashMap::new();
-    let mut frames_out = 0usize;
-    let mut wire_bytes_out = 0u64;
-    let mut error: Option<NetError> = None;
-    // Batch: block for one event, drain whatever else is queued, then
-    // flush once before blocking again.
-    while let Some(first) = events.recv() {
-        let mut next = Some(first);
-        while let Some(ev) = next {
-            match ev {
-                ExecEvent::Frame { id, frame } => {
-                    frames_out += 1;
-                    emit(
-                        &mut writer,
-                        &mut wire_bytes_out,
-                        &mut error,
-                        &Record::Frame { session: id, frame },
-                    );
-                }
-                ExecEvent::Done {
-                    id,
-                    transcript,
-                    error: session_error,
-                } => {
-                    match session_error.as_deref() {
-                        None => emit(
-                            &mut writer,
-                            &mut wire_bytes_out,
-                            &mut error,
-                            &Record::Done {
-                                session: id,
-                                status: STATUS_OK,
-                                message: String::new(),
-                            },
-                        ),
-                        // The client already walked away; echoing a DONE
-                        // at it would be noise.
-                        Some(ABANDONED) => {}
-                        Some(reason) => emit(
-                            &mut writer,
-                            &mut wire_bytes_out,
-                            &mut error,
-                            &Record::Done {
-                                session: id,
-                                status: STATUS_SESSION_ERROR,
-                                message: reason.to_owned(),
-                            },
-                        ),
-                    }
-                    summaries.insert(
-                        id,
-                        SessionSummary {
-                            id,
-                            transcript,
-                            error: session_error,
-                        },
-                    );
-                }
-                ExecEvent::Stranded { id, transcript } => {
-                    summaries.insert(
-                        id,
-                        SessionSummary {
-                            id,
-                            transcript,
-                            error: Some(CLOSED_MID_SESSION.into()),
-                        },
-                    );
-                }
-                ExecEvent::Injected { id, code, note } => {
-                    let status = if code == INJ_UNKNOWN_SESSION {
-                        STATUS_UNKNOWN_SESSION
-                    } else {
-                        STATUS_SESSION_ERROR
-                    };
-                    emit(
-                        &mut writer,
-                        &mut wire_bytes_out,
-                        &mut error,
-                        &Record::Done {
-                            session: id,
-                            status,
-                            message: note,
-                        },
-                    );
-                }
-            }
-            next = events.try_recv();
-        }
-        if error.is_none() {
-            if let Err(e) = writer.flush() {
-                fail(&writer, &mut error, e.into());
-            }
-        }
-    }
-    if error.is_none() {
-        if let Err(e) = writer.flush() {
-            fail(&writer, &mut error, e.into());
-        }
-    }
-    (summaries, frames_out, wire_bytes_out, error)
-}
-
-/// Writes one record unless the stream already failed; on the first
-/// failure shuts the socket down so the blocked reader unblocks too.
-fn emit(
-    writer: &mut BufWriter<TcpStream>,
-    wire_bytes_out: &mut u64,
-    error: &mut Option<NetError>,
-    record: &Record,
-) {
-    if error.is_some() {
-        return;
-    }
-    match write_record(writer, record) {
-        Ok(n) => *wire_bytes_out += n,
-        Err(e) => fail(writer, error, e),
-    }
-}
-
-fn fail(writer: &BufWriter<TcpStream>, error: &mut Option<NetError>, e: NetError) {
-    writer.get_ref().shutdown(Shutdown::Both).ok();
-    *error = Some(e);
-}

@@ -33,12 +33,17 @@
 pub mod client;
 pub mod codec;
 pub mod executor;
+mod reactor;
 pub mod server;
 pub mod tcp;
 
-pub use client::{BatchReport, LoadReport, LoadSessionReport, ReconClient, SessionReport};
+pub use client::{
+    BatchReport, LoadReport, LoadSessionReport, MultiClient, ReconClient, SessionPlan,
+    SessionReport,
+};
 pub use codec::{
-    read_record, write_record, NetError, Record, MAX_RECORD_BYTES, STATUS_OK, STATUS_SESSION_ERROR,
+    read_record, write_record, NetError, Record, RecordDecoder, SessionSpec, MAX_RECORD_BYTES,
+    PROTO_EMD, PROTO_GAP, PROTO_SCALED_EMD, STATUS_OK, STATUS_SESSION_ERROR,
     STATUS_UNKNOWN_SESSION,
 };
 pub use executor::{default_shards, MAX_DEFAULT_SHARDS};

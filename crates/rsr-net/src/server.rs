@@ -1,38 +1,47 @@
-//! [`ReconServer`]: many reconciliation sessions multiplexed over each
-//! accepted connection, driven by the sharded session executor.
+//! [`ReconServer`]: many reconciliation sessions multiplexed over many
+//! connections, all driven by **one** shared session executor behind a
+//! readiness reactor.
 //!
 //! The server plays **Bob** for every session. A [`SessionFactory`]
 //! supplies the Bob half on demand: when a connection `OPEN`s a session
 //! id (or sends its first `FRAME` for one), the factory builds the
-//! session and the executor places it on a worker shard by power-of-two
-//! choices; everything Bob can say immediately — for Bob-initiated
-//! protocols like the Gap protocol that is round 1 — is pumped on that
-//! shard and written back by the connection's writer thread. From then
-//! on frames are routed by session id, each one waking exactly the
-//! session it addresses. When a session's Bob half finishes, the server
-//! reports `DONE` with [`STATUS_OK`](crate::codec::STATUS_OK); a
-//! protocol error is reported with
-//! [`STATUS_SESSION_ERROR`](crate::codec::STATUS_SESSION_ERROR) and the
-//! session dropped, leaving every other session on the connection — and
-//! every other session on the same *shard* — untouched. An id the
-//! factory does not know gets
-//! [`STATUS_UNKNOWN_SESSION`](crate::codec::STATUS_UNKNOWN_SESSION).
+//! session — from the `OPEN`'s negotiated [`SessionSpec`] when the
+//! client sent one, from the id alone otherwise — and the executor
+//! places it on a worker shard by power-of-two choices; everything Bob
+//! can say immediately — for Bob-initiated protocols like the Gap
+//! protocol that is round 1 — is pumped on that shard and queued on the
+//! connection's output buffer. From then on frames are routed by
+//! session id, each one waking exactly the session it addresses. When a
+//! session's Bob half finishes, the server reports `DONE` with
+//! [`STATUS_OK`](crate::codec::STATUS_OK); a protocol error is reported
+//! with [`STATUS_SESSION_ERROR`](crate::codec::STATUS_SESSION_ERROR)
+//! and the session dropped, leaving every other session — on this
+//! connection and every other — untouched. An id the factory does not
+//! know gets [`STATUS_UNKNOWN_SESSION`](crate::codec::STATUS_UNKNOWN_SESSION).
 //!
-//! Each connection runs in its own thread (`serve`), or inline on the
-//! caller's thread (`serve_one`); either way the handler keeps one
-//! [`Transcript`] per session — entry-for-entry what the in-memory
-//! driver would have recorded — plus whole-connection frame and
-//! wire-byte counters, returned as a [`ConnectionReport`]. See
-//! `docs/transport.md` ("Execution model") for the full scheduling
-//! story.
+//! Unlike the PR 6 design (a reader thread, a writer thread, and an
+//! executor pool *per connection*), `serve` runs a single reactor
+//! thread for every connection at once: sockets are nonblocking,
+//! readiness comes from `netpoll`, and all sessions share one
+//! `shards`-wide executor — the process runs `1 + shards` threads no
+//! matter how many connections are live. A connection that goes silent
+//! past the idle deadline is torn down instead of leaking state
+//! forever; see [`ReconServer::with_idle_timeout`].
+//!
+//! Each connection keeps one [`Transcript`] per session — entry-for-
+//! entry what the in-memory driver would have recorded — plus
+//! whole-connection frame and wire-byte counters, returned as a
+//! [`ConnectionReport`]. See `docs/transport.md` ("Execution model")
+//! for the full scheduling story.
 
-use crate::codec::NetError;
-use crate::executor::{default_shards, drive_server_connection};
+use crate::codec::{NetError, SessionSpec};
+use crate::executor::default_shards;
+use crate::reactor::{run_server_reactor, ServerOpts, DEFAULT_IDLE_TIMEOUT};
 use rsr_core::transcript::Transcript;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::Arc;
-use std::thread;
+use std::time::Duration;
 
 /// A [`rsr_core::session::Session`] with its error type erased to
 /// `String` and a `Send` bound so it can run on an executor shard —
@@ -49,6 +58,17 @@ pub use rsr_core::executor::DynSession as NetSession;
 pub trait SessionFactory: Send + Sync {
     /// The Bob session for `session_id`, or `None` if the id is unknown.
     fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>>;
+
+    /// The Bob session for an `OPEN` that carried a negotiated
+    /// [`SessionSpec`] — protocol and instance parameters on the wire
+    /// instead of out-of-band trace state. The default ignores the spec
+    /// and falls back to [`SessionFactory::open`], so id-keyed
+    /// factories keep working unchanged; factories that can build
+    /// instances from the spec override this.
+    fn open_spec(&self, session_id: u64, spec: &SessionSpec) -> Option<Box<dyn NetSession + '_>> {
+        let _ = spec;
+        self.open(session_id)
+    }
 }
 
 /// One session's server-side record within a [`ConnectionReport`].
@@ -73,7 +93,7 @@ pub struct ConnectionReport {
     /// Frames received from the client and routed to a known session id
     /// (all sessions). Unlike the pre-executor serial loop, this counts
     /// a frame even when the addressed session has already finished and
-    /// the worker drops it as stale — the reader routes without knowing
+    /// the worker drops it as stale — the reactor routes without knowing
     /// per-session liveness — so on error interleavings this can exceed
     /// the number of frames sessions actually consumed.
     pub frames_in: usize,
@@ -110,12 +130,13 @@ impl ConnectionReport {
 /// default-width executor, until the client closes the connection.
 /// Returns the per-connection accounting; `Err` only for transport-level
 /// failures (the connection is then dead), never for per-session
-/// protocol errors.
+/// protocol errors. No idle deadline — the caller owns the stream's
+/// lifetime; accept-path serving via [`ReconServer`] does time out.
 pub fn handle_connection<F: SessionFactory + ?Sized>(
     factory: &F,
     stream: TcpStream,
 ) -> Result<ConnectionReport, NetError> {
-    drive_server_connection(factory, stream, default_shards())
+    handle_connection_sharded(factory, stream, default_shards())
 }
 
 /// [`handle_connection`] with an explicit worker-shard count (≥ 1).
@@ -124,40 +145,83 @@ pub fn handle_connection_sharded<F: SessionFactory + ?Sized>(
     stream: TcpStream,
     shards: usize,
 ) -> Result<ConnectionReport, NetError> {
-    drive_server_connection(factory, stream, shards)
+    serve_streams(
+        factory,
+        None,
+        vec![stream],
+        &ServerOpts {
+            shards,
+            idle_timeout: None,
+            max_conns: Some(1),
+        },
+    )
 }
 
-/// A listening reconciliation server: one [`SessionFactory`] shared by
-/// every connection, one connection thread (or inline call) plus a
-/// fixed pool of executor shards per connection.
+/// Runs the reactor over the given streams and hands back the single
+/// connection outcome (helpers above always pass exactly one).
+fn serve_streams<F: SessionFactory + ?Sized>(
+    factory: &F,
+    listener: Option<&TcpListener>,
+    initial: Vec<TcpStream>,
+    opts: &ServerOpts,
+) -> Result<ConnectionReport, NetError> {
+    let mut outcome: Option<Result<ConnectionReport, NetError>> = None;
+    run_server_reactor(factory, listener, initial, opts, &mut |res| {
+        outcome.get_or_insert(res);
+    })?;
+    outcome.expect("reactor reports every connection exactly once")
+}
+
+/// A listening reconciliation server: one [`SessionFactory`] and one
+/// shared `shards`-wide executor serving every connection from a single
+/// reactor thread.
 pub struct ReconServer<F: SessionFactory> {
     listener: TcpListener,
     factory: Arc<F>,
     shards: usize,
+    idle_timeout: Option<Duration>,
 }
 
 impl<F: SessionFactory> ReconServer<F> {
     /// Binds `addr` (use port 0 for an ephemeral port). Connections are
     /// driven with [`default_shards`] worker shards unless
-    /// [`ReconServer::with_shards`] overrides it.
+    /// [`ReconServer::with_shards`] overrides it, and torn down after
+    /// 30 s of wire silence unless [`ReconServer::with_idle_timeout`]
+    /// says otherwise.
     pub fn bind(addr: impl ToSocketAddrs, factory: Arc<F>) -> io::Result<ReconServer<F>> {
         Ok(ReconServer {
             listener: TcpListener::bind(addr)?,
             factory,
             shards: default_shards(),
+            idle_timeout: Some(DEFAULT_IDLE_TIMEOUT),
         })
     }
 
-    /// Sets the executor worker-shard count used for every connection.
+    /// Sets the executor worker-shard count shared by every connection.
     pub fn with_shards(mut self, shards: usize) -> ReconServer<F> {
-        assert!(shards >= 1, "a connection needs at least one shard");
+        assert!(shards >= 1, "the executor needs at least one shard");
         self.shards = shards;
+        self
+    }
+
+    /// Sets (or disables, with `None`) the idle deadline: a connection
+    /// with no wire activity for this long is torn down — its live
+    /// sessions report "connection closed mid-session" and every other
+    /// connection is untouched. Without a deadline, a client that
+    /// connects and never speaks would hold connection state forever.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> ReconServer<F> {
+        self.idle_timeout = timeout;
         self
     }
 
     /// The configured worker-shard count.
     pub fn shards(&self) -> usize {
         self.shards
+    }
+
+    /// The configured idle deadline.
+    pub fn idle_timeout(&self) -> Option<Duration> {
+        self.idle_timeout
     }
 
     /// The bound address — needed after binding port 0.
@@ -168,37 +232,41 @@ impl<F: SessionFactory> ReconServer<F> {
     /// Accepts one connection and serves it to completion on the calling
     /// thread (the executor's shard workers still run alongside).
     pub fn serve_one(&self) -> Result<ConnectionReport, NetError> {
-        let (stream, _peer) = self.listener.accept()?;
-        drive_server_connection(&*self.factory, stream, self.shards)
+        serve_streams(
+            &*self.factory,
+            Some(&self.listener),
+            Vec::new(),
+            &ServerOpts {
+                shards: self.shards,
+                idle_timeout: self.idle_timeout,
+                max_conns: Some(1),
+            },
+        )
     }
-}
 
-impl<F: SessionFactory + 'static> ReconServer<F> {
-    /// Accept loop: a thread per connection, at most `max_conns`
-    /// connections (`None` = until the listener fails). A bounded loop
-    /// joins its connection threads before returning; the run-forever
-    /// mode detaches them (an unbounded handle list would grow with
-    /// every connection ever accepted). Connection reports are discarded
-    /// here — use [`ReconServer::serve_one`] when the caller wants them.
+    /// Accept loop: every connection multiplexed onto this one reactor
+    /// thread and the shared executor, at most `max_conns` connections
+    /// (`None` = until the listener fails). Thread count stays at
+    /// `1 + shards` regardless of how many connections are accepted.
+    /// Connection reports are discarded here — use
+    /// [`ReconServer::serve_one`] when the caller wants them.
     pub fn serve(&self, max_conns: Option<usize>) -> io::Result<()> {
-        let mut handles = Vec::new();
-        for (accepted, conn) in self.listener.incoming().enumerate() {
-            let stream = conn?;
-            let factory = Arc::clone(&self.factory);
-            let shards = self.shards;
-            let handle = thread::spawn(move || {
-                let _ = drive_server_connection(&*factory, stream, shards);
-            });
-            if let Some(max) = max_conns {
-                handles.push(handle);
-                if accepted + 1 >= max {
-                    break;
-                }
-            }
+        let opts = ServerOpts {
+            shards: self.shards,
+            idle_timeout: self.idle_timeout,
+            max_conns,
+        };
+        let result = run_server_reactor(
+            &*self.factory,
+            Some(&self.listener),
+            Vec::new(),
+            &opts,
+            &mut |_res| {},
+        );
+        match result {
+            Ok(()) => Ok(()),
+            Err(NetError::Io(e)) => Err(e),
+            Err(other) => Err(io::Error::other(other)),
         }
-        for handle in handles {
-            let _ = handle.join();
-        }
-        Ok(())
     }
 }

@@ -16,7 +16,7 @@ use crate::codec::{read_record, write_record, NetError, Record, STATUS_OK};
 use rsr_core::channel::{Channel, ChannelCounters, Frame};
 use rsr_core::transcript::Party;
 use std::io::{self, BufReader, BufWriter, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{Shutdown, TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 /// A [`Channel`] endpoint over one `TcpStream`, speaking the record
@@ -92,6 +92,18 @@ impl TcpChannel {
     /// network actually carried, as opposed to the payload counters.
     pub fn wire_bytes(&self) -> (u64, u64) {
         (self.wire_bytes_out, self.wire_bytes_in)
+    }
+
+    /// Half-closes this endpoint: flushes anything buffered, then shuts
+    /// down the socket's **write** side so the peer reads a clean EOF —
+    /// at a record boundary, because flushed records are whole records.
+    /// `recv` keeps working: shutdown is symmetric per direction, and
+    /// the peer may still have frames to say. (The peer doing this to
+    /// us mid-record is a truncation, latched as `Malformed` — never a
+    /// hang, because its FIN ends our blocking read.)
+    pub fn half_close(&mut self) -> io::Result<()> {
+        self.writer.flush()?;
+        self.writer.get_ref().shutdown(Shutdown::Write)
     }
 
     /// The latched transport error, if any, leaving it in place.
@@ -280,6 +292,65 @@ mod tests {
         server.join().unwrap();
         assert!(ch.recv(Party::Alice).is_none());
         assert!(ch.take_error().is_none(), "clean EOF is not an error");
+    }
+
+    #[test]
+    fn peer_half_close_mid_frame_is_truncation_not_a_hang() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (hold_tx, hold_rx) = std::sync::mpsc::channel::<()>();
+        let server = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().unwrap();
+            // A full length prefix and part of a FRAME body, then shut
+            // down only the write side — the read side stays open, so a
+            // reader that waited for the *connection* to die (instead of
+            // honoring the FIN) would hang here.
+            let frame = Frame {
+                label: "m".into(),
+                payload: vec![0xAB; 8],
+                bit_len: 64,
+            };
+            let mut bytes = Vec::new();
+            write_record(&mut bytes, &Record::Frame { session: 0, frame }).unwrap();
+            stream.write_all(&bytes[..bytes.len() - 3]).unwrap();
+            stream.shutdown(Shutdown::Write).unwrap();
+            // Keep the socket (and its read half) alive until the client
+            // has seen the truncation.
+            let _ = hold_rx.recv();
+        });
+        let mut ch = TcpChannel::connect(addr, Party::Alice).unwrap();
+        ch.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        assert!(ch.recv(Party::Alice).is_none());
+        assert!(matches!(
+            ch.take_error(),
+            Some(NetError::Malformed("truncated record body"))
+        ));
+        drop(hold_tx);
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn half_close_still_receives_the_peers_frames() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (stream, _) = listener.accept().unwrap();
+            let mut ch = TcpChannel::from_stream(stream, Party::Bob).unwrap();
+            // Bob first observes Alice's EOF, then still speaks.
+            assert!(ch.recv(Party::Bob).is_none());
+            assert!(ch.take_error().is_none(), "half-close reads as clean EOF");
+            let mut w = BitWriter::new();
+            w.write(7, 24);
+            ch.send(Party::Bob, Frame::seal("late", w));
+            assert!(ch.last_error().is_none());
+        });
+        let mut ch = TcpChannel::connect(addr, Party::Alice).unwrap();
+        ch.set_read_timeout(Some(Duration::from_secs(10))).unwrap();
+        ch.half_close().unwrap();
+        let frame = ch.recv(Party::Alice).expect("frame after our half-close");
+        assert_eq!(frame.label, "late");
+        assert_eq!(frame.bit_len, 24);
+        server.join().unwrap();
     }
 
     #[test]

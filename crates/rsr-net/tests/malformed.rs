@@ -21,7 +21,10 @@ fn encoded(record: &Record) -> Vec<u8> {
 }
 
 fn open_record(session: u64) -> Vec<u8> {
-    encoded(&Record::Open { session })
+    encoded(&Record::Open {
+        session,
+        spec: None,
+    })
 }
 
 // ---------------------------------------------------------------- codec

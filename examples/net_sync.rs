@@ -14,11 +14,16 @@
 //! cargo run --release --example net_sync -- --connect 127.0.0.1:7171
 //! ```
 //!
-//! `--serve` without `--once` keeps accepting connections (thread per
-//! connection) until killed. `--sessions N` and `--trace-seed S` must
-//! match on both sides.
+//! `--serve` without `--once` keeps accepting connections — one reactor
+//! thread and one executor however many connections arrive — until
+//! killed. `--sessions N` and `--trace-seed S` must match on both
+//! sides. `--conns C` on the client spreads the batch round-robin over
+//! C connections into that same reactor (pair it with `--conns C` on a
+//! `--serve --once` server so it exits after serving all C).
 
-use robust_set_recon::net::{default_shards, NetSession, ReconClient, ReconServer};
+use robust_set_recon::net::{
+    default_shards, MultiClient, NetSession, ReconClient, ReconServer, SessionPlan,
+};
 use rsr_bench::experiments::net::{Instance, TraceFactory};
 use rsr_workloads::sample_trace;
 use std::process::exit;
@@ -32,6 +37,7 @@ struct Args {
     sessions: usize,
     trace_seed: u64,
     shards: usize,
+    conns: usize,
 }
 
 fn parse_args() -> Args {
@@ -42,6 +48,7 @@ fn parse_args() -> Args {
         sessions: 64,
         trace_seed: 0xbea7,
         shards: default_shards(),
+        conns: 1,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -64,6 +71,12 @@ fn parse_args() -> Args {
                     usage("--shards must be >= 1");
                 }
             }
+            "--conns" => {
+                args.conns = value("--conns C").parse().unwrap_or_else(|_| usage("C"));
+                if args.conns == 0 {
+                    usage("--conns must be >= 1");
+                }
+            }
             other => usage(other),
         }
     }
@@ -77,7 +90,7 @@ fn usage(what: &str) -> ! {
     eprintln!("net_sync: bad or missing argument: {what}");
     eprintln!(
         "usage: net_sync (--serve ADDR [--once] | --connect ADDR) \
-         [--sessions N] [--trace-seed S] [--shards N]"
+         [--sessions N] [--trace-seed S] [--shards N] [--conns C]"
     );
     exit(2)
 }
@@ -104,7 +117,15 @@ fn main() {
             "serving {} bob sessions (trace seed {:#x}) on {addr} across {} executor shards",
             args.sessions, args.trace_seed, args.shards
         );
-        if args.once {
+        if args.once && args.conns > 1 {
+            // All the connections share this one reactor and executor;
+            // per-connection outcomes are validated on the client side.
+            server.serve(Some(args.conns)).unwrap_or_else(|e| {
+                eprintln!("net_sync: accept loop failed: {e}");
+                exit(1)
+            });
+            println!("served {} connections, exiting", args.conns);
+        } else if args.once {
             let report = server.serve_one().unwrap_or_else(|e| {
                 eprintln!("net_sync: connection failed: {e}");
                 exit(1)
@@ -135,53 +156,103 @@ fn main() {
     }
 
     let addr = args.connect.expect("checked in parse_args");
-    // The server may still be starting (CI launches it in the
-    // background): retry briefly before giving up.
-    let mut client = None;
-    for _ in 0..40 {
-        match ReconClient::connect(addr.as_str()) {
-            Ok(c) => {
-                client = Some(c);
-                break;
+    let t0;
+    let reports = if args.conns == 1 {
+        // The server may still be starting (CI launches it in the
+        // background): retry briefly before giving up.
+        let mut client = None;
+        for _ in 0..40 {
+            match ReconClient::connect(addr.as_str()) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(250)),
             }
-            Err(_) => std::thread::sleep(Duration::from_millis(250)),
         }
-    }
-    let Some(client) = client else {
-        eprintln!("net_sync: cannot connect to {addr}");
-        exit(1)
-    };
-    let client = client.with_shards(args.shards);
-    client.set_read_timeout(Some(Duration::from_secs(60))).ok();
+        let Some(client) = client else {
+            eprintln!("net_sync: cannot connect to {addr}");
+            exit(1)
+        };
+        let client = client.with_shards(args.shards);
+        client.set_read_timeout(Some(Duration::from_secs(60))).ok();
 
-    let t0 = Instant::now();
-    let batch: Vec<(u64, Box<dyn NetSession + '_>)> = factory
-        .instances
-        .iter()
-        .enumerate()
-        .map(|(i, inst)| (i as u64, inst.alice_session()))
-        .collect();
-    let report = client.run_batch(batch).unwrap_or_else(|e| {
-        eprintln!("net_sync: batch failed: {e}");
-        exit(1)
-    });
+        t0 = Instant::now();
+        let batch: Vec<(u64, Box<dyn NetSession + '_>)> = factory
+            .instances
+            .iter()
+            .enumerate()
+            .map(|(i, inst)| (i as u64, inst.alice_session()))
+            .collect();
+        vec![client.run_batch(batch).unwrap_or_else(|e| {
+            eprintln!("net_sync: batch failed: {e}");
+            exit(1)
+        })]
+    } else {
+        let mut client = None;
+        for _ in 0..40 {
+            match MultiClient::connect(addr.as_str(), args.conns) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(250)),
+            }
+        }
+        let Some(client) = client else {
+            eprintln!("net_sync: cannot connect {} times to {addr}", args.conns);
+            exit(1)
+        };
+        let mut client = client
+            .with_shards(args.shards)
+            .with_idle_timeout(Some(Duration::from_secs(60)));
+
+        t0 = Instant::now();
+        // Session i rides connection i % conns; one reactor drives all
+        // the connections and one executor drives all the sessions.
+        let batches: Vec<Vec<SessionPlan<'_>>> = (0..args.conns)
+            .map(|c| {
+                factory
+                    .instances
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| i % args.conns == c)
+                    .map(|(i, inst)| SessionPlan::new(i as u64, inst.alice_session()))
+                    .collect()
+            })
+            .collect();
+        let reports = client.run_batches(batches).unwrap_or_else(|e| {
+            eprintln!("net_sync: batch failed: {e}");
+            exit(1)
+        });
+        for (c, report) in reports.iter().enumerate() {
+            if let Some(e) = &report.transport_error {
+                eprintln!("net_sync: connection {c} failed: {e}");
+            }
+        }
+        client.finish();
+        reports
+    };
     let elapsed = t0.elapsed();
 
+    let total: usize = reports.iter().map(|r| r.sessions.len()).sum();
+    let completed: usize = reports.iter().map(|r| r.completed()).sum();
+    let failed: usize = reports.iter().map(|r| r.failed()).sum();
+    let payload_bits: u64 = reports.iter().map(|r| r.payload_bits()).sum();
+    let wire_out: u64 = reports.iter().map(|r| r.wire_bytes_out).sum();
+    let wire_in: u64 = reports.iter().map(|r| r.wire_bytes_in).sum();
     println!(
-        "{} sessions multiplexed over one connection in {:.1} ms ({:.0} sessions/sec)",
-        report.sessions.len(),
+        "{} sessions multiplexed over {} connection(s) in {:.1} ms ({:.0} sessions/sec)",
+        total,
+        reports.len(),
         elapsed.as_secs_f64() * 1e3,
-        report.sessions.len() as f64 / elapsed.as_secs_f64(),
+        total as f64 / elapsed.as_secs_f64(),
     );
     println!(
-        "completed {}/{}; {} payload bits in {}+{} wire bytes (out+in)",
-        report.completed(),
-        report.sessions.len(),
-        report.payload_bits(),
-        report.wire_bytes_out,
-        report.wire_bytes_in,
+        "completed {completed}/{total}; {payload_bits} payload bits in \
+         {wire_out}+{wire_in} wire bytes (out+in)",
     );
-    for s in report.sessions.iter().take(4) {
+    for s in reports.iter().flat_map(|r| &r.sessions).take(4) {
         println!(
             "  session {:>3}: {:>8} bits in {} messages / {} rounds",
             s.id,
@@ -190,11 +261,15 @@ fn main() {
             s.transcript.num_rounds(),
         );
     }
-    if report.sessions.len() > 4 {
-        println!("  … and {} more", report.sessions.len() - 4);
+    if total > 4 {
+        println!("  … and {} more", total - 4);
     }
-    if report.failed() > 0 {
-        for s in report.sessions.iter().filter(|s| s.error.is_some()) {
+    if failed > 0 || reports.iter().any(|r| r.transport_error.is_some()) {
+        for s in reports
+            .iter()
+            .flat_map(|r| &r.sessions)
+            .filter(|s| s.error.is_some())
+        {
             eprintln!("  session {}: {}", s.id, s.error.as_deref().unwrap());
         }
         exit(1);

@@ -13,9 +13,11 @@ use robust_set_recon::core::{Party, ScaledEmdProtocol, Transcript};
 use robust_set_recon::hash::lsh::LshParams;
 use robust_set_recon::hash::BitSamplingFamily;
 use robust_set_recon::metric::MetricSpace;
-use robust_set_recon::net::{NetSession, ReconClient, ReconServer, TcpChannel};
+use robust_set_recon::net::{
+    MultiClient, NetSession, ReconClient, ReconServer, SessionPlan, TcpChannel,
+};
 use robust_set_recon::workloads::{planted_emd, sample_trace, sensor_pairs};
-use rsr_bench::experiments::net::{Instance, TraceFactory};
+use rsr_bench::experiments::net::{spec_of, Instance, SpecFactory, TraceFactory};
 use std::net::TcpListener;
 use std::sync::Arc;
 
@@ -202,6 +204,76 @@ fn gap_over_tcp_matches_in_memory_over_seed_matrix() {
             }
         }
     }
+}
+
+#[test]
+fn spec_negotiated_multi_connection_batches_match_in_memory() {
+    // Two connections into ONE server reactor, with the server holding
+    // no pre-agreed trace at all: every OPEN carries the wire spec and
+    // the server rebuilds the instance from it. Client-side transcripts
+    // must still match the in-memory reference bit-for-bit, and the
+    // same live connections must carry a second batch round.
+    let entries_list = sample_trace(8, 0xd00d);
+    let instances: Vec<Instance> = entries_list.iter().map(Instance::build).collect();
+    let baseline: Vec<Result<u64, String>> =
+        instances.iter().map(Instance::run_in_memory).collect();
+
+    let server = ReconServer::bind("127.0.0.1:0", Arc::new(SpecFactory))
+        .expect("bind")
+        .with_shards(4);
+    let addr = server.local_addr().expect("addr");
+    let server_thread = std::thread::spawn(move || server.serve(Some(2)));
+    let mut client = MultiClient::connect(addr, 2)
+        .expect("connect")
+        .with_shards(4);
+
+    for round in 0..2u64 {
+        let batches: Vec<Vec<SessionPlan<'_>>> = (0..2)
+            .map(|conn| {
+                instances
+                    .iter()
+                    .zip(&entries_list)
+                    .enumerate()
+                    .filter(|(i, _)| i % 2 == conn)
+                    .map(|(i, (inst, entry))| {
+                        SessionPlan::new(round * 100 + i as u64, inst.alice_session())
+                            .with_spec(spec_of(entry))
+                    })
+                    .collect()
+            })
+            .collect();
+        let reports = client.run_batches(batches).expect("round runs");
+        assert_eq!(reports.len(), 2);
+        for (conn, report) in reports.iter().enumerate() {
+            assert!(report.transport_error.is_none());
+            for s in &report.sessions {
+                let i = (s.id % 100) as usize;
+                match &baseline[i] {
+                    Ok(bits) => {
+                        assert!(
+                            s.is_ok(),
+                            "round {round} conn {conn} session {i}: {:?}",
+                            s.error
+                        );
+                        assert_eq!(
+                            *bits,
+                            s.transcript.total_bits(),
+                            "round {round} conn {conn} session {i} bits"
+                        );
+                    }
+                    Err(_) => assert!(
+                        !s.is_ok(),
+                        "round {round} conn {conn} session {i} should fail over tcp too"
+                    ),
+                }
+            }
+        }
+    }
+    client.finish();
+    server_thread
+        .join()
+        .expect("server thread")
+        .expect("both connections served");
 }
 
 #[test]
