@@ -89,51 +89,66 @@ fn main() {
         );
         return;
     }
+    // Every regression line names the offending file, the key, and the
+    // tolerance class that flagged it, so a CI log line is actionable
+    // on its own — no cross-referencing the invocation to find out
+    // which report or which rule tripped.
     for r in &throughput_regs {
         eprintln!(
-            "REGRESSION {}: {:.3} -> {:.3} ({:.0}% drop, tolerance {:.0}%)",
+            "REGRESSION {fresh_path}: {} [throughput, tolerance {:.0}% drop]: \
+             baseline {:.3} -> fresh {:.3} ({:.0}% drop)",
             r.key,
+            tolerance * 100.0,
             r.baseline,
             r.fresh,
             r.drop_fraction() * 100.0,
-            tolerance * 100.0
         );
     }
     for r in &thread_regs {
         if r.fresh.is_infinite() {
             eprintln!(
-                "THREAD REGRESSION {}: {:.0} -> (absent from fresh report)",
+                "REGRESSION {fresh_path}: {} [threads, zero tolerance]: \
+                 baseline {:.0} -> (absent from fresh report)",
                 r.key, r.baseline
             );
         } else {
             eprintln!(
-                "THREAD REGRESSION {}: {:.0} -> {:.0} (thread counts must never increase)",
+                "REGRESSION {fresh_path}: {} [threads, zero tolerance]: \
+                 baseline {:.0} -> fresh {:.0} (thread counts must never increase)",
                 r.key, r.baseline, r.fresh
             );
         }
     }
     for r in &latency_regs {
-        let tol = if rsr_bench::benchjson::is_tail_latency_key(&r.key) {
-            tail_tolerance
+        let (class, tol) = if rsr_bench::benchjson::is_tail_latency_key(&r.key) {
+            ("latency tail", tail_tolerance)
         } else {
-            latency_tolerance
+            ("latency body", latency_tolerance)
         };
         if r.fresh.is_infinite() {
             eprintln!(
-                "LATENCY REGRESSION {}: {:.3} ms -> (absent from fresh report)",
-                r.key, r.baseline
+                "REGRESSION {fresh_path}: {} [{class}, tolerance +{:.0}%]: \
+                 baseline {:.3} ms -> (absent from fresh report)",
+                r.key,
+                tol * 100.0,
+                r.baseline
             );
         } else {
             eprintln!(
-                "LATENCY REGRESSION {}: {:.3} ms -> {:.3} ms (+{:.0}%, tolerance {:.0}%)",
+                "REGRESSION {fresh_path}: {} [{class}, tolerance +{:.0}%]: \
+                 baseline {:.3} ms -> fresh {:.3} ms (+{:.0}%)",
                 r.key,
+                tol * 100.0,
                 r.baseline,
                 r.fresh,
                 r.increase_fraction() * 100.0,
-                tol * 100.0
             );
         }
     }
+    eprintln!(
+        "bench_check: {} regression(s) in {fresh_path} vs baseline {baseline_path}",
+        throughput_regs.len() + thread_regs.len() + latency_regs.len()
+    );
     exit(1);
 }
 

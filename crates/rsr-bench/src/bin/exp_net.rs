@@ -7,6 +7,13 @@
 //! (schema and key inventory in docs/benchmarks.md; latency methodology
 //! in docs/loadgen.md).
 //!
+//! `--metrics-out PATH` turns on the `rsr-obs` registry for the whole
+//! run, measures the recording overhead in-bin on the single-connection
+//! sweep cell (asserting it stays within the budget), and writes the
+//! final [`MetricsSnapshot`](rsr_obs::MetricsSnapshot) JSON to `PATH`
+//! (rewritten once a second while running). Key inventory in
+//! docs/observability.md.
+//!
 //! Load-mode sweep overrides (all optional; defaults are the committed
 //! baseline's grid):
 //!
@@ -19,6 +26,8 @@
 use rsr_bench::experiments::load::{self, LoadOptions};
 use rsr_bench::experiments::net;
 use rsr_bench::Arrival;
+use std::path::PathBuf;
+use std::time::Duration;
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,13 +36,33 @@ fn main() {
     if !wants_load && !opts_empty(&opts) {
         die("load sweep flags (--rate/--arrival/--load-sessions/--load-shards/--conns/--payload-scale) require --load");
     }
+    let metrics_out = parse_metrics_out(&args);
+
+    // With --metrics-out the rsr-obs registry records for the whole run
+    // and a periodic reporter rewrites the snapshot file once a second —
+    // a crash still leaves the last-written internals on disk. The
+    // reporter is exactly one extra thread for the whole run, so the
+    // sweep's flat-threads assertion sees a constant.
+    let reporter = metrics_out.as_ref().map(|path| {
+        rsr_obs::set_enabled(true);
+        rsr_obs::Reporter::to_file(path.clone(), Duration::from_secs(1))
+    });
 
     let quick = rsr_bench::quick_flag();
-    let (mut report, mut bench) = net::run_with_json(quick);
+    let (mut report, mut bench) = net::run_with_json_metrics(quick, metrics_out.is_some());
     if wants_load {
         let section = load::extend(&mut bench, quick, &opts);
         report.push_str("\n\n");
         report.push_str(&section);
+    }
+    if let Some(path) = &metrics_out {
+        // Stop the reporter first so its final write cannot race ours,
+        // then write the end-of-run snapshot loudly — an unwritable
+        // path should fail the run, not pass silently.
+        drop(reporter);
+        std::fs::write(path, rsr_obs::global().snapshot().to_json())
+            .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+        eprintln!("wrote {}", path.display());
     }
     match rsr_bench::json_out("BENCH_net.json") {
         Some(path) => {
@@ -44,6 +73,19 @@ fn main() {
         }
         None => println!("{report}"),
     }
+}
+
+fn parse_metrics_out(args: &[String]) -> Option<PathBuf> {
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--metrics-out" {
+            return Some(PathBuf::from(
+                it.next()
+                    .unwrap_or_else(|| die("--metrics-out requires a path")),
+            ));
+        }
+    }
+    None
 }
 
 fn opts_empty(opts: &LoadOptions) -> bool {

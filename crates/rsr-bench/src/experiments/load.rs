@@ -94,6 +94,9 @@ pub struct CellResult {
     pub hist: LogHistogram,
     /// The generator's own worst tardiness (injection after schedule).
     pub max_inject_lag: Duration,
+    /// Registry delta across the cell (counters become per-cell counts)
+    /// when `rsr-obs` recording was on; `None` otherwise.
+    pub internals: Option<rsr_obs::MetricsSnapshot>,
 }
 
 impl CellResult {
@@ -207,6 +210,9 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
         .expect("bind loopback")
         .with_shards(cell.shards);
     let addr = server.local_addr().expect("bound address");
+    // Snapshot the registry around the cell so its counters read as
+    // per-cell counts (the registry itself is cumulative per process).
+    let obs_before = rsr_obs::enabled().then(|| rsr_obs::global().snapshot());
 
     // One server reactor accepts every connection; one client reactor
     // injects every schedule. All connections share one executor and one
@@ -311,6 +317,7 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
         failed,
         hist,
         max_inject_lag,
+        internals: obs_before.map(|before| rsr_obs::global().snapshot().delta_from(&before)),
     }
 }
 
@@ -376,6 +383,23 @@ pub fn extend(bench: &mut BenchReport, quick: bool, opts: &LoadOptions) -> Strin
             format!("load_{k}_inject_lag_ms"),
             result.max_inject_lag.as_secs_f64() * 1e3,
         );
+        // Informational (ungated) internals, when recording is on: the
+        // per-cell registry delta for a few load-bearing counters, so a
+        // regression investigation can see *how* a cell did its work
+        // (poll pressure, wire volume) next to its latency numbers.
+        if let Some(obs) = &result.internals {
+            for key in [
+                "exec_sessions_completed",
+                "net_reactor_polls",
+                "net_client_polls",
+                "net_wire_bytes_in",
+                "net_wire_bytes_out",
+            ] {
+                if let Some(v) = obs.value(key) {
+                    bench.push(format!("load_{k}_obs_{key}"), v);
+                }
+            }
+        }
         sections.push(format!(
             "cell `{k}`: {} sessions over {} connection(s), {} arrivals at \
              {:.0}/s offered, {} shards",

@@ -15,9 +15,13 @@
 
 pub mod benchjson;
 pub mod experiments;
-pub mod hist;
 pub mod loadgen;
 pub mod table;
+
+/// Log-bucketed histograms, now provided by `rsr-obs` (the observability
+/// layer needs them below `rsr-core` in the dependency graph); re-exported
+/// here so load-harness callers keep their `rsr_bench::hist::…` paths.
+pub use rsr_obs::hist;
 
 pub use benchjson::{
     latency_regressions, regressions, thread_regressions, BenchReport, Regression,

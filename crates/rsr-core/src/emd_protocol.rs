@@ -359,6 +359,10 @@ impl EmdBobSession<'_> {
 impl Session for EmdAliceSession {
     type Error = EmdFailure;
 
+    fn protocol(&self) -> &'static str {
+        "emd"
+    }
+
     fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
         Ok(self.msg.take().map(|m| m.to_frame()))
     }
@@ -375,6 +379,10 @@ impl Session for EmdAliceSession {
 
 impl Session for EmdBobSession<'_> {
     type Error = EmdFailure;
+
+    fn protocol(&self) -> &'static str {
+        "emd"
+    }
 
     fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
         Ok(None)

@@ -214,6 +214,10 @@ impl ScaledEmdBobSession<'_> {
 impl Session for ScaledEmdAliceSession {
     type Error = EmdFailure;
 
+    fn protocol(&self) -> &'static str {
+        "scaled_emd"
+    }
+
     fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
         Ok(self.pending.pop_front().map(|(interval, msg)| {
             let mut w = BitWriter::new();
@@ -233,6 +237,10 @@ impl Session for ScaledEmdAliceSession {
 
 impl Session for ScaledEmdBobSession<'_> {
     type Error = EmdFailure;
+
+    fn protocol(&self) -> &'static str {
+        "scaled_emd"
+    }
 
     fn poll_send(&mut self) -> Result<Option<Frame>, EmdFailure> {
         Ok(None)

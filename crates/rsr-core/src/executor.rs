@@ -30,12 +30,85 @@
 use crate::channel::Frame;
 use crate::session::Session;
 use crate::transcript::{Party, Transcript};
+use rsr_obs::{AtomicHistogram, Counter, Gauge, Span};
+use std::borrow::Cow;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::mpsc;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::thread::Scope;
-use std::time::Duration;
+use std::time::{Duration, Instant};
+
+/// Registry handles for the executor's process-wide metrics, resolved
+/// once. Record sites are gated on [`rsr_obs::enabled`]; with metrics
+/// off the whole layer costs one relaxed load per site. Gauges are
+/// cumulative across every executor the process runs — their high-water
+/// marks are process peaks, and a mid-run [`rsr_obs::set_enabled`]
+/// toggle can skew an in-flight gauge by the few events that crossed
+/// the flip (counters are immune).
+struct ExecMetrics {
+    /// Sessions adopted by a worker shard (`exec_sessions_submitted`).
+    submitted: Arc<Counter>,
+    /// Sessions that finished cleanly (`exec_sessions_completed`).
+    completed: Arc<Counter>,
+    /// Sessions ending in a protocol error or close
+    /// (`exec_sessions_failed`).
+    failed: Arc<Counter>,
+    /// Sessions alive at executor shutdown (`exec_sessions_stranded`).
+    stranded: Arc<Counter>,
+    /// Currently resident sessions across all shards
+    /// (`exec_sessions_live`).
+    live: Arc<Gauge>,
+    /// Events queued on the consumer stream (`exec_event_queue`).
+    event_queue: Arc<Gauge>,
+    /// Session open → first emitted frame, µs (`exec_first_frame_us`).
+    first_frame_us: Arc<AtomicHistogram>,
+    /// Session open → Done/error, µs (`exec_settle_us`).
+    settle_us: Arc<AtomicHistogram>,
+    /// One `on_frame` call, µs — the decode cost for sketch-carrying
+    /// frames (`exec_on_frame_us`).
+    on_frame_us: Arc<AtomicHistogram>,
+}
+
+fn exec_metrics() -> &'static ExecMetrics {
+    static METRICS: OnceLock<ExecMetrics> = OnceLock::new();
+    METRICS.get_or_init(|| {
+        let reg = rsr_obs::global();
+        ExecMetrics {
+            submitted: reg.counter("exec_sessions_submitted"),
+            completed: reg.counter("exec_sessions_completed"),
+            failed: reg.counter("exec_sessions_failed"),
+            stranded: reg.counter("exec_sessions_stranded"),
+            live: reg.gauge("exec_sessions_live"),
+            event_queue: reg.gauge("exec_event_queue"),
+            first_frame_us: reg.histogram("exec_first_frame_us"),
+            settle_us: reg.histogram("exec_settle_us"),
+            on_frame_us: reg.histogram("exec_on_frame_us"),
+        }
+    })
+}
+
+/// Per-shard registry handles (`exec_shard{i}_mailbox` /
+/// `exec_shard{i}_sessions`), resolved when an executor starts. Shard
+/// indices are stable across executors in one process, so successive
+/// executors share the same gauges.
+#[derive(Clone)]
+struct ShardObs {
+    /// Queued-but-unprocessed mailbox entries on this shard.
+    mailbox: Arc<Gauge>,
+    /// Sessions resident on this shard.
+    occupancy: Arc<Gauge>,
+}
+
+impl ShardObs {
+    fn for_shard(shard: usize) -> ShardObs {
+        let reg = rsr_obs::global();
+        ShardObs {
+            mailbox: reg.gauge(&format!("exec_shard{shard}_mailbox")),
+            occupancy: reg.gauge(&format!("exec_shard{shard}_sessions")),
+        }
+    }
+}
 
 /// A wakeup hook a consumer can hang on the event stream: called after
 /// *every* event append — worker-emitted and [`Injector::inject`]ed alike
@@ -57,6 +130,9 @@ struct EventTx {
 impl EventTx {
     fn send(&self, ev: ExecEvent) -> Result<(), mpsc::SendError<ExecEvent>> {
         let sent = self.tx.send(ev);
+        if sent.is_ok() && rsr_obs::enabled() {
+            exec_metrics().event_queue.inc();
+        }
         if let Some(notify) = &self.notify {
             notify();
         }
@@ -75,6 +151,10 @@ pub trait DynSession: Send {
     fn on_frame(&mut self, frame: Frame) -> Result<(), String>;
     /// See [`Session::is_done`].
     fn is_done(&self) -> bool;
+    /// See [`Session::protocol`].
+    fn protocol(&self) -> &'static str {
+        "session"
+    }
 }
 
 impl<S> DynSession for S
@@ -92,6 +172,10 @@ where
 
     fn is_done(&self) -> bool {
         Session::is_done(self)
+    }
+
+    fn protocol(&self) -> &'static str {
+        Session::protocol(self)
     }
 }
 
@@ -179,8 +263,10 @@ pub enum ExecEvent {
         id: u64,
         /// Everything that crossed the session, with measured sizes.
         transcript: Transcript,
-        /// `None` on clean completion.
-        error: Option<String>,
+        /// `None` on clean completion. Borrowed for the executor's own
+        /// static reasons (and any static [`Injector::close`] reason),
+        /// owned only when a session produced a dynamic error string.
+        error: Option<Cow<'static, str>>,
     },
     /// The executor shut down (every [`Injector`] clone dropped) while
     /// this session was still live. Its transcript is what had crossed
@@ -201,8 +287,9 @@ pub enum ExecEvent {
         id: u64,
         /// Producer-chosen discriminant.
         code: u32,
-        /// Producer-chosen detail.
-        note: String,
+        /// Producer-chosen detail — `Cow` like frame labels, so the
+        /// common static notes never allocate on the hot path.
+        note: Cow<'static, str>,
     },
 }
 
@@ -217,13 +304,14 @@ enum ShardMsg<'env> {
     /// Wake `id` with an incoming frame.
     Frame { id: u64, frame: Frame },
     /// Drop `id`, reporting `reason`; stale ids are ignored.
-    Close { id: u64, reason: String },
+    Close { id: u64, reason: Cow<'static, str> },
 }
 
 /// The feeding half of a running executor: submits sessions, delivers
 /// frames, closes sessions, and injects consumer-defined events.
 pub struct Injector<'env> {
     shard_txs: Vec<mpsc::Sender<ShardMsg<'env>>>,
+    shard_obs: Vec<ShardObs>,
     event_tx: EventTx,
     placement: Placement,
     shard_of: HashMap<u64, usize>,
@@ -266,9 +354,16 @@ impl<'env> Injector<'env> {
     ) {
         let previous = self.shard_of.insert(id, shard);
         assert!(previous.is_none(), "session id {id} submitted twice");
+        self.note_enqueued(shard);
         // A send only fails if the worker died; its panic resurfaces when
         // the executor scope joins, so losing the message is moot.
         let _ = self.shard_txs[shard].send(ShardMsg::Open { id, party, session });
+    }
+
+    fn note_enqueued(&self, shard: usize) {
+        if rsr_obs::enabled() {
+            self.shard_obs[shard].mailbox.inc();
+        }
     }
 
     /// Wakes `id` with an incoming frame. Returns `false` if the id was
@@ -277,6 +372,7 @@ impl<'env> Injector<'env> {
     pub fn deliver(&self, id: u64, frame: Frame) -> bool {
         match self.shard_of.get(&id) {
             Some(&shard) => {
+                self.note_enqueued(shard);
                 let _ = self.shard_txs[shard].send(ShardMsg::Frame { id, frame });
                 true
             }
@@ -287,9 +383,10 @@ impl<'env> Injector<'env> {
     /// Closes `id` with `reason`: if the session is still live its worker
     /// emits [`ExecEvent::Done`] with that reason; a stale or unknown id
     /// is a no-op. Returns `false` only for ids never submitted.
-    pub fn close(&self, id: u64, reason: impl Into<String>) -> bool {
+    pub fn close(&self, id: u64, reason: impl Into<Cow<'static, str>>) -> bool {
         match self.shard_of.get(&id) {
             Some(&shard) => {
+                self.note_enqueued(shard);
                 let _ = self.shard_txs[shard].send(ShardMsg::Close {
                     id,
                     reason: reason.into(),
@@ -302,7 +399,7 @@ impl<'env> Injector<'env> {
 
     /// Appends an [`ExecEvent::Injected`] to the event stream, after
     /// everything workers have already emitted.
-    pub fn inject(&self, id: u64, code: u32, note: impl Into<String>) {
+    pub fn inject(&self, id: u64, code: u32, note: impl Into<Cow<'static, str>>) {
         let _ = self.event_tx.send(ExecEvent::Injected {
             id,
             code,
@@ -345,26 +442,33 @@ pub struct Events {
 }
 
 impl Events {
+    fn note_drained(ev: ExecEvent) -> ExecEvent {
+        if rsr_obs::enabled() {
+            exec_metrics().event_queue.dec();
+        }
+        ev
+    }
+
     /// Blocks for the next event; `None` once the stream is closed and
     /// drained.
     pub fn recv(&self) -> Option<ExecEvent> {
-        self.rx.recv().ok()
+        self.rx.recv().ok().map(Self::note_drained)
     }
 
     /// Non-blocking poll.
     pub fn try_recv(&self) -> Option<ExecEvent> {
-        self.rx.try_recv().ok()
+        self.rx.try_recv().ok().map(Self::note_drained)
     }
 
     /// Blocks up to `timeout` (forever if `None`) for the next event.
     pub fn next(&self, timeout: Option<Duration>) -> Wait {
         match timeout {
             None => match self.rx.recv() {
-                Ok(ev) => Wait::Event(ev),
+                Ok(ev) => Wait::Event(Self::note_drained(ev)),
                 Err(_) => Wait::Closed,
             },
             Some(t) => match self.rx.recv_timeout(t) {
-                Ok(ev) => Wait::Event(ev),
+                Ok(ev) => Wait::Event(Self::note_drained(ev)),
                 Err(mpsc::RecvTimeoutError::Timeout) => Wait::Timeout,
                 Err(mpsc::RecvTimeoutError::Disconnected) => Wait::Closed,
             },
@@ -408,14 +512,18 @@ pub fn with_executor_notified<'env, R>(
         let (tx, event_rx) = mpsc::channel();
         let event_tx = EventTx { tx, notify };
         let mut shard_txs = Vec::with_capacity(shards);
-        for _ in 0..shards {
+        let mut shard_obs = Vec::with_capacity(shards);
+        for shard in 0..shards {
             let (tx, rx) = mpsc::channel::<ShardMsg<'env>>();
             shard_txs.push(tx);
+            let obs = ShardObs::for_shard(shard);
+            shard_obs.push(obs.clone());
             let worker_events = event_tx.clone();
-            s.spawn(move || shard_worker(rx, worker_events));
+            s.spawn(move || shard_worker(rx, worker_events, obs));
         }
         let injector = Injector {
             shard_txs,
+            shard_obs,
             event_tx,
             placement: Placement::new(shards, placement_seed),
             shard_of: HashMap::new(),
@@ -424,24 +532,87 @@ pub fn with_executor_notified<'env, R>(
     })
 }
 
+/// Metrics state carried per adopted session while recording is on:
+/// the phase clock plus this session's protocol-attributed counters
+/// (`session_frames_<proto>` / `session_bits_<proto>`), resolved once
+/// at adoption so the pump loop touches only atomics.
+struct SlotObs {
+    opened_at: Instant,
+    first_frame_seen: bool,
+    frames: Arc<Counter>,
+    bits: Arc<Counter>,
+}
+
+impl SlotObs {
+    fn open(session: &dyn DynSession) -> SlotObs {
+        let reg = rsr_obs::global();
+        let proto = session.protocol();
+        let m = exec_metrics();
+        m.submitted.inc();
+        m.live.inc();
+        SlotObs {
+            opened_at: Instant::now(),
+            first_frame_seen: false,
+            frames: reg.counter(&format!("session_frames_{proto}")),
+            bits: reg.counter(&format!("session_bits_{proto}")),
+        }
+    }
+
+    fn note_frame_out(&mut self, bit_len: u64) {
+        self.frames.inc();
+        self.bits.add(bit_len);
+        if !self.first_frame_seen {
+            self.first_frame_seen = true;
+            exec_metrics()
+                .first_frame_us
+                .record(self.opened_at.elapsed().as_micros() as u64);
+        }
+    }
+
+    /// The session left the executor: settle timing plus the outcome
+    /// counter (`Ok` completion, error/close, or stranded shutdown).
+    fn settle(&self, outcome: &Option<Cow<'static, str>>, stranded: bool) {
+        let m = exec_metrics();
+        m.live.dec();
+        m.settle_us
+            .record(self.opened_at.elapsed().as_micros() as u64);
+        if stranded {
+            m.stranded.inc();
+        } else if outcome.is_none() {
+            m.completed.inc();
+        } else {
+            m.failed.inc();
+        }
+    }
+}
+
 /// A session adopted by a shard worker.
 struct WorkerSlot<'env> {
     session: Box<dyn DynSession + 'env>,
     party: Party,
     transcript: Transcript,
+    obs: Option<SlotObs>,
 }
 
-fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: EventTx) {
+fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: EventTx, shard_obs: ShardObs) {
     let mut slots: HashMap<u64, WorkerSlot<'_>> = HashMap::new();
     while let Ok(msg) = rx.recv() {
+        if rsr_obs::enabled() {
+            shard_obs.mailbox.dec();
+        }
         match msg {
             ShardMsg::Open { id, party, session } => {
+                let obs = rsr_obs::enabled().then(|| SlotObs::open(&*session));
                 let mut slot = WorkerSlot {
                     session,
                     party,
                     transcript: Transcript::new(),
+                    obs,
                 };
                 if pump(id, &mut slot, &events) {
+                    if slot.obs.is_some() {
+                        shard_obs.occupancy.inc();
+                    }
                     slots.insert(id, slot);
                 }
             }
@@ -453,40 +624,66 @@ fn shard_worker(rx: mpsc::Receiver<ShardMsg<'_>>, events: EventTx) {
                 };
                 slot.transcript
                     .record_from(slot.party.peer(), frame.label.clone(), frame.bit_len);
-                let live = match slot.session.on_frame(frame) {
+                let span = slot
+                    .obs
+                    .as_ref()
+                    .map(|_| Span::new(&exec_metrics().on_frame_us));
+                let handled = slot.session.on_frame(frame);
+                drop(span);
+                let live = match handled {
                     Ok(()) => pump(id, slot, &events),
                     Err(e) => {
-                        let transcript = std::mem::take(&mut slot.transcript);
-                        let _ = events.send(ExecEvent::Done {
-                            id,
-                            transcript,
-                            error: Some(e),
-                        });
+                        emit_done(id, slot, &events, Some(Cow::Owned(e)));
                         false
                     }
                 };
                 if !live {
-                    slots.remove(&id);
+                    if let Some(slot) = slots.remove(&id) {
+                        if slot.obs.is_some() {
+                            shard_obs.occupancy.dec();
+                        }
+                    }
                 }
             }
             ShardMsg::Close { id, reason } => {
-                if let Some(slot) = slots.remove(&id) {
-                    let _ = events.send(ExecEvent::Done {
-                        id,
-                        transcript: slot.transcript,
-                        error: Some(reason),
-                    });
+                if let Some(mut slot) = slots.remove(&id) {
+                    if slot.obs.is_some() {
+                        shard_obs.occupancy.dec();
+                    }
+                    emit_done(id, &mut slot, &events, Some(reason));
                 }
             }
         }
     }
     // Every injector is gone: whatever is still live is stranded.
     for (id, slot) in slots {
+        if let Some(obs) = &slot.obs {
+            shard_obs.occupancy.dec();
+            obs.settle(&None, true);
+        }
         let _ = events.send(ExecEvent::Stranded {
             id,
             transcript: slot.transcript,
         });
     }
+}
+
+/// Emits [`ExecEvent::Done`], recording the session's settle metrics.
+fn emit_done(
+    id: u64,
+    slot: &mut WorkerSlot<'_>,
+    events: &EventTx,
+    error: Option<Cow<'static, str>>,
+) {
+    if let Some(obs) = &slot.obs {
+        obs.settle(&error, false);
+    }
+    let transcript = std::mem::take(&mut slot.transcript);
+    let _ = events.send(ExecEvent::Done {
+        id,
+        transcript,
+        error,
+    });
 }
 
 /// Pumps everything `slot` can say, emitting frames (and `Done` when the
@@ -497,29 +694,22 @@ fn pump(id: u64, slot: &mut WorkerSlot<'_>, events: &EventTx) -> bool {
             Ok(Some(frame)) => {
                 slot.transcript
                     .record_from(slot.party, frame.label.clone(), frame.bit_len);
+                if let Some(obs) = &mut slot.obs {
+                    obs.note_frame_out(frame.bit_len);
+                }
                 if events.send(ExecEvent::Frame { id, frame }).is_err() {
                     return false; // consumer is gone; stop producing
                 }
             }
             Ok(None) => break,
             Err(e) => {
-                let transcript = std::mem::take(&mut slot.transcript);
-                let _ = events.send(ExecEvent::Done {
-                    id,
-                    transcript,
-                    error: Some(e),
-                });
+                emit_done(id, slot, events, Some(Cow::Owned(e)));
                 return false;
             }
         }
     }
     if slot.session.is_done() {
-        let transcript = std::mem::take(&mut slot.transcript);
-        let _ = events.send(ExecEvent::Done {
-            id,
-            transcript,
-            error: None,
-        });
+        emit_done(id, slot, events, None);
         return false;
     }
     true
@@ -644,7 +834,7 @@ pub fn drive_batch<'env>(
                         outcomes[pair].transcript = transcript;
                     }
                     if let Some(e) = error {
-                        outcomes[pair].error.get_or_insert(e);
+                        outcomes[pair].error.get_or_insert(e.into_owned());
                         // The peer can make no further progress; a stale
                         // close (peer already finished) is a no-op.
                         injector.close(id ^ 1, "peer session failed");
@@ -859,12 +1049,55 @@ mod tests {
     }
 
     #[test]
+    fn next_times_out_while_sessions_live() {
+        with_executor(1, 0, |_s, mut injector, events| {
+            injector.submit(1, Party::Alice, Box::new(Mute));
+            // A live but silent session: the stream must report Timeout,
+            // not Closed — the executor is still running.
+            match events.next(Some(Duration::from_millis(50))) {
+                Wait::Timeout => {}
+                other => panic!("expected Timeout, got {other:?}"),
+            }
+            drop(injector);
+            // Shutdown strands the mute session; Closed comes only
+            // after that event has drained, never instead of it.
+            match events.next(Some(Duration::from_secs(5))) {
+                Wait::Event(ExecEvent::Stranded { id, .. }) => assert_eq!(id, 1),
+                other => panic!("expected Stranded, got {other:?}"),
+            }
+            match events.next(Some(Duration::from_secs(5))) {
+                Wait::Closed => {}
+                other => panic!("expected Closed, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
+    fn next_drains_pending_events_before_reporting_closed() {
+        with_executor(1, 0, |_s, injector, events| {
+            injector.inject(9, 1, "queued before shutdown");
+            drop(injector);
+            // An event queued before every injector went away must
+            // still surface; Closed is only ever the end of a drained
+            // stream.
+            match events.next(None) {
+                Wait::Event(ExecEvent::Injected { id, .. }) => assert_eq!(id, 9),
+                other => panic!("expected the queued Injected event, got {other:?}"),
+            }
+            match events.next(Some(Duration::from_secs(5))) {
+                Wait::Closed => {}
+                other => panic!("expected Closed, got {other:?}"),
+            }
+        });
+    }
+
+    #[test]
     fn injected_events_pass_through() {
         with_executor(1, 0, |_s, injector, events| {
             injector.inject(77, 3, "note");
             match events.recv() {
                 Some(ExecEvent::Injected { id, code, note }) => {
-                    assert_eq!((id, code, note.as_str()), (77, 3, "note"));
+                    assert_eq!((id, code, &*note), (77, 3, "note"));
                 }
                 other => panic!("unexpected event: {other:?}"),
             }

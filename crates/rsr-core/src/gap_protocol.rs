@@ -258,6 +258,10 @@ impl<F: LshFamily> GapAliceSession<'_, F> {
 impl<F: LshFamily> Session for GapAliceSession<'_, F> {
     type Error = GapError;
 
+    fn protocol(&self) -> &'static str {
+        "gap"
+    }
+
     fn poll_send(&mut self) -> Result<Option<Frame>, GapError> {
         match std::mem::replace(&mut self.state, AliceSessionState::Done) {
             AliceSessionState::SendRound2 { round2, state } => {
@@ -354,6 +358,10 @@ impl<F: LshFamily> GapBobSession<'_, F> {
 
 impl<F: LshFamily> Session for GapBobSession<'_, F> {
     type Error = GapError;
+
+    fn protocol(&self) -> &'static str {
+        "gap"
+    }
 
     fn poll_send(&mut self) -> Result<Option<Frame>, GapError> {
         match std::mem::replace(&mut self.state, BobSessionState::Done) {

@@ -89,6 +89,14 @@ pub trait Session {
 
     /// True once this party's half of the protocol has finished.
     fn is_done(&self) -> bool;
+
+    /// A short static protocol name for metrics attribution (e.g.
+    /// `"emd"`, `"scaled_emd"`, `"gap"`). The executor buckets its
+    /// per-protocol frame and bit counters under this key; the default
+    /// covers ad-hoc sessions that never appear in reports.
+    fn protocol(&self) -> &'static str {
+        "session"
+    }
 }
 
 /// Why a [`drive`] call stopped early.

@@ -375,6 +375,14 @@ fn fail_conn(
         rc.transport_error = Some(e);
     }
     rc.dead = true;
+    if rsr_obs::enabled() {
+        let unsettled = rc.slots.iter().filter(|s| !s.settled).count();
+        rsr_obs::global_ring().push(
+            "net_client_conn_failed",
+            unsettled as u64,
+            io.as_ref().map_or(0, |io| io.wire_bytes_in),
+        );
+    }
     if let Some(io) = io {
         io.kill();
     }
@@ -397,8 +405,9 @@ fn settle_leftovers(rc: &mut RoundConn<'_>, injector: &Injector<'_>, msg: &str) 
         slot.error.get_or_insert_with(|| msg.to_owned());
         match rc.exec_of_slot[idx] {
             // Stale closes (local half already finished) are no-ops.
+            // This is a failure path, so the owned reason is fine.
             Some(exec) => {
-                injector.close(exec, msg);
+                injector.close(exec, msg.to_owned());
             }
             // Never injected: there is no local half to wait for.
             None => slot.local_done = true,
@@ -597,7 +606,7 @@ fn drive_rounds<'s>(
                                         let rec = Record::Done {
                                             session: rc.slots[s].id,
                                             status: STATUS_SESSION_ERROR,
-                                            message: e.clone(),
+                                            message: e.clone().into_owned(),
                                         };
                                         let io = pool[c].io.as_mut().expect("usable conn has io");
                                         if let Err(err) = io.queue(&rec) {
@@ -605,7 +614,7 @@ fn drive_rounds<'s>(
                                         }
                                     }
                                 }
-                                rc.slots[s].error.get_or_insert(e);
+                                rc.slots[s].error.get_or_insert(e.into_owned());
                             }
                             rc.slots[s].note_progress();
                         }
@@ -702,6 +711,9 @@ fn drive_rounds<'s>(
                     }
                 }
                 let timeout = deadline.map(|at| at.saturating_duration_since(Instant::now()));
+                if rsr_obs::enabled() {
+                    crate::obs::net_metrics().client_polls.inc();
+                }
                 if let Err(e) = poller.wait(&mut fds, timeout) {
                     // Poller failure is unrecoverable for the whole round:
                     // fail every live connection and settle out.

@@ -33,6 +33,7 @@
 pub mod client;
 pub mod codec;
 pub mod executor;
+mod obs;
 mod reactor;
 pub mod server;
 pub mod tcp;

@@ -46,6 +46,7 @@ use crate::codec::{
     STATUS_UNKNOWN_SESSION,
 };
 use crate::executor::PLACEMENT_SEED;
+use crate::obs::net_metrics;
 use crate::server::{ConnectionReport, SessionFactory, SessionSummary};
 use netpoll::{listener_fd, stream_fd, PollFd, Poller, POLLIN, POLLOUT};
 use rsr_core::executor::{with_executor_notified, ExecEvent, Notify};
@@ -135,6 +136,9 @@ impl ConnIo {
                 Ok(0) => self.read_closed = true,
                 Ok(n) => {
                     self.last_activity = Instant::now();
+                    if rsr_obs::enabled() {
+                        net_metrics().bytes_in.add(n as u64);
+                    }
                     self.decoder.feed(&scratch[..n]);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
@@ -168,6 +172,11 @@ impl ConnIo {
     pub fn queue(&mut self, record: &Record) -> Result<(), NetError> {
         let n = write_record(&mut self.outbuf, record)?;
         self.wire_bytes_out += n;
+        if rsr_obs::enabled() {
+            net_metrics()
+                .writebuf
+                .set_max((self.outbuf.len() - self.out_pos) as i64);
+        }
         Ok(())
     }
 
@@ -185,6 +194,9 @@ impl ConnIo {
                 Ok(n) => {
                     self.out_pos += n;
                     self.last_activity = Instant::now();
+                    if rsr_obs::enabled() {
+                        net_metrics().bytes_out.add(n as u64);
+                    }
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
@@ -329,6 +341,12 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
     let mut conns: Vec<Option<ServerConn>> = Vec::new();
     for stream in initial {
         conns.push(Some(ServerConn::new(ConnIo::new(stream)?)));
+        if rsr_obs::enabled() {
+            // Handed-in streams count as accepted: the reactor serves
+            // them exactly like listener arrivals.
+            net_metrics().conns_accepted.inc();
+            net_metrics().conns_live.inc();
+        }
     }
     // Accept budget: the handed-in streams count against `max_conns`.
     let mut accept_budget = opts
@@ -382,6 +400,9 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                 }
                 let timeout = deadline.map(|at| at.saturating_duration_since(Instant::now()));
                 poller.wait(&mut fds, timeout)?;
+                if rsr_obs::enabled() {
+                    note_poll_return(&fds, &fd_slots);
+                }
 
                 // Accept everything that is ready.
                 let mut accepted_now = Vec::new();
@@ -402,6 +423,10 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                 }
                 for stream in accepted_now {
                     let conn = ServerConn::new(ConnIo::new(stream)?);
+                    if rsr_obs::enabled() {
+                        net_metrics().conns_accepted.inc();
+                        net_metrics().conns_live.inc();
+                    }
                     match conns.iter_mut().find(|c| c.is_none()) {
                         Some(empty) => *empty = Some(conn),
                         None => conns.push(Some(conn)),
@@ -476,7 +501,7 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                                 SessionSummary {
                                     id: wire,
                                     transcript,
-                                    error,
+                                    error: error.map(|e| e.into_owned()),
                                 },
                             );
                         }
@@ -519,11 +544,22 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                                 io::ErrorKind::TimedOut,
                                 format!("connection idle for {idle:?}, tearing it down"),
                             );
+                            if rsr_obs::enabled() {
+                                net_metrics().conns_idle_closed.inc();
+                                rsr_obs::global_ring().push(
+                                    "net_idle_teardown",
+                                    conn.live as u64,
+                                    idle.as_millis() as u64,
+                                );
+                            }
                             fail_conn(conn, &injector, e.into());
                         }
                     }
                     if conn.finished() {
                         let conn = conn_slot.take().expect("checked above");
+                        if rsr_obs::enabled() {
+                            net_metrics().conns_live.dec();
+                        }
                         sink(conn.into_outcome());
                     }
                 }
@@ -543,10 +579,46 @@ fn fail_conn(conn: &mut ServerConn, injector: &rsr_core::executor::Injector<'_>,
         conn.error = Some(e);
     }
     conn.dead = true;
+    if rsr_obs::enabled() {
+        net_metrics().conns_failed.inc();
+        rsr_obs::global_ring().push("net_conn_failed", conn.live as u64, conn.io.wire_bytes_in);
+    }
     conn.io.kill();
     for &exec in conn.wire_to_exec.values() {
         // Stale closes (sessions already finished) are no-ops.
         injector.close(exec, CLOSED_MID_SESSION);
+    }
+}
+
+/// Classifies one `poll(2)` return for the wake-reason counters. The
+/// listener rides in the slot whose `fd_slots` entry is `None`; any
+/// other ready fd is a connection. A return with no registered fd ready
+/// means the executor's waker fired or the idle-sweep deadline expired —
+/// `netpoll` keeps the waker's readiness internal, so the two are
+/// indistinguishable here and share `net_reactor_wakes_other`.
+fn note_poll_return(fds: &[PollFd], fd_slots: &[Option<usize>]) {
+    let m = net_metrics();
+    m.polls.inc();
+    let (mut accept, mut readable, mut writable) = (false, false, false);
+    for (fd, slot) in fds.iter().zip(fd_slots) {
+        if slot.is_none() {
+            accept |= fd.readable();
+        } else {
+            readable |= fd.readable();
+            writable |= fd.writable();
+        }
+    }
+    if accept {
+        m.wakes_accept.inc();
+    }
+    if readable {
+        m.wakes_readable.inc();
+    }
+    if writable {
+        m.wakes_writable.inc();
+    }
+    if !(accept || readable || writable) {
+        m.wakes_other.inc();
     }
 }
 

@@ -16,12 +16,61 @@
 //! most `(64 - 7) * 128` buckets, grown lazily and merged by elementwise
 //! addition.
 //!
+//! [`AtomicHistogram`] is the concurrent sibling the metrics registry
+//! hands out: the same bucketing over a **fixed** table of relaxed
+//! atomic counters, recordable from any thread without a lock, and
+//! snapshotted into a [`LogHistogram`] for reporting. It trades the
+//! lazy growth for wait-freedom, so it defaults to coarser buckets
+//! ([`SPAN_SUB_BITS`], ≤ 3.2% relative error, ~15 KiB per histogram) —
+//! internal span timings do not need load-report precision.
+//!
 //! The recorded unit is the caller's choice (the load harness records
-//! nanoseconds); the histogram itself is unit-agnostic.
+//! nanoseconds, span timers microseconds); the histogram itself is
+//! unit-agnostic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Default mantissa bits: 128 sub-buckets per octave, ≤ 0.79% relative
 /// error on every percentile.
 pub const DEFAULT_SUB_BITS: u32 = 7;
+
+/// Mantissa bits for [`AtomicHistogram::default`] (span timings): 32
+/// sub-buckets per octave, ≤ 3.2% relative error, fixed table of ~1.9k
+/// buckets (~15 KiB).
+pub const SPAN_SUB_BITS: u32 = 5;
+
+/// The bucket index for `value` under `sub_bits` mantissa bits — shared
+/// by [`LogHistogram`] and [`AtomicHistogram`] so their buckets line up
+/// at equal `sub_bits`.
+fn bucket_index(sub_bits: u32, value: u64) -> usize {
+    // `value | 1` makes 0 well-defined (bucket 0) without a branch.
+    let msb = 63 - (value | 1).leading_zeros();
+    let e = msb.saturating_sub(sub_bits);
+    ((e as usize) << sub_bits) + (value >> e) as usize
+}
+
+/// The inclusive `(low, high)` value range of bucket `index` — every
+/// value in the range maps to this bucket and no other.
+fn bucket_bounds(sub_bits: u32, index: usize) -> (u64, u64) {
+    let base = 1usize << sub_bits;
+    if index < 2 * base {
+        // The exact region: unit-width buckets.
+        (index as u64, index as u64)
+    } else {
+        let e = (index / base - 1) as u32;
+        let mantissa = (base + index % base) as u64;
+        let low = mantissa << e;
+        // `(width - 1)` before adding: the topmost bucket's `low +
+        // width` is exactly 2^64 and would overflow.
+        (low, low + ((1u64 << e) - 1))
+    }
+}
+
+/// Buckets needed to cover all of `u64` at `sub_bits` — the fixed table
+/// size of an [`AtomicHistogram`].
+fn bucket_table_len(sub_bits: u32) -> usize {
+    bucket_index(sub_bits, u64::MAX) + 1
+}
 
 /// A log-bucketed histogram of `u64` values (HDR-histogram bucketing).
 #[derive(Clone, Debug)]
@@ -71,28 +120,13 @@ impl LogHistogram {
 
     /// The bucket index for `value`.
     fn index(&self, value: u64) -> usize {
-        let b = self.sub_bits;
-        // `value | 1` makes 0 well-defined (bucket 0) without a branch.
-        let msb = 63 - (value | 1).leading_zeros();
-        let e = msb.saturating_sub(b);
-        ((e as usize) << b) + (value >> e) as usize
+        bucket_index(self.sub_bits, value)
     }
 
     /// The inclusive `(low, high)` value range of bucket `index` — every
     /// value in the range maps to this bucket and no other.
     pub fn bucket_range(&self, index: usize) -> (u64, u64) {
-        let base = 1usize << self.sub_bits;
-        if index < 2 * base {
-            // The exact region: unit-width buckets.
-            (index as u64, index as u64)
-        } else {
-            let e = (index / base - 1) as u32;
-            let mantissa = (base + index % base) as u64;
-            let low = mantissa << e;
-            // `(width - 1)` before adding: the topmost bucket's `low +
-            // width` is exactly 2^64 and would overflow.
-            (low, low + ((1u64 << e) - 1))
-        }
+        bucket_bounds(self.sub_bits, index)
     }
 
     /// Records one value.
@@ -187,6 +221,112 @@ impl LogHistogram {
     }
 }
 
+/// A wait-free concurrent histogram: the [`LogHistogram`] bucketing over
+/// a fixed table of relaxed atomics. Any thread may
+/// [`record`](AtomicHistogram::record) without coordination;
+/// [`snapshot`](AtomicHistogram::snapshot) folds the table into a
+/// [`LogHistogram`] for percentile queries. A snapshot taken while
+/// writers are active is a consistent-enough view for reporting: each
+/// bucket is read once, and the summary statistics (min/max/sum) may lag
+/// in-flight records by design.
+#[derive(Debug)]
+pub struct AtomicHistogram {
+    sub_bits: u32,
+    counts: Box<[AtomicU64]>,
+    // Tracked exactly (modulo racing reads) so snapshots can report
+    // min/max/mean without widening bucket error.
+    min: AtomicU64,
+    max: AtomicU64,
+    sum: AtomicU64,
+}
+
+impl Default for AtomicHistogram {
+    fn default() -> AtomicHistogram {
+        AtomicHistogram::new(SPAN_SUB_BITS)
+    }
+}
+
+impl AtomicHistogram {
+    /// An empty concurrent histogram with `2^sub_bits` sub-buckets per
+    /// octave (`1 ..= 16`). The whole `u64` range is covered by an
+    /// eagerly allocated table: `(64 - sub_bits + 1) * 2^sub_bits`
+    /// buckets of 8 bytes — keep `sub_bits` small (see
+    /// [`SPAN_SUB_BITS`]) unless load-report precision is needed.
+    pub fn new(sub_bits: u32) -> AtomicHistogram {
+        assert!(
+            (1..=16).contains(&sub_bits),
+            "sub_bits must be in 1..=16, got {sub_bits}"
+        );
+        let counts = (0..bucket_table_len(sub_bits))
+            .map(|_| AtomicU64::new(0))
+            .collect();
+        AtomicHistogram {
+            sub_bits,
+            counts,
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }
+    }
+
+    /// The configured mantissa bits.
+    pub fn sub_bits(&self) -> u32 {
+        self.sub_bits
+    }
+
+    /// Records one value. Wait-free: four relaxed atomic operations, no
+    /// allocation, no lock.
+    pub fn record(&self, value: u64) {
+        let idx = bucket_index(self.sub_bits, value);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        self.min.fetch_min(value, Ordering::Relaxed);
+        self.max.fetch_max(value, Ordering::Relaxed);
+        self.sum.fetch_add(value, Ordering::Relaxed);
+    }
+
+    /// Total recorded values at this instant (sums the bucket table).
+    pub fn count(&self) -> u64 {
+        self.counts.iter().map(|c| c.load(Ordering::Relaxed)).sum()
+    }
+
+    /// Folds the current table into a [`LogHistogram`] (same
+    /// `sub_bits`). The snapshot's count is the sum of the bucket reads,
+    /// so its percentile arithmetic is internally consistent even when
+    /// writers race the read pass.
+    pub fn snapshot(&self) -> LogHistogram {
+        let mut counts: Vec<u64> = self
+            .counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect();
+        while counts.last() == Some(&0) {
+            counts.pop();
+        }
+        let count: u64 = counts.iter().sum();
+        let (min, max, sum) = if count == 0 {
+            (u64::MAX, 0, 0)
+        } else {
+            (
+                self.min.load(Ordering::Relaxed),
+                // A racing `record` may have bumped a bucket before the
+                // max; never report a max below the occupied range.
+                self.max
+                    .load(Ordering::Relaxed)
+                    .max(bucket_bounds(self.sub_bits, counts.len() - 1).0),
+                self.sum.load(Ordering::Relaxed),
+            )
+        };
+        LogHistogram {
+            sub_bits: self.sub_bits,
+            counts,
+            count,
+            min,
+            max,
+            sum: sum as u128,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -267,6 +407,33 @@ mod tests {
         a.merge(&LogHistogram::new(8));
     }
 
+    #[test]
+    fn atomic_snapshot_matches_sequential_histogram() {
+        let atomic = AtomicHistogram::new(7);
+        let mut plain = LogHistogram::new(7);
+        for v in 0..2000u64 {
+            let v = v * v * 31; // spread across ~27 octaves, sum far from u64 overflow
+            atomic.record(v);
+            plain.record(v);
+        }
+        let snap = atomic.snapshot();
+        assert_eq!(snap.count(), plain.count());
+        assert_eq!(snap.min(), plain.min());
+        assert_eq!(snap.max(), plain.max());
+        assert!((snap.mean() - plain.mean()).abs() < 1e-6);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(snap.value_at_quantile(q), plain.value_at_quantile(q), "{q}");
+        }
+    }
+
+    #[test]
+    fn atomic_empty_snapshot_is_empty() {
+        let snap = AtomicHistogram::default().snapshot();
+        assert_eq!(snap.count(), 0);
+        assert_eq!(snap.value_at_quantile(0.99), 0);
+        assert_eq!(snap.max(), 0);
+    }
+
     proptest! {
         #[test]
         fn recorded_value_lands_in_its_bucket(
@@ -338,6 +505,26 @@ mod tests {
             let slack = exact as f64 * h.relative_error() + 1.0;
             prop_assert!(got as f64 <= exact as f64 + slack,
                 "reported {got} more than one bucket above exact {exact}");
+        }
+
+        #[test]
+        fn atomic_and_plain_agree_on_any_values(
+            values in proptest::collection::vec(0u64..u64::MAX, 0..100),
+            sub_bits in 1u32..=8,
+        ) {
+            let atomic = AtomicHistogram::new(sub_bits);
+            let mut plain = LogHistogram::new(sub_bits);
+            for &v in &values {
+                atomic.record(v);
+                plain.record(v);
+            }
+            let snap = atomic.snapshot();
+            prop_assert_eq!(snap.count(), plain.count());
+            prop_assert_eq!(snap.min(), plain.min());
+            prop_assert_eq!(snap.max(), plain.max());
+            for q in [0.0, 0.5, 0.99, 1.0] {
+                prop_assert_eq!(snap.value_at_quantile(q), plain.value_at_quantile(q));
+            }
         }
     }
 }

@@ -1,0 +1,143 @@
+//! Process-level resource readings from `/proc/self/status`.
+//!
+//! The bench harness asserts a flat thread count across its connection
+//! sweep and reports peak memory per cell; both come from the same
+//! four-line parse of `/proc/self/status`. On platforms without procfs
+//! every reading is zero — callers treat zero as "unavailable" (the
+//! only tier-1 target is Linux, matching `netpoll`'s stance).
+//!
+//! [`sample_peaks_during`] wraps a closure with a short-interval
+//! sampler thread so transient threads (an executor that lives only for
+//! one batch) are still observed at their peak. Thread peaks need the
+//! sampling; RSS peak does not — the kernel tracks `VmHWM` itself —
+//! but both are returned together for convenience.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One parse of `/proc/self/status`. Zeros when unavailable.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ProcStat {
+    /// Live threads in the process (`Threads:`).
+    pub threads: u64,
+    /// Current resident set size in KiB (`VmRSS:`).
+    pub rss_kb: u64,
+    /// Peak resident set size in KiB over the process lifetime
+    /// (`VmHWM:` — kernel-tracked high-water mark, never decreases).
+    pub rss_peak_kb: u64,
+}
+
+impl ProcStat {
+    /// Peak RSS in MiB, the unit the bench keys report.
+    pub fn rss_peak_mb(&self) -> f64 {
+        self.rss_peak_kb as f64 / 1024.0
+    }
+}
+
+/// Reads and parses `/proc/self/status`; all-zero on any failure.
+pub fn read() -> ProcStat {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return ProcStat::default();
+    };
+    let mut stat = ProcStat::default();
+    for line in status.lines() {
+        let field = |out: &mut u64, rest: &str| {
+            // "Threads:\t19" / "VmRSS:\t  123456 kB"
+            if let Some(first) = rest.split_whitespace().next() {
+                if let Ok(v) = first.parse() {
+                    *out = v;
+                }
+            }
+        };
+        if let Some(rest) = line.strip_prefix("Threads:") {
+            field(&mut stat.threads, rest);
+        } else if let Some(rest) = line.strip_prefix("VmRSS:") {
+            field(&mut stat.rss_kb, rest);
+        } else if let Some(rest) = line.strip_prefix("VmHWM:") {
+            field(&mut stat.rss_peak_kb, rest);
+        }
+    }
+    stat
+}
+
+/// Peak resource readings observed across a [`sample_peaks_during`]
+/// call.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Peaks {
+    /// Highest live-thread count seen by any sample (including the
+    /// sampler thread itself — one extra, constant across calls).
+    pub threads: u64,
+    /// Kernel-tracked peak RSS in KiB at the end of the call
+    /// (process-lifetime high-water mark, monotone across calls).
+    pub rss_peak_kb: u64,
+}
+
+impl Peaks {
+    /// Peak RSS in MiB.
+    pub fn rss_peak_mb(&self) -> f64 {
+        self.rss_peak_kb as f64 / 1024.0
+    }
+}
+
+/// Runs `f` while a sampler thread polls [`read`] every 2 ms, and
+/// returns `f`'s result with the observed [`Peaks`]. The sampler is
+/// joined before returning, so the caller's thread count is back to
+/// baseline when this returns.
+pub fn sample_peaks_during<T>(f: impl FnOnce() -> T) -> (T, Peaks) {
+    let stop = Arc::new(AtomicBool::new(false));
+    let sampler = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let mut peak_threads = 0u64;
+            while !stop.load(Ordering::Relaxed) {
+                peak_threads = peak_threads.max(read().threads);
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            peak_threads.max(read().threads)
+        })
+    };
+    let result = f();
+    stop.store(true, Ordering::Relaxed);
+    let peak_threads = sampler.join().expect("procstat sampler panicked");
+    let peaks = Peaks {
+        threads: peak_threads,
+        rss_peak_kb: read().rss_peak_kb,
+    };
+    (result, peaks)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_reports_plausible_values_on_linux() {
+        let stat = read();
+        if cfg!(target_os = "linux") {
+            assert!(stat.threads >= 1, "{stat:?}");
+            assert!(stat.rss_kb > 0, "{stat:?}");
+            assert!(stat.rss_peak_kb >= stat.rss_kb, "{stat:?}");
+        }
+    }
+
+    #[test]
+    fn sampler_sees_transient_threads() {
+        let baseline = read().threads;
+        let ((), peaks) = sample_peaks_during(|| {
+            let spawned: Vec<_> = (0..4)
+                .map(|_| std::thread::spawn(|| std::thread::sleep(Duration::from_millis(20))))
+                .collect();
+            for t in spawned {
+                t.join().unwrap();
+            }
+        });
+        if cfg!(target_os = "linux") {
+            assert!(
+                peaks.threads > baseline,
+                "peak {} not above baseline {baseline}",
+                peaks.threads
+            );
+        }
+    }
+}

@@ -26,6 +26,8 @@
 //!   and the one-round lower-bound reduction (Theorem 4.6).
 //! * [`net`] — the TCP transport behind the session layer's `Channel`
 //!   trait, plus the multi-session reconciliation server and client.
+//! * [`obs`] — process-wide metrics registry, span timers, and the
+//!   post-mortem event ring the reactor/executor layers record into.
 //! * [`workloads`] — synthetic workload generators for the experiments,
 //!   and the replayable session-trace format.
 //!
@@ -54,6 +56,7 @@ pub use rsr_hash as hash;
 pub use rsr_iblt as iblt;
 pub use rsr_metric as metric;
 pub use rsr_net as net;
+pub use rsr_obs as obs;
 pub use rsr_quadtree as quadtree;
 pub use rsr_setsofsets as setsofsets;
 pub use rsr_workloads as workloads;
