@@ -401,6 +401,43 @@ mod tests {
     }
 
     #[test]
+    fn churn_key_family_is_gated_by_the_standard_suffixes() {
+        // The C1 experiment's keys ride the same suffix-driven gates as
+        // the N1/L1 families: `_rounds_per_sec` is a throughput key,
+        // `_round_p50_ms`/`_round_max_ms` are latency keys, and the
+        // informational keys (`_round_bits`, `_flat_time_ratio`) gate
+        // nothing.
+        let mut baseline = BenchReport::new("net", false);
+        baseline.push("churn_n4096_c32_rounds_per_sec", 9000.0);
+        baseline.push("churn_n4096_c32_round_p50_ms", 5.0);
+        baseline.push("churn_n4096_c32_round_max_ms", 9.0);
+        baseline.push("churn_n4096_c32_round_bits", 13731.0);
+        baseline.push("churn_flat_time_ratio", 1.1);
+
+        let mut fresh = baseline.clone();
+        assert!(regressions(&baseline, &fresh, 0.3).is_empty());
+        assert!(latency_regressions(&baseline, &fresh, 1.0, 3.0).is_empty());
+
+        fresh.metrics[0].1 = 9000.0 * 0.5; // throughput halved
+        fresh.metrics[1].1 = 5.0 * 2.5; // body latency past 100%
+        fresh.metrics[2].1 = 9.0 * 4.5; // tail latency past 300%
+        fresh.metrics[3].1 = 1e9; // bits are informational
+        fresh.metrics[4].1 = 50.0; // so is the flatness ratio
+        let throughput = regressions(&baseline, &fresh, 0.3);
+        assert_eq!(throughput.len(), 1);
+        assert_eq!(throughput[0].key, "churn_n4096_c32_rounds_per_sec");
+        let latency = latency_regressions(&baseline, &fresh, 1.0, 3.0);
+        let keys: Vec<&str> = latency.iter().map(|r| r.key.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "churn_n4096_c32_round_p50_ms",
+                "churn_n4096_c32_round_max_ms"
+            ]
+        );
+    }
+
+    #[test]
     fn thread_counts_gate_with_zero_tolerance() {
         let mut baseline = BenchReport::new("net", true);
         baseline.push("sweep_c16_s64_sessions_per_sec", 400.0);

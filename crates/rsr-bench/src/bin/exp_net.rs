@@ -23,6 +23,7 @@
 //!         [--payload-scale 2.0]
 //! ```
 
+use rsr_bench::experiments::churn;
 use rsr_bench::experiments::load::{self, LoadOptions};
 use rsr_bench::experiments::net;
 use rsr_bench::Arrival;
@@ -55,6 +56,12 @@ fn main() {
         report.push_str("\n\n");
         report.push_str(&section);
     }
+    // The continuous-reconciliation sweep always rides along, so one
+    // `exp_net --load --json` run regenerates every gated key family
+    // (N1 + L1 + C1) in the committed BENCH_net.json.
+    let section = churn::extend(&mut bench, quick);
+    report.push_str("\n\n");
+    report.push_str(&section);
     if let Some(path) = &metrics_out {
         // Stop the reporter first so its final write cannot race ours,
         // then write the end-of-run snapshot loudly — an unwritable

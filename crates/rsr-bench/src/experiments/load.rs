@@ -21,11 +21,11 @@
 //! the latency tolerances (docs/benchmarks.md).
 
 use crate::benchjson::BenchReport;
-use crate::experiments::net::{Instance, TraceFactory};
+use crate::experiments::net::{Instance, InstanceFactory};
 use crate::hist::{LogHistogram, DEFAULT_SUB_BITS};
 use crate::loadgen::{self, Arrival};
 use crate::table::Table;
-use rsr_net::{MultiClient, ReconServer, SessionPlan};
+use rsr_net::{Driver, ReconServer, SessionPlan};
 use rsr_workloads::trace::{sample_trace_with, TraceMix};
 use std::sync::Arc;
 use std::time::Duration;
@@ -195,9 +195,7 @@ fn rate_token(rate: f64) -> String {
 /// session finishes, never *how*.
 pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
     let entries = sample_trace_with(cell.sessions, seed, &cell.mix);
-    let factory = Arc::new(TraceFactory {
-        instances: entries.iter().map(Instance::build).collect(),
-    });
+    let factory = Arc::new(InstanceFactory::from_trace(&entries));
     // The untimed correctness reference (the same instances, serially).
     let baseline: Vec<Result<u64, String>> = factory
         .instances
@@ -217,12 +215,8 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
     // One server reactor accepts every connection; one client reactor
     // injects every schedule. All connections share one executor and one
     // clock on each endpoint — no per-connection threads on either side.
-    let reports = std::thread::scope(|s| {
+    let report = std::thread::scope(|s| {
         let server_handle = s.spawn(|| server.serve(Some(cell.conns)));
-        let mut client = MultiClient::connect(addr, cell.conns)
-            .expect("connect loopback")
-            .with_shards(cell.shards)
-            .with_idle_timeout(Some(Duration::from_secs(120)));
         // Connection `c` takes every `conns`-th session; each
         // sub-schedule stays non-decreasing and the ids are the global
         // trace positions the shared factory serves.
@@ -244,13 +238,17 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
                 (sessions, sub_schedule)
             })
             .collect();
-        let reports = client.run_loads(loads).expect("load run completes");
-        client.finish();
+        let report = Driver::new(addr)
+            .conns(cell.conns)
+            .shards(cell.shards)
+            .idle_timeout(Some(Duration::from_secs(120)))
+            .load(loads)
+            .expect("load run completes");
         server_handle
             .join()
             .expect("server thread")
             .expect("connections served");
-        reports
+        report
     });
 
     let mut hist = LogHistogram::new(DEFAULT_SUB_BITS);
@@ -258,7 +256,7 @@ pub fn run_cell(cell: &LoadCell, seed: u64) -> CellResult {
     let mut failed = 0;
     let mut max_inject_lag = Duration::ZERO;
     let mut span = Duration::ZERO;
-    for report in &reports {
+    for report in &report.conns {
         assert!(
             report.transport_error.is_none(),
             "cell {}: transport failed: {:?}",

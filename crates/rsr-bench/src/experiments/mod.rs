@@ -6,6 +6,7 @@
 pub mod ablation_dsbf;
 pub mod ablation_peel;
 pub mod baseline_quadtree;
+pub mod churn;
 pub mod emd_hamming;
 pub mod emd_l2;
 pub mod emd_ratio;
@@ -47,6 +48,7 @@ pub fn all() -> Vec<Experiment> {
         ("T12", "exact_recon", exact_recon::run),
         ("N1", "net", net::run),
         ("L1", "load", load::run),
+        ("C1", "churn", churn::run),
         ("P1", "emd_solvers", emd_solvers::run),
         ("A1/A2", "ablation_peel", ablation_peel::run),
         ("A3", "ablation_dsbf", ablation_dsbf::run),

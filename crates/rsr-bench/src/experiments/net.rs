@@ -21,6 +21,7 @@
 use crate::benchjson::BenchReport;
 use crate::table::Table;
 use rsr_core::channel::Frame;
+use rsr_core::continuous::{shared, ContinuousConfig, ContinuousParty, SharedParty};
 use rsr_core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
 use rsr_core::executor::{drive_batch, DynSession, DEFAULT_STALL_TIMEOUT};
 use rsr_core::gap_protocol::{GapConfig, GapProtocol};
@@ -29,12 +30,12 @@ use rsr_hash::lsh::LshParams;
 use rsr_hash::BitSamplingFamily;
 use rsr_metric::{MetricSpace, Point};
 use rsr_net::{
-    MultiClient, NetSession, ReconClient, ReconServer, SessionFactory, SessionPlan, SessionSpec,
+    Driver, NetSession, ReconServer, SessionFactory, SessionPlan, SessionSpec, PROTO_CONT,
     PROTO_EMD, PROTO_GAP, PROTO_SCALED_EMD,
 };
 use rsr_obs::procstat::{sample_peaks_during, Peaks};
 use rsr_workloads::trace::{read_trace, sample_trace, write_trace, TraceEntry, TraceProtocol};
-use rsr_workloads::{planted_emd, sensor_pairs};
+use rsr_workloads::{base_set, planted_emd, sensor_pairs};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -163,22 +164,89 @@ impl Instance {
     }
 }
 
-/// Serves the Bob half of every instance of a trace, by session id =
-/// trace position.
-pub struct TraceFactory {
-    /// The built instances, indexed by session id.
+/// The one bench-side [`SessionFactory`]: spec-primary, with the
+/// pre-built trace as a fallback for bare opens.
+///
+/// An `OPEN` carrying a [`SessionSpec`] always wins — the instance is
+/// rebuilt on demand from the wire parameters, exactly as
+/// [`entry_of`] decodes them. A bare open (no spec) falls back to the
+/// trace the factory was built from, by session id = trace position;
+/// a [`InstanceFactory::spec_only`] factory has no trace and refuses
+/// bare opens. Continuous opens ([`SessionSpec::continuous`] set, with
+/// [`PROTO_CONT`]) get a resident
+/// [`ContinuousParty`] derived from the same spec both endpoints see,
+/// so no state crosses out of band.
+///
+/// This replaces the PR 6/7 `TraceFactory`/`SpecFactory` pair — two
+/// types, two trait shapes, and callers picking between them — with
+/// one factory whose behaviour depends only on what the wire says.
+pub struct InstanceFactory {
+    /// The trace-bound instances bare opens fall back to, indexed by
+    /// session id; empty for a spec-only factory.
     pub instances: Vec<Instance>,
 }
 
-impl SessionFactory for TraceFactory {
-    fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>> {
-        self.instances
-            .get(session_id as usize)
-            .map(|inst| inst.bob_session())
+impl InstanceFactory {
+    /// A factory that serves only spec-carrying opens — the common case
+    /// once every client negotiates over the wire.
+    pub fn spec_only() -> InstanceFactory {
+        InstanceFactory {
+            instances: Vec::new(),
+        }
+    }
+
+    /// The trace-bound adapter: bare opens resolve session id → trace
+    /// position against these pre-built instances (spec-carrying opens
+    /// still take the spec path).
+    pub fn from_trace(entries: &[TraceEntry]) -> InstanceFactory {
+        InstanceFactory {
+            instances: entries.iter().map(Instance::build).collect(),
+        }
     }
 }
 
-/// The wire spec that lets a [`SpecFactory`] server rebuild `entry`'s
+impl SessionFactory for InstanceFactory {
+    fn open_spec(
+        &self,
+        session_id: u64,
+        spec: Option<&SessionSpec>,
+    ) -> Option<Box<dyn NetSession + '_>> {
+        match spec {
+            Some(spec) => Some(Box::new(OwnedBobSession::build(&entry_of(spec)?))),
+            None => self
+                .instances
+                .get(session_id as usize)
+                .map(|inst| inst.bob_session()),
+        }
+    }
+
+    fn open_continuous(&self, _session_id: u64, spec: &SessionSpec) -> Option<SharedParty> {
+        (spec.protocol == PROTO_CONT).then(|| shared(continuous_party_of(spec)))
+    }
+}
+
+/// The continuous spec both endpoints derive their party from: `n`
+/// initial keys, churn bound `k`, shared coins from `seed`.
+pub fn continuous_spec(n: usize, churn_bound: usize, seed: u64) -> SessionSpec {
+    SessionSpec {
+        protocol: PROTO_CONT,
+        n: n as u32,
+        k: churn_bound as u32,
+        dim: 0,
+        seed,
+        continuous: false,
+    }
+}
+
+/// Builds one endpoint's [`ContinuousParty`] from a continuous spec —
+/// deterministic in the spec, so the client's Alice and the server's
+/// Bob start from identical sets and identical table coins.
+pub fn continuous_party_of(spec: &SessionSpec) -> ContinuousParty {
+    let cfg = ContinuousConfig::for_churn(spec.k as usize, spec.seed ^ 0xc047_1a61);
+    ContinuousParty::new(cfg, base_set(spec.n as usize, spec.seed))
+}
+
+/// The wire spec that lets a spec-primary server rebuild `entry`'s
 /// instance from the OPEN record alone — no pre-shared trace.
 pub fn spec_of(entry: &TraceEntry) -> SessionSpec {
     SessionSpec {
@@ -191,6 +259,7 @@ pub fn spec_of(entry: &TraceEntry) -> SessionSpec {
         k: entry.k as u32,
         dim: entry.dim as u32,
         seed: entry.seed,
+        continuous: false,
     }
 }
 
@@ -259,21 +328,6 @@ impl NetSession for OwnedBobSession {
     }
 }
 
-/// Serves any session whose OPEN carries a [`SessionSpec`]: the
-/// instance is rebuilt on demand from the wire parameters. Bare OPENs
-/// are refused — this factory has no other source of truth.
-pub struct SpecFactory;
-
-impl SessionFactory for SpecFactory {
-    fn open(&self, _session_id: u64) -> Option<Box<dyn NetSession + '_>> {
-        None
-    }
-
-    fn open_spec(&self, _session_id: u64, spec: &SessionSpec) -> Option<Box<dyn NetSession + '_>> {
-        Some(Box::new(OwnedBobSession::build(&entry_of(spec)?)))
-    }
-}
-
 /// The slowdown budget for metrics recording, asserted in-bin on the
 /// single-connection sweep cell when metrics are on: the instrumented
 /// sessions/sec must stay within this percentage of the uninstrumented
@@ -313,9 +367,7 @@ pub fn run_with_json_metrics(quick: bool, metrics: bool) -> (String, BenchReport
     let mut text = Vec::new();
     write_trace(&mut text, &sample_trace(count, trace_seed)).expect("in-memory write");
     let entries = read_trace(&mut text.as_slice()).expect("own trace parses");
-    let factory = Arc::new(TraceFactory {
-        instances: entries.iter().map(Instance::build).collect(),
-    });
+    let factory = Arc::new(InstanceFactory::from_trace(&entries));
 
     // Driver A: the serial in-memory loop, one session at a time — the
     // reference for both correctness and throughput.
@@ -410,22 +462,26 @@ pub fn run_with_json_metrics(quick: bool, metrics: bool) -> (String, BenchReport
         .with_shards(tcp_shards);
     let addr = server.local_addr().expect("bound address");
     let server_thread = std::thread::spawn(move || server.serve_one());
-    let client = ReconClient::connect(addr)
-        .expect("connect loopback")
-        .with_shards(tcp_shards);
-    // A wedged session must fail the run, not hang CI until its timeout.
-    client
-        .set_read_timeout(Some(std::time::Duration::from_secs(120)))
-        .expect("set timeout");
-    let sessions: Vec<(u64, Box<dyn NetSession + '_>)> = factory
+    let plans: Vec<SessionPlan<'_>> = factory
         .instances
         .iter()
         .enumerate()
-        .map(|(i, inst)| (i as u64, inst.alice_session()))
+        .map(|(i, inst)| SessionPlan::new(i as u64, inst.alice_session()))
         .collect();
     let t0 = Instant::now();
-    let batch = client.run_batch(sessions).expect("batch completes");
+    let report = Driver::new(addr)
+        .shards(tcp_shards)
+        // A wedged session must fail the run, not hang CI forever.
+        .idle_timeout(Some(Duration::from_secs(120)))
+        .batch(vec![plans])
+        .expect("batch completes");
     let tcp_elapsed = t0.elapsed();
+    let batch = report.conns.into_iter().next().expect("one connection");
+    assert!(
+        batch.transport_error.is_none(),
+        "tcp batch transport failure: {:?}",
+        batch.transport_error
+    );
     let conn = server_thread
         .join()
         .expect("server thread")
@@ -617,15 +673,17 @@ fn run_sweep_cell(
     pool_specs: &[SessionSpec],
     pool_baseline: &[Result<u64, String>],
 ) -> (Duration, Peaks) {
-    let server = ReconServer::bind("127.0.0.1:0", Arc::new(SpecFactory))
+    let server = ReconServer::bind("127.0.0.1:0", Arc::new(InstanceFactory::spec_only()))
         .expect("bind loopback")
         .with_shards(tcp_shards);
     let addr = server.local_addr().expect("bound address");
     let server_thread = std::thread::spawn(move || server.serve(Some(conns)));
-    let mut client = MultiClient::connect(addr, conns)
-        .expect("connect loopback")
-        .with_shards(tcp_shards)
-        .with_idle_timeout(Some(Duration::from_secs(120)));
+    let mut driver = Driver::new(addr)
+        .conns(conns)
+        .shards(tcp_shards)
+        .idle_timeout(Some(Duration::from_secs(120)))
+        .connect()
+        .expect("connect loopback");
     let (elapsed, peaks) = sample_peaks_during(|| {
         let t0 = Instant::now();
         for round in 0..rounds {
@@ -640,8 +698,8 @@ fn run_sweep_cell(
                         .collect()
                 })
                 .collect();
-            let reports = client.run_batches(batches).expect("sweep round");
-            for report in &reports {
+            let round_report = driver.batch(batches).expect("sweep round");
+            for report in &round_report.conns {
                 assert!(
                     report.transport_error.is_none(),
                     "c{conns} round {round}: {:?}",
@@ -675,7 +733,7 @@ fn run_sweep_cell(
         }
         t0.elapsed()
     });
-    client.finish();
+    driver.finish();
     server_thread
         .join()
         .expect("server thread")

@@ -26,6 +26,9 @@
 //!   every protocol is an Alice/Bob pair of session state machines
 //!   exchanging encoded frames through a [`channel::Channel`]; the
 //!   `run(&alice, &bob)` entry points are thin drivers over it.
+//! * [`continuous`] — long-lived incremental sessions: resident
+//!   churn-sized tables, snapshot subtraction, per-round delta
+//!   reconciliation with an Idle→Syncing→Settled lifecycle.
 //! * [`executor`] — the sharded worker-pool executor: two-choice
 //!   session→shard placement, per-shard ready queues, wake-on-frame
 //!   dispatch, and the in-process parallel [`executor::drive_batch`]
@@ -34,6 +37,7 @@
 //!   built on `rsr-iblt`'s shared bit codec.
 
 pub mod channel;
+pub mod continuous;
 pub mod emd_protocol;
 pub mod emd_scaled;
 pub mod executor;
@@ -48,6 +52,10 @@ pub mod two_way;
 pub mod wire;
 
 pub use channel::{Channel, ChannelCounters, CountingChannel, Frame, InMemoryChannel};
+pub use continuous::{
+    shared, AliceRound, BobRound, ContinuousConfig, ContinuousError, ContinuousParty,
+    ContinuousSession, SessionPhase, SharedParty,
+};
 pub use emd_protocol::{
     AssignmentSolver, EmdAliceSession, EmdBobSession, EmdFailure, EmdMessage, EmdOutcome,
     EmdProtocol, EmdProtocolConfig,

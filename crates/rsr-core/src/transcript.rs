@@ -100,6 +100,20 @@ impl Transcript {
         });
     }
 
+    /// Appends another transcript's messages after this one's,
+    /// replaying them through the same round accounting — a message
+    /// continuing the direction this transcript ended on does not open
+    /// a new round. Long-lived transports use this to accumulate
+    /// per-round segment transcripts into one session record.
+    pub fn append(&mut self, other: Transcript) {
+        for e in other.entries {
+            match e.from {
+                Some(from) => self.record_from(from, e.label, e.bits),
+                None => self.record(e.label, e.bits),
+            }
+        }
+    }
+
     /// Total bits across all messages.
     pub fn total_bits(&self) -> u64 {
         self.entries.iter().map(|e| e.bits).sum()

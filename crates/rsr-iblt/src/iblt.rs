@@ -102,6 +102,27 @@ impl Iblt {
         }
     }
 
+    /// A cell-identical copy of the table, retained as the baseline a
+    /// later delta is measured against. Continuous reconciliation keeps
+    /// one table resident per party, snapshots it at every settle, and
+    /// ships only [`Iblt::delta_since`] the snapshot each round.
+    pub fn snapshot(&self) -> Iblt {
+        self.clone()
+    }
+
+    /// The table containing exactly the keys whose membership changed
+    /// since `snapshot` was taken: `self − snapshot`, cell-wise. Because
+    /// the table size tracks the *churn bound* rather than the set size,
+    /// this costs O(m) cell operations however large the underlying set
+    /// has grown — the heart of the O(churn) incremental round. Keys
+    /// inserted since the snapshot decode positive, keys deleted decode
+    /// negative. Panics if the layouts differ (like [`Iblt::subtract`]).
+    pub fn delta_since(&self, snapshot: &Iblt) -> Iblt {
+        let mut delta = self.clone();
+        delta.subtract(snapshot);
+        delta
+    }
+
     fn is_pure(&self, idx: usize) -> bool {
         let c = &self.cells[idx];
         (c.count == 1 || c.count == -1) && self.checksum.of(c.key_xor) == c.check_xor
@@ -321,6 +342,45 @@ mod tests {
         let t = Iblt::new(30, 3, 7);
         let t2 = Iblt::new(60, 3, 7);
         assert!(t2.wire_bits(100) > t.wire_bits(100));
+    }
+
+    #[test]
+    fn delta_since_decodes_only_the_churn() {
+        // A resident table over a large set, snapshotted, then churned:
+        // the delta decodes exactly the churn, with signs, regardless of
+        // how many keys the base set holds.
+        let mut table = Iblt::new(60, 3, 11);
+        for k in 0..10_000u64 {
+            table.insert(k);
+        }
+        let snap = table.snapshot();
+        table.insert(20_001);
+        table.insert(20_002);
+        table.delete(7); // present in the base set
+        let d = table.delta_since(&snap).decode();
+        assert!(d.complete);
+        let mut ins = d.inserted.clone();
+        ins.sort_unstable();
+        assert_eq!(ins, vec![20_001, 20_002]);
+        assert_eq!(d.deleted, vec![7]);
+        // The snapshot itself is untouched by the churn.
+        assert!(snap.delta_since(&snap).decode().complete);
+    }
+
+    #[test]
+    fn snapshot_of_equal_sets_is_cell_identical() {
+        // Two parties building tables over the same set with shared
+        // parameters produce byte-identical tables — the invariant that
+        // lets continuous rounds subtract their snapshots implicitly.
+        let mut a = Iblt::new(50, 3, 21);
+        let mut b = Iblt::new(50, 3, 21);
+        for k in [5u64, 900, 31, 77, 12] {
+            a.insert(k);
+        }
+        for k in [12u64, 77, 31, 900, 5] {
+            b.insert(k);
+        }
+        assert_eq!(a.to_bytes(100), b.to_bytes(100));
     }
 
     #[test]

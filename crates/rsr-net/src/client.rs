@@ -37,6 +37,7 @@ use crate::executor::{default_shards, PLACEMENT_SEED};
 use crate::reactor::{ConnIo, READ_CHUNK};
 use crate::server::NetSession;
 use netpoll::{PollFd, Poller, POLLIN};
+use rsr_core::continuous::{AliceRound, ContinuousError, SharedParty};
 use rsr_core::executor::{with_executor_notified, ExecEvent, Injector, Notify};
 use rsr_core::transcript::{Party, Transcript};
 use std::collections::{HashMap, HashSet};
@@ -209,13 +210,20 @@ impl LoadReport {
 /// its Bob half from the wire instead of out-of-band state.
 pub struct SessionPlan<'s> {
     /// The session id to use on the wire — unique per connection across
-    /// the connection's whole lifetime (rounds included).
+    /// the connection's whole lifetime (rounds included), except that a
+    /// *continuous* session reuses its id across its rounds.
     pub id: u64,
     /// Negotiation to send with the `OPEN`; `None` sends the legacy
     /// bare open and leaves instance lookup to the server's factory.
     pub spec: Option<SessionSpec>,
     /// The local Alice half.
     pub session: Box<dyn NetSession + 's>,
+    /// For a continuous session, the round index this plan drives:
+    /// `Some(0)` opens the session (the spec must be marked continuous)
+    /// and runs round 0; `Some(r > 0)` runs round `r` on the
+    /// already-open id, sending only a `ROUND` record. `None` is an
+    /// ordinary one-shot session.
+    pub round: Option<u32>,
 }
 
 impl<'s> SessionPlan<'s> {
@@ -226,6 +234,7 @@ impl<'s> SessionPlan<'s> {
             id,
             spec: None,
             session,
+            round: None,
         }
     }
 
@@ -234,11 +243,56 @@ impl<'s> SessionPlan<'s> {
         self.spec = Some(spec);
         self
     }
+
+    /// Opens a **continuous** session: sends `OPEN` with `spec` marked
+    /// continuous, then drives round 0 of `party` (which must be fresh —
+    /// no rounds settled yet). The server's factory builds its resident
+    /// Bob half from the spec; later rounds ride
+    /// [`SessionPlan::next_round`] under the same id.
+    pub fn open_continuous(
+        id: u64,
+        spec: SessionSpec,
+        party: &SharedParty,
+    ) -> Result<SessionPlan<'static>, ContinuousError> {
+        let alice = AliceRound::begin(party)?;
+        let round = alice.round();
+        if round != 0 {
+            // Dropping the unstarted round rolls the party back.
+            return Err(ContinuousError::Round(format!(
+                "open_continuous needs a fresh party, this one is at round {round}"
+            )));
+        }
+        Ok(SessionPlan {
+            id,
+            spec: Some(spec.into_continuous()),
+            session: Box::new(alice),
+            round: Some(0),
+        })
+    }
+
+    /// Drives the next incremental round of an already-open continuous
+    /// session: only a `ROUND` record travels, no `OPEN`.
+    pub fn next_round(
+        id: u64,
+        party: &SharedParty,
+    ) -> Result<SessionPlan<'static>, ContinuousError> {
+        let alice = AliceRound::begin(party)?;
+        let round = alice.round();
+        Ok(SessionPlan {
+            id,
+            spec: None,
+            session: Box::new(alice),
+            round: Some(round),
+        })
+    }
 }
 
 /// Client-side bookkeeping for one session of a round.
 struct ClientSlot {
     id: u64,
+    /// `Some(r)` for a continuous round plan: the slot settles on the
+    /// server's `ROUND` ack for exactly round `r`, not on `DONE`.
+    round: Option<u32>,
     transcript: Transcript,
     error: Option<String>,
     /// The server said `DONE` (or we abandoned / lost the connection):
@@ -255,9 +309,10 @@ struct ClientSlot {
 }
 
 impl ClientSlot {
-    fn new(id: u64) -> ClientSlot {
+    fn new(id: u64, round: Option<u32>) -> ClientSlot {
         ClientSlot {
             id,
+            round,
             transcript: Transcript::new(),
             error: None,
             settled: false,
@@ -358,6 +413,9 @@ struct PoolConn {
     /// Session ids ever used on this connection; reuse would collide
     /// with the server's per-connection id map.
     used: HashSet<u64>,
+    /// Ids opened as continuous sessions — the one sanctioned form of
+    /// id reuse: each later round names the same id again.
+    continuous: HashSet<u64>,
 }
 
 /// Marks a connection failed mid-round: kills the socket, settles every
@@ -449,8 +507,35 @@ fn drive_rounds<'s>(
             if !seen.insert(s.id) {
                 return Err(NetError::Malformed("duplicate session id in batch"));
             }
-            if !conn.used.insert(s.id) {
-                return Err(NetError::Malformed("session id reused on this connection"));
+            let fresh = conn.used.insert(s.id);
+            match s.round {
+                // One-shot sessions and continuous opens burn a fresh id.
+                None | Some(0) => {
+                    if !fresh {
+                        return Err(NetError::Malformed("session id reused on this connection"));
+                    }
+                }
+                // Later rounds are the sanctioned reuse — but only of an
+                // id this connection actually opened as continuous.
+                Some(_) => {
+                    if !conn.continuous.contains(&s.id) {
+                        return Err(NetError::Malformed(
+                            "continuous round for a session this connection never opened",
+                        ));
+                    }
+                }
+            }
+            if s.round == Some(0) {
+                if !s.spec.as_ref().is_some_and(|spec| spec.continuous) {
+                    return Err(NetError::Malformed(
+                        "continuous round 0 needs a spec marked continuous",
+                    ));
+                }
+                conn.continuous.insert(s.id);
+            } else if s.round.is_none() && s.spec.as_ref().is_some_and(|spec| spec.continuous) {
+                return Err(NetError::Malformed(
+                    "a continuous spec needs a round index on its plan",
+                ));
             }
         }
     }
@@ -461,7 +546,7 @@ fn drive_rounds<'s>(
         let slots: Vec<ClientSlot> = plan
             .sessions
             .iter()
-            .map(|s| ClientSlot::new(s.id))
+            .map(|s| ClientSlot::new(s.id, s.round))
             .collect();
         let wire_to_slot = plan
             .sessions
@@ -554,13 +639,34 @@ fn drive_rounds<'s>(
                         injector.submit(exec, Party::Alice, plan.session);
                         let io = pool[c].io.as_mut().expect("usable conn has io");
                         io.last_activity = Instant::now();
-                        let open = Record::Open {
-                            session: plan.id,
-                            spec: plan.spec,
-                        };
                         rc.injected[slot_idx] = Some(t0.elapsed());
                         rc.next_up += 1;
-                        if let Err(e) = io.queue(&open) {
+                        // A one-shot session OPENs; a continuous round 0
+                        // OPENs (spec marked continuous) then announces
+                        // round 0; a later round sends only ROUND — the
+                        // id is already resident on the server.
+                        let queued = match plan.round {
+                            None => io.queue(&Record::Open {
+                                session: plan.id,
+                                spec: plan.spec,
+                            }),
+                            Some(0) => io
+                                .queue(&Record::Open {
+                                    session: plan.id,
+                                    spec: plan.spec,
+                                })
+                                .and_then(|()| {
+                                    io.queue(&Record::Round {
+                                        session: plan.id,
+                                        round: 0,
+                                    })
+                                }),
+                            Some(round) => io.queue(&Record::Round {
+                                session: plan.id,
+                                round,
+                            }),
+                        };
+                        if let Err(e) = queued {
                             fail_conn(rc, Some(io), &injector, e);
                             break;
                         }
@@ -840,6 +946,23 @@ fn route_server_record(
             slot.note_progress();
             Ok(())
         }
+        Record::Round { session, round } => {
+            // The server acknowledges a settled continuous round by
+            // echoing the ROUND record (its keys frame, if any, was
+            // already on the wire before the ack). The local Alice half
+            // finishes on its own from that frame, so nothing is closed
+            // here — the slot just stops expecting wire traffic.
+            let (s, _exec) = lookup(rc, session)?;
+            let slot = &mut rc.slots[s];
+            if slot.round != Some(round) {
+                return Err(NetError::Malformed(
+                    "round ack for a round this batch is not driving",
+                ));
+            }
+            slot.settled = true;
+            slot.note_progress();
+            Ok(())
+        }
     }
 }
 
@@ -964,6 +1087,7 @@ impl MultiClient {
                 io: Some(ConnIo::new(stream)?),
                 closed_reason: None,
                 used: HashSet::new(),
+                continuous: HashSet::new(),
             });
         }
         Ok(MultiClient {
@@ -1004,14 +1128,10 @@ impl MultiClient {
         self.conns.iter().filter(|c| c.io.is_some()).count()
     }
 
-    /// Runs one round: `batches[i]` is the session batch for connection
-    /// `i` (empty batches are fine). Session ids must be unique per
-    /// connection across the connection's lifetime. Returns one
-    /// [`BatchReport`] per connection; a connection-level failure is
-    /// reported in that connection's
-    /// [`transport_error`](BatchReport::transport_error), never as a
-    /// call-level `Err` — other connections' sessions settle normally.
-    pub fn run_batches<'s>(
+    /// The batch-round engine behind both the deprecated
+    /// [`MultiClient::run_batches`] and the [`Driver`](crate::Driver)
+    /// surface.
+    pub(crate) fn run_batches_inner<'s>(
         &mut self,
         batches: Vec<Vec<SessionPlan<'s>>>,
     ) -> Result<Vec<BatchReport>, NetError> {
@@ -1030,13 +1150,10 @@ impl MultiClient {
             .collect())
     }
 
-    /// Runs one **open-loop** round: for connection `i`, session `j` of
-    /// `loads[i].0` is injected at offset `loads[i].1[j]` from the
-    /// round's start regardless of how many earlier sessions are still
-    /// in flight. All connections share one clock and one executor.
-    /// Latency accounting follows the coordinated-omission rule — see
-    /// [`LoadSessionReport::latency`].
-    pub fn run_loads<'s>(
+    /// The open-loop engine behind both the deprecated
+    /// [`MultiClient::run_loads`] and the [`Driver`](crate::Driver)
+    /// surface.
+    pub(crate) fn run_loads_inner<'s>(
         &mut self,
         loads: Vec<(Vec<SessionPlan<'s>>, Vec<Duration>)>,
     ) -> Result<Vec<LoadReport>, NetError> {
@@ -1058,6 +1175,68 @@ impl MultiClient {
             .zip(schedules)
             .map(|(outcome, schedule)| outcome_into_load_report(outcome, &schedule, t0, loop_end))
             .collect())
+    }
+
+    /// Runs one round: `batches[i]` is the session batch for connection
+    /// `i` (empty batches are fine). Session ids must be unique per
+    /// connection across the connection's lifetime. Returns one
+    /// [`BatchReport`] per connection; a connection-level failure is
+    /// reported in that connection's
+    /// [`transport_error`](BatchReport::transport_error), never as a
+    /// call-level `Err` — other connections' sessions settle normally.
+    #[deprecated(
+        note = "use the unified driver: `Driver::new(addr).conns(n).batch(plans)` \
+                or a connected driver's `batch`"
+    )]
+    pub fn run_batches<'s>(
+        &mut self,
+        batches: Vec<Vec<SessionPlan<'s>>>,
+    ) -> Result<Vec<BatchReport>, NetError> {
+        self.run_batches_inner(batches)
+    }
+
+    /// Runs one **open-loop** round: for connection `i`, session `j` of
+    /// `loads[i].0` is injected at offset `loads[i].1[j]` from the
+    /// round's start regardless of how many earlier sessions are still
+    /// in flight. All connections share one clock and one executor.
+    /// Latency accounting follows the coordinated-omission rule — see
+    /// [`LoadSessionReport::latency`].
+    #[deprecated(
+        note = "use the unified driver: `Driver::new(addr).conns(n).load(loads)` \
+                or a connected driver's `load`"
+    )]
+    pub fn run_loads<'s>(
+        &mut self,
+        loads: Vec<(Vec<SessionPlan<'s>>, Vec<Duration>)>,
+    ) -> Result<Vec<LoadReport>, NetError> {
+        self.run_loads_inner(loads)
+    }
+
+    /// Retires a continuous session: sends `DONE` under its id so the
+    /// server drops the resident party, and frees the id's continuous
+    /// standing on this connection. Queued output is flushed best-effort
+    /// here and drains fully on the next round or at
+    /// [`MultiClient::finish`].
+    pub(crate) fn close_continuous(&mut self, conn: usize, id: u64) -> Result<(), NetError> {
+        let c = self
+            .conns
+            .get_mut(conn)
+            .ok_or(NetError::Malformed("no such connection in the pool"))?;
+        if !c.continuous.remove(&id) {
+            return Err(NetError::Malformed(
+                "id is not open as a continuous session on this connection",
+            ));
+        }
+        // A dead connection already took the server-side state with it.
+        let Some(io) = c.io.as_mut() else {
+            return Ok(());
+        };
+        io.queue(&Record::Done {
+            session: id,
+            status: STATUS_OK,
+            message: String::new(),
+        })?;
+        io.try_flush()
     }
 
     /// Half-closes every live connection (shutdown of the write side —
@@ -1143,6 +1322,10 @@ impl ReconClient {
     /// connection, multiplexed and executor-driven, to completion. Ids
     /// must be unique within the batch and mean something to the
     /// server's factory.
+    #[deprecated(
+        note = "use the unified driver: `Driver::new(addr).batch(vec![plans])` \
+                (one connection is the driver's default)"
+    )]
     pub fn run_batch<'s>(
         self,
         sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
@@ -1154,7 +1337,7 @@ impl ReconClient {
             .into_iter()
             .map(|(id, session)| SessionPlan::new(id, session))
             .collect();
-        let mut reports = client.run_batches(vec![plans])?;
+        let mut reports = client.run_batches_inner(vec![plans])?;
         let mut report = reports.pop().expect("one report per connection");
         if let Some(e) = report.transport_error.take() {
             return Err(e);
@@ -1174,6 +1357,10 @@ impl ReconClient {
     /// generator itself accumulates is charged to the measurement rather
     /// than silently forgiven (coordinated omission). The largest such
     /// lag is reported via [`LoadReport::max_inject_lag`].
+    #[deprecated(
+        note = "use the unified driver: `Driver::new(addr).load(vec![(plans, schedule)])` \
+                (one connection is the driver's default)"
+    )]
     pub fn run_load<'s>(
         self,
         sessions: Vec<(u64, Box<dyn NetSession + 's>)>,
@@ -1186,7 +1373,7 @@ impl ReconClient {
             .into_iter()
             .map(|(id, session)| SessionPlan::new(id, session))
             .collect();
-        let mut reports = client.run_loads(vec![(plans, schedule.to_vec())])?;
+        let mut reports = client.run_loads_inner(vec![(plans, schedule.to_vec())])?;
         let mut report = reports.pop().expect("one report per connection");
         if let Some(e) = report.transport_error.take() {
             return Err(e);

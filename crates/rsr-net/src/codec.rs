@@ -5,7 +5,7 @@
 //!
 //! ```text
 //! u32  body_len   big-endian count of the bytes that follow
-//! u8   kind       0 = OPEN, 1 = FRAME, 2 = DONE
+//! u8   kind       0 = OPEN, 1 = FRAME, 2 = DONE, 3 = ROUND
 //! u64  session    session id (multiplexing key), big-endian
 //! ...  kind-specific body (see below)
 //! ```
@@ -13,12 +13,17 @@
 //! * `OPEN` — either no further body (a *bare* open: the server must
 //!   already know what instance the session id denotes, e.g. from a
 //!   shared trace), or a negotiation block (see [`SessionSpec`]): `u8`
-//!   flag = 1, `u8` protocol code, `u32` n, `u32` k, `u32` dim, `u64`
-//!   seed, all big-endian. The spec tells the server which protocol
-//!   instance to build for the session — the session-id → instance
-//!   mapping travels on the wire instead of living in out-of-band trace
-//!   state. An empty body remains exactly PR 3's wire form, so bare
-//!   opens are bit-compatible in both directions.
+//!   flag, `u8` protocol code, `u32` n, `u32` k, `u32` dim, `u64`
+//!   seed, all big-endian. The flag is a bitfield: bit 0 set means a
+//!   spec block follows (flag `1`, PR 5's wire form), bit 1 set marks
+//!   the session *continuous* (flag `3`) — the id stays live across
+//!   many `ROUND` exchanges instead of retiring on the first `DONE`.
+//!   Any other flag value is malformed. The spec tells the server
+//!   which protocol instance to build for the session — the
+//!   session-id → instance mapping travels on the wire instead of
+//!   living in out-of-band trace state. An empty body remains exactly
+//!   PR 3's wire form, so bare opens are bit-compatible in both
+//!   directions.
 //! * `FRAME` — `u16` label length, the UTF-8 label, `u64` exact bit
 //!   length, then the payload bytes (exactly `bit_len.div_ceil(8)` of
 //!   them). This is a [`Frame`] as the session layer knows it; the label
@@ -27,7 +32,15 @@
 //! * `DONE` — `u8` status ([`STATUS_OK`], [`STATUS_SESSION_ERROR`],
 //!   [`STATUS_UNKNOWN_SESSION`]), `u16` message length, UTF-8 message.
 //!   Sent by the server when a session's server half finishes (or fails),
-//!   and by the client to abandon a session it cannot continue.
+//!   and by the client to abandon a session it cannot continue. For a
+//!   continuous session, `DONE` ends the *whole* session (all rounds),
+//!   not the round in flight.
+//! * `ROUND` — `u32` round index, big-endian. Client → server it opens
+//!   incremental round `r` on a continuous session (the server builds a
+//!   fresh Bob round over its resident state); server → client it
+//!   acknowledges that round `r` settled server-side, leaving the
+//!   session open for round `r + 1` — the continuous counterpart of a
+//!   `STATUS_OK` `DONE`, which would retire the id.
 //!
 //! Decoding is strict: a record whose body disagrees with its length
 //! prefix, whose frame payload disagrees with its bit length, or whose
@@ -55,6 +68,12 @@ pub const STATUS_UNKNOWN_SESSION: u8 = 2;
 const KIND_OPEN: u8 = 0;
 const KIND_FRAME: u8 = 1;
 const KIND_DONE: u8 = 2;
+const KIND_ROUND: u8 = 3;
+
+/// `OPEN` negotiation flag bit: a [`SessionSpec`] block follows.
+const OPEN_FLAG_SPEC: u8 = 1;
+/// `OPEN` negotiation flag bit: the session is continuous (multi-round).
+const OPEN_FLAG_CONTINUOUS: u8 = 2;
 
 /// [`SessionSpec`] protocol code: the EMD protocol.
 pub const PROTO_EMD: u8 = 0;
@@ -62,6 +81,11 @@ pub const PROTO_EMD: u8 = 0;
 pub const PROTO_SCALED_EMD: u8 = 1;
 /// [`SessionSpec`] protocol code: the Gap protocol.
 pub const PROTO_GAP: u8 = 2;
+/// Continuous IBLT set reconciliation — the protocol code a
+/// [`continuous`](SessionSpec::continuous) spec carries: `n` is the
+/// base set size, `k` the per-round churn bound, and `seed` pins both
+/// the initial set and the shared table coins.
+pub const PROTO_CONT: u8 = 3;
 
 /// The negotiation block an `OPEN` record may carry: which protocol
 /// instance the session id denotes, compactly parameterized the same way
@@ -86,6 +110,20 @@ pub struct SessionSpec {
     pub dim: u32,
     /// Instance seed.
     pub seed: u64,
+    /// Marks the session *continuous*: instead of retiring on its first
+    /// `DONE`, the id stays live on the connection and each `ROUND`
+    /// record reconciles one incremental delta against state both sides
+    /// keep resident between rounds. Carried as a flag bit, so the spec
+    /// block's size (and every one-shot spec's wire form) is unchanged.
+    pub continuous: bool,
+}
+
+impl SessionSpec {
+    /// Marks this spec's session continuous (multi-round).
+    pub fn into_continuous(mut self) -> SessionSpec {
+        self.continuous = true;
+        self
+    }
 }
 
 /// Wire length of an encoded [`SessionSpec`] (flag byte included).
@@ -176,6 +214,16 @@ pub enum Record {
         /// Human-readable detail for non-OK statuses.
         message: String,
     },
+    /// One incremental round of a continuous session: the client sends
+    /// it to start round `round`, the server echoes it to acknowledge
+    /// that round settled server-side — the session id stays live for
+    /// the next round (a `DONE` would retire it).
+    Round {
+        /// The continuous session the round belongs to.
+        session: u64,
+        /// The round index, counted from 0 over the session's lifetime.
+        round: u32,
+    },
 }
 
 impl Record {
@@ -184,7 +232,8 @@ impl Record {
         match *self {
             Record::Open { session, .. }
             | Record::Frame { session, .. }
-            | Record::Done { session, .. } => session,
+            | Record::Done { session, .. }
+            | Record::Round { session, .. } => session,
         }
     }
 
@@ -195,6 +244,7 @@ impl Record {
                 Record::Open { spec: Some(_), .. } => SPEC_WIRE_BYTES,
                 Record::Frame { frame, .. } => 2 + frame.label.len() + 8 + frame.payload.len(),
                 Record::Done { message, .. } => 1 + 2 + message.len(),
+                Record::Round { .. } => 4,
             }
     }
 
@@ -229,6 +279,7 @@ pub fn write_record<W: Write>(w: &mut W, record: &Record) -> Result<u64, NetErro
                 return Err(NetError::Malformed("done message longer than u16"));
             }
         }
+        Record::Round { .. } => {}
     }
     w.write_all(&(body_len as u32).to_be_bytes())?;
     match record {
@@ -236,7 +287,12 @@ pub fn write_record<W: Write>(w: &mut W, record: &Record) -> Result<u64, NetErro
             w.write_all(&[KIND_OPEN])?;
             w.write_all(&session.to_be_bytes())?;
             if let Some(spec) = spec {
-                w.write_all(&[1u8, spec.protocol])?;
+                let flag = if spec.continuous {
+                    OPEN_FLAG_SPEC | OPEN_FLAG_CONTINUOUS
+                } else {
+                    OPEN_FLAG_SPEC
+                };
+                w.write_all(&[flag, spec.protocol])?;
                 w.write_all(&spec.n.to_be_bytes())?;
                 w.write_all(&spec.k.to_be_bytes())?;
                 w.write_all(&spec.dim.to_be_bytes())?;
@@ -262,6 +318,11 @@ pub fn write_record<W: Write>(w: &mut W, record: &Record) -> Result<u64, NetErro
             w.write_all(&[*status])?;
             w.write_all(&(message.len() as u16).to_be_bytes())?;
             w.write_all(message.as_bytes())?;
+        }
+        Record::Round { session, round } => {
+            w.write_all(&[KIND_ROUND])?;
+            w.write_all(&session.to_be_bytes())?;
+            w.write_all(&round.to_be_bytes())?;
         }
     }
     Ok(4 + body_len as u64)
@@ -318,7 +379,9 @@ fn parse_body(body: &[u8]) -> Result<Record, NetError> {
                 None // bare open: PR 3's wire form
             } else {
                 let flag = cur.u8().ok_or(TRUNCATED)?;
-                if flag != 1 {
+                if flag & OPEN_FLAG_SPEC == 0
+                    || flag & !(OPEN_FLAG_SPEC | OPEN_FLAG_CONTINUOUS) != 0
+                {
                     return Err(NetError::Malformed("unknown open negotiation flag"));
                 }
                 let protocol = cur.u8().ok_or(TRUNCATED)?;
@@ -332,6 +395,7 @@ fn parse_body(body: &[u8]) -> Result<Record, NetError> {
                     k,
                     dim,
                     seed,
+                    continuous: flag & OPEN_FLAG_CONTINUOUS != 0,
                 })
             };
             if !cur.rest().is_empty() {
@@ -376,6 +440,13 @@ fn parse_body(body: &[u8]) -> Result<Record, NetError> {
                 status,
                 message,
             }
+        }
+        KIND_ROUND => {
+            let round = cur.u32().ok_or(TRUNCATED)?;
+            if !cur.rest().is_empty() {
+                return Err(NetError::Malformed("trailing bytes after round record"));
+            }
+            Record::Round { session, round }
         }
         other => return Err(NetError::UnknownKind(other)),
     };
@@ -535,6 +606,7 @@ mod tests {
             k: 3,
             dim: 128,
             seed: 0xDEAD_BEEF_0BAD_F00D,
+            continuous: false,
         };
         match roundtrip(Record::Open {
             session: 9,
@@ -546,6 +618,113 @@ mod tests {
             }
             other => panic!("wrong variant: {other:?}"),
         }
+    }
+
+    #[test]
+    fn continuous_open_round_trips_and_differs_only_in_the_flag() {
+        let spec = SessionSpec {
+            protocol: PROTO_EMD,
+            n: 64,
+            k: 4,
+            dim: 8,
+            seed: 11,
+            continuous: false,
+        };
+        let cont = spec.into_continuous();
+        match roundtrip(Record::Open {
+            session: 2,
+            spec: Some(cont),
+        }) {
+            Record::Open { spec: got, .. } => assert_eq!(got, Some(cont)),
+            other => panic!("wrong variant: {other:?}"),
+        }
+        // Same spec block, one flag bit: the encodings differ in exactly
+        // the flag byte (offset 4 prefix + 1 kind + 8 session).
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        write_record(
+            &mut a,
+            &Record::Open {
+                session: 2,
+                spec: Some(spec),
+            },
+        )
+        .unwrap();
+        write_record(
+            &mut b,
+            &Record::Open {
+                session: 2,
+                spec: Some(cont),
+            },
+        )
+        .unwrap();
+        assert_eq!(a.len(), b.len());
+        let diff: Vec<usize> = (0..a.len()).filter(|&i| a[i] != b[i]).collect();
+        assert_eq!(diff, vec![13]);
+        assert_eq!(a[13], 1);
+        assert_eq!(b[13], 3);
+    }
+
+    #[test]
+    fn round_record_round_trips() {
+        match roundtrip(Record::Round {
+            session: 17,
+            round: 0xAABB_CCDD,
+        }) {
+            Record::Round { session, round } => {
+                assert_eq!(session, 17);
+                assert_eq!(round, 0xAABB_CCDD);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn round_record_with_trailing_bytes_is_malformed() {
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Round {
+                session: 1,
+                round: 2,
+            },
+        )
+        .unwrap();
+        buf.push(0xEE);
+        let new_len = (buf.len() as u32 - 4).to_be_bytes();
+        buf[..4].copy_from_slice(&new_len);
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_record(&mut r),
+            Err(NetError::Malformed("trailing bytes after round record"))
+        ));
+    }
+
+    #[test]
+    fn open_flag_without_spec_bit_is_malformed() {
+        // Flag 2 (continuous without a spec block) is not a valid form:
+        // a continuous session always negotiates its instance.
+        let mut buf = Vec::new();
+        write_record(
+            &mut buf,
+            &Record::Open {
+                session: 1,
+                spec: Some(SessionSpec {
+                    protocol: PROTO_EMD,
+                    n: 8,
+                    k: 1,
+                    dim: 2,
+                    seed: 0,
+                    continuous: false,
+                }),
+            },
+        )
+        .unwrap();
+        buf[4 + 1 + 8] = 2;
+        let mut r = &buf[..];
+        assert!(matches!(
+            read_record(&mut r),
+            Err(NetError::Malformed("unknown open negotiation flag"))
+        ));
     }
 
     #[test]
@@ -580,6 +759,7 @@ mod tests {
                     k: 1,
                     dim: 2,
                     seed: 0,
+                    continuous: false,
                 }),
             },
         )
@@ -666,6 +846,7 @@ mod tests {
                     k: 1,
                     dim: 2,
                     seed: 9,
+                    continuous: false,
                 }),
             },
         )
@@ -710,6 +891,7 @@ mod tests {
                     k: 2,
                     dim: 16,
                     seed: 77,
+                    continuous: false,
                 }),
             },
         )

@@ -27,11 +27,18 @@
 //!   [`Transcript`](rsr_core::transcript::Transcript)s and
 //!   per-connection byte counters that must — and are tested to — agree
 //!   with the in-memory driver's accounting.
+//! * [`Driver`] — the one client entry point over all of it:
+//!   `Driver::new(addr).conns(n).shards(s)` then [`Driver::batch`]
+//!   (closed loop), [`Driver::load`] (open loop), or
+//!   [`Driver::connect`] for a persistent pool running many rounds —
+//!   including **continuous** sessions, whose resident state spans
+//!   rounds under one wire id (see [`SessionPlan::open_continuous`]).
 //!
 //! See `docs/transport.md` for the wire layout and error-handling rules.
 
 pub mod client;
 pub mod codec;
+pub mod driver;
 pub mod executor;
 mod obs;
 mod reactor;
@@ -44,9 +51,10 @@ pub use client::{
 };
 pub use codec::{
     read_record, write_record, NetError, Record, RecordDecoder, SessionSpec, MAX_RECORD_BYTES,
-    PROTO_EMD, PROTO_GAP, PROTO_SCALED_EMD, STATUS_OK, STATUS_SESSION_ERROR,
+    PROTO_CONT, PROTO_EMD, PROTO_GAP, PROTO_SCALED_EMD, STATUS_OK, STATUS_SESSION_ERROR,
     STATUS_UNKNOWN_SESSION,
 };
+pub use driver::{ConnectedDriver, Driver, DriverReport, RunReport, RunSession};
 pub use executor::{default_shards, MAX_DEFAULT_SHARDS};
 pub use server::{
     handle_connection, handle_connection_sharded, ConnectionReport, NetSession, ReconServer,

@@ -49,8 +49,9 @@ use crate::executor::PLACEMENT_SEED;
 use crate::obs::net_metrics;
 use crate::server::{ConnectionReport, SessionFactory, SessionSummary};
 use netpoll::{listener_fd, stream_fd, PollFd, Poller, POLLIN, POLLOUT};
+use rsr_core::continuous::{BobRound, SharedParty};
 use rsr_core::executor::{with_executor_notified, ExecEvent, Notify};
-use rsr_core::transcript::Party;
+use rsr_core::transcript::{Party, Transcript};
 use std::collections::HashMap;
 use std::io::{self, Read, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -264,6 +265,15 @@ struct ServerConn {
     /// Wire ids in open order, for the report.
     order: Vec<u64>,
     summaries: HashMap<u64, SessionSummary>,
+    /// Resident continuous state: wire id → the Bob party that survives
+    /// between rounds. Entries live until the client `DONE`s the id (or
+    /// the connection ends); each `ROUND` record spins a fresh one-round
+    /// executor session over the mapped party.
+    continuous: HashMap<u64, SharedParty>,
+    /// Executor ids currently running a continuous round, mapped to the
+    /// round index — a clean finish is acknowledged with `ROUND`, not
+    /// `DONE`, and its transcript is appended to the session's summary.
+    round_of_exec: HashMap<u64, u32>,
     /// Sessions submitted and not yet reported back by the executor.
     live: usize,
     frames_in: usize,
@@ -281,6 +291,8 @@ impl ServerConn {
             wire_to_exec: HashMap::new(),
             order: Vec::new(),
             summaries: HashMap::new(),
+            continuous: HashMap::new(),
+            round_of_exec: HashMap::new(),
             live: 0,
             frames_in: 0,
             frames_out: 0,
@@ -294,6 +306,18 @@ impl ServerConn {
     /// dead socket drains nowhere and does not wait).
     fn finished(&self) -> bool {
         self.io.read_closed && self.live == 0 && (self.dead || !self.io.wants_write())
+    }
+
+    /// Between-round quiescence: the connection holds resident
+    /// continuous state and no round is in flight. The idle sweep spares
+    /// such connections — a continuous client legitimately goes silent
+    /// between churn rounds, and tearing it down would throw away the
+    /// very state that makes the next round O(churn). The client owns
+    /// the session lifetime (an explicit `DONE` or EOF frees the state);
+    /// a connection with a round *in flight* still answers to the
+    /// deadline.
+    fn quiescent(&self) -> bool {
+        self.live == 0 && !self.continuous.is_empty()
     }
 
     fn into_outcome(mut self) -> Result<ConnectionReport, NetError> {
@@ -392,7 +416,7 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                         fd_slots.push(Some(slot));
                     }
                     if let Some(idle) = opts.idle_timeout {
-                        if !conn.io.read_closed && !conn.dead {
+                        if !conn.io.read_closed && !conn.dead && !conn.quiescent() {
                             let at = conn.io.last_activity + idle;
                             deadline = Some(deadline.map_or(at, |d: Instant| d.min(at)));
                         }
@@ -476,47 +500,86 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                             let (slot, wire) = routes.remove(&id).expect("routed session");
                             let conn = conns[slot].as_mut().expect("conn outlives its sessions");
                             conn.live -= 1;
-                            let reply = match error.as_deref() {
-                                None => Some((STATUS_OK, String::new())),
+                            let round = conn.round_of_exec.remove(&id);
+                            let reply = match (round, error.as_deref()) {
+                                // A settled continuous round: acknowledge
+                                // with ROUND so the wire id stays live for
+                                // the next round (a DONE would retire it).
+                                (Some(r), None) => Some(Record::Round {
+                                    session: wire,
+                                    round: r,
+                                }),
+                                (None, None) => Some(Record::Done {
+                                    session: wire,
+                                    status: STATUS_OK,
+                                    message: String::new(),
+                                }),
                                 // The client walked away (or the
                                 // connection did); echoing DONE at it
                                 // would be noise.
-                                Some(ABANDONED) | Some(CLOSED_MID_SESSION) => None,
-                                Some(reason) => Some((STATUS_SESSION_ERROR, reason.to_owned())),
+                                (_, Some(ABANDONED)) | (_, Some(CLOSED_MID_SESSION)) => None,
+                                (_, Some(reason)) => Some(Record::Done {
+                                    session: wire,
+                                    status: STATUS_SESSION_ERROR,
+                                    message: reason.to_owned(),
+                                }),
                             };
-                            if let Some((status, message)) = reply {
+                            if let Some(rec) = reply {
                                 if !conn.dead {
-                                    let rec = Record::Done {
-                                        session: wire,
-                                        status,
-                                        message,
-                                    };
                                     if let Err(e) = conn.io.queue(&rec) {
                                         fail_conn(conn, &injector, e);
                                     }
                                 }
                             }
-                            conn.summaries.insert(
-                                wire,
-                                SessionSummary {
-                                    id: wire,
-                                    transcript,
-                                    error: error.map(|e| e.into_owned()),
-                                },
-                            );
+                            if round.is_some() {
+                                // A failed round retires the resident
+                                // state — the client saw a DONE and will
+                                // not send further rounds for this id.
+                                if error.is_some() {
+                                    conn.continuous.remove(&wire);
+                                }
+                                let summary = conn
+                                    .summaries
+                                    .get_mut(&wire)
+                                    .expect("continuous OPEN seeds the summary");
+                                summary.transcript.append(transcript);
+                                if let Some(e) = error {
+                                    summary.error.get_or_insert(e.into_owned());
+                                }
+                            } else {
+                                conn.summaries.insert(
+                                    wire,
+                                    SessionSummary {
+                                        id: wire,
+                                        transcript,
+                                        error: error.map(|e| e.into_owned()),
+                                    },
+                                );
+                            }
                         }
                         ExecEvent::Stranded { id, transcript } => {
                             let (slot, wire) = routes.remove(&id).expect("routed session");
                             let conn = conns[slot].as_mut().expect("conn outlives its sessions");
                             conn.live -= 1;
-                            conn.summaries.insert(
-                                wire,
-                                SessionSummary {
-                                    id: wire,
-                                    transcript,
-                                    error: Some(CLOSED_MID_SESSION.into()),
-                                },
-                            );
+                            if conn.round_of_exec.remove(&id).is_some() {
+                                let summary = conn
+                                    .summaries
+                                    .get_mut(&wire)
+                                    .expect("continuous OPEN seeds the summary");
+                                summary.transcript.append(transcript);
+                                summary
+                                    .error
+                                    .get_or_insert_with(|| CLOSED_MID_SESSION.into());
+                            } else {
+                                conn.summaries.insert(
+                                    wire,
+                                    SessionSummary {
+                                        id: wire,
+                                        transcript,
+                                        error: Some(CLOSED_MID_SESSION.into()),
+                                    },
+                                );
+                            }
                         }
                         // The reactor writes control replies directly;
                         // nothing injects.
@@ -538,6 +601,7 @@ pub(crate) fn run_server_reactor<F: SessionFactory + ?Sized>(
                     if let Some(idle) = opts.idle_timeout {
                         if !conn.io.read_closed
                             && !conn.dead
+                            && !conn.quiescent()
                             && now.duration_since(conn.io.last_activity) >= idle
                         {
                             let e = io::Error::new(
@@ -663,14 +727,16 @@ fn read_into_executor<'f, F: SessionFactory + ?Sized>(
             fail_conn(conn, injector, e);
         } else {
             // Clean EOF. Sessions still live get their local halves
-            // closed so they report in; replies already queued (and
-            // any frames the workers are still finishing) keep
-            // draining — the peer only half-closed its write side.
-            for (&wire, &exec) in &conn.wire_to_exec {
-                if !conn.summaries.contains_key(&wire) {
-                    injector.close(exec, CLOSED_MID_SESSION);
-                }
+            // closed so they report in (stale closes of finished
+            // halves are no-ops); replies already queued (and any
+            // frames the workers are still finishing) keep draining —
+            // the peer only half-closed its write side. EOF is also
+            // the implicit teardown of resident continuous state: the
+            // parties drop with the connection.
+            for &exec in conn.wire_to_exec.values() {
+                injector.close(exec, CLOSED_MID_SESSION);
             }
+            conn.continuous.clear();
         }
     }
 }
@@ -690,11 +756,7 @@ fn handle_server_record<'f, F: SessionFactory + ?Sized>(
 ) -> Result<(), NetError> {
     let mut submit =
         |conn: &mut ServerConn, wire: u64, spec: Option<&SessionSpec>| -> Result<bool, NetError> {
-            let opened = match spec {
-                Some(spec) => factory.open_spec(wire, spec),
-                None => factory.open(wire),
-            };
-            match opened {
+            match factory.open_spec(wire, spec) {
                 Some(session) => {
                     let exec = *next_exec;
                     *next_exec += 1;
@@ -721,12 +783,37 @@ fn handle_server_record<'f, F: SessionFactory + ?Sized>(
             session: wire,
             spec,
         } => {
-            if conn.wire_to_exec.contains_key(&wire) {
+            if conn.wire_to_exec.contains_key(&wire) || conn.continuous.contains_key(&wire) {
                 conn.io.queue(&Record::Done {
                     session: wire,
                     status: STATUS_SESSION_ERROR,
                     message: "session opened twice".into(),
                 })?;
+            } else if let Some(spec) = spec.filter(|s| s.continuous) {
+                // A continuous open installs resident state and seeds
+                // the session's (initially empty) summary; the first
+                // executor work happens at the first ROUND.
+                match factory.open_continuous(wire, &spec) {
+                    Some(party) => {
+                        conn.continuous.insert(wire, party);
+                        conn.order.push(wire);
+                        conn.summaries.insert(
+                            wire,
+                            SessionSummary {
+                                id: wire,
+                                transcript: Transcript::new(),
+                                error: None,
+                            },
+                        );
+                    }
+                    None => {
+                        conn.io.queue(&Record::Done {
+                            session: wire,
+                            status: STATUS_UNKNOWN_SESSION,
+                            message: "factory does not serve continuous sessions".into(),
+                        })?;
+                    }
+                }
             } else {
                 submit(conn, wire, spec.as_ref())?;
             }
@@ -735,10 +822,19 @@ fn handle_server_record<'f, F: SessionFactory + ?Sized>(
             session: wire,
             frame,
         } => {
-            // A first frame without OPEN implicitly opens the session
-            // (Alice-initiated protocols over a bare TcpChannel).
-            if !conn.wire_to_exec.contains_key(&wire) && !submit(conn, wire, None)? {
-                return Ok(());
+            if !conn.wire_to_exec.contains_key(&wire) {
+                // A frame for a continuous session outside any round is
+                // stale (its round already resolved); count and drop it.
+                if conn.continuous.contains_key(&wire) {
+                    conn.frames_in += 1;
+                    return Ok(());
+                }
+                // A first frame without OPEN implicitly opens the
+                // session (Alice-initiated protocols over a bare
+                // TcpChannel).
+                if !submit(conn, wire, None)? {
+                    return Ok(());
+                }
             }
             conn.frames_in += 1;
             let exec = conn.wire_to_exec[&wire];
@@ -746,10 +842,66 @@ fn handle_server_record<'f, F: SessionFactory + ?Sized>(
         }
         Record::Done { session: wire, .. } => {
             // The client gave up on the session; drop our half. Unknown
-            // or already-finished ids are no-ops.
+            // or already-finished ids are no-ops. For a continuous id
+            // this is the orderly whole-session teardown: the resident
+            // party is freed, the settled rounds' summary stays.
             if let Some(&exec) = conn.wire_to_exec.get(&wire) {
                 injector.close(exec, ABANDONED);
             }
+            conn.continuous.remove(&wire);
+        }
+        Record::Round {
+            session: wire,
+            round,
+        } => {
+            let Some(party) = conn.continuous.get(&wire) else {
+                conn.io.queue(&Record::Done {
+                    session: wire,
+                    status: STATUS_UNKNOWN_SESSION,
+                    message: "round for a session not open as continuous".into(),
+                })?;
+                return Ok(());
+            };
+            let bob = match BobRound::begin(party) {
+                Ok(bob) if bob.round() == round => bob,
+                Ok(bob) => {
+                    // Desync: the client's round counter disagrees with
+                    // the resident state (e.g. a half-settled previous
+                    // round). Fail loudly and retire the id — dropping
+                    // `bob` unstarted rolls the server party back.
+                    let msg = format!(
+                        "continuous round desync: client at round {round}, server at {}",
+                        bob.round()
+                    );
+                    drop(bob);
+                    conn.continuous.remove(&wire);
+                    conn.io.queue(&Record::Done {
+                        session: wire,
+                        status: STATUS_SESSION_ERROR,
+                        message: msg,
+                    })?;
+                    return Ok(());
+                }
+                Err(e) => {
+                    conn.continuous.remove(&wire);
+                    conn.io.queue(&Record::Done {
+                        session: wire,
+                        status: STATUS_SESSION_ERROR,
+                        message: format!("cannot begin round {round}: {e}"),
+                    })?;
+                    return Ok(());
+                }
+            };
+            let exec = *next_exec;
+            *next_exec += 1;
+            // Replaces the previous round's (finished) mapping, so
+            // frames and the client's eventual DONE route to the round
+            // in flight.
+            conn.wire_to_exec.insert(wire, exec);
+            conn.live += 1;
+            conn.round_of_exec.insert(exec, round);
+            routes.insert(exec, (slot, wire));
+            injector.submit(exec, Party::Bob, Box::new(bob));
         }
     }
     Ok(())

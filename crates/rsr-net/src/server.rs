@@ -19,6 +19,15 @@
 //! connection and every other — untouched. An id the factory does not
 //! know gets [`STATUS_UNKNOWN_SESSION`](crate::codec::STATUS_UNKNOWN_SESSION).
 //!
+//! A session whose `OPEN` spec is marked continuous works differently:
+//! [`SessionFactory::open_continuous`] supplies a *resident*
+//! [`ContinuousParty`](rsr_core::continuous::ContinuousParty) that
+//! stays on the connection across rounds, each client `ROUND` record
+//! spins a fresh one-round Bob executor session over it, and a settled
+//! round is acknowledged with an echoed `ROUND` instead of a `DONE` —
+//! the id stays live for the next round until the client sends `DONE`
+//! or closes the connection.
+//!
 //! Unlike the PR 6 design (a reader thread, a writer thread, and an
 //! executor pool *per connection*), `serve` runs a single reactor
 //! thread for every connection at once: sockets are nonblocking,
@@ -37,6 +46,7 @@
 use crate::codec::{NetError, SessionSpec};
 use crate::executor::default_shards;
 use crate::reactor::{run_server_reactor, ServerOpts, DEFAULT_IDLE_TIMEOUT};
+use rsr_core::continuous::SharedParty;
 use rsr_core::transcript::Transcript;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
@@ -56,18 +66,35 @@ pub use rsr_core::executor::DynSession as NetSession;
 /// session may borrow from the factory — protocol objects and point sets
 /// live in the factory, sessions are views over them.
 pub trait SessionFactory: Send + Sync {
-    /// The Bob session for `session_id`, or `None` if the id is unknown.
-    fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>>;
+    /// The single required method: the Bob session for `session_id`,
+    /// given whatever negotiation the `OPEN` carried — `Some(spec)`
+    /// when the client put protocol and instance parameters on the
+    /// wire, `None` for a bare open (or an implicit first-frame open),
+    /// where the factory must know the id out of band. Return `None`
+    /// for an id/spec combination this factory cannot serve; the
+    /// server answers with
+    /// [`STATUS_UNKNOWN_SESSION`](crate::codec::STATUS_UNKNOWN_SESSION).
+    fn open_spec(
+        &self,
+        session_id: u64,
+        spec: Option<&SessionSpec>,
+    ) -> Option<Box<dyn NetSession + '_>>;
 
-    /// The Bob session for an `OPEN` that carried a negotiated
-    /// [`SessionSpec`] — protocol and instance parameters on the wire
-    /// instead of out-of-band trace state. The default ignores the spec
-    /// and falls back to [`SessionFactory::open`], so id-keyed
-    /// factories keep working unchanged; factories that can build
-    /// instances from the spec override this.
-    fn open_spec(&self, session_id: u64, spec: &SessionSpec) -> Option<Box<dyn NetSession + '_>> {
-        let _ = spec;
-        self.open(session_id)
+    /// Convenience wrapper for id-keyed opens; equivalent to
+    /// [`SessionFactory::open_spec`] with no spec.
+    fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>> {
+        self.open_spec(session_id, None)
+    }
+
+    /// The resident Bob party for an `OPEN` whose spec is marked
+    /// [`continuous`](SessionSpec::continuous): the server keeps the
+    /// returned party alive on the connection and spins one
+    /// [`BobRound`](rsr_core::continuous::BobRound) executor session
+    /// per `ROUND` record over it. The default refuses (one-shot
+    /// factories need not know continuous mode exists).
+    fn open_continuous(&self, session_id: u64, spec: &SessionSpec) -> Option<SharedParty> {
+        let _ = (session_id, spec);
+        None
     }
 }
 

@@ -176,6 +176,12 @@ impl Channel for TcpChannel {
                         ));
                         None
                     }
+                    Record::Round { .. } => {
+                        self.latch(NetError::Malformed(
+                            "round record on a single-session channel",
+                        ));
+                        None
+                    }
                     Record::Done {
                         session,
                         status,

@@ -4,12 +4,16 @@
 //! perturb its siblings: surviving sessions settle with transcripts
 //! bit-for-bit identical to the serial in-memory reference.
 
+// This suite predates the unified `Driver` and deliberately keeps
+// exercising the deprecated entry points it was written against.
+#![allow(deprecated)]
+
 use rsr_core::channel::Frame;
 use rsr_core::session::{drive_in_memory, Session};
 use rsr_core::transcript::{Party, Transcript};
 use rsr_net::{
-    handle_connection, read_record, write_record, MultiClient, NetError, NetSession, ReconClient,
-    ReconServer, Record, SessionFactory, SessionPlan, STATUS_OK,
+    handle_connection, read_record, write_record, Driver, MultiClient, NetError, NetSession,
+    ReconClient, ReconServer, Record, SessionFactory, SessionPlan, STATUS_OK,
 };
 use std::io::Write;
 use std::net::{TcpListener, TcpStream};
@@ -121,7 +125,11 @@ struct EchoFactory {
 }
 
 impl SessionFactory for EchoFactory {
-    fn open(&self, session_id: u64) -> Option<Box<dyn NetSession + '_>> {
+    fn open_spec(
+        &self,
+        session_id: u64,
+        _spec: Option<&rsr_net::SessionSpec>,
+    ) -> Option<Box<dyn NetSession + '_>> {
         Some(Box::new(bob(session_id, self.rounds)))
     }
 }
@@ -356,6 +364,58 @@ fn server_vanishing_cleanly_fails_the_sessions_not_the_process() {
             s.error
         );
     }
+}
+
+#[test]
+fn a_silent_server_trips_the_clients_idle_deadline() {
+    // The mirror of `a_silent_client_is_torn_down_at_the_idle_deadline`:
+    // the server accepts, reads everything, and never answers — the
+    // socket stays open, so only the client's own idle deadline (the
+    // `Driver` builder knob, symmetric with the server's
+    // `with_idle_timeout`) can end the wait.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let server = std::thread::spawn(move || {
+        let (mut stream, _) = listener.accept().unwrap();
+        // OPEN + the first ping, then silence with the socket held open.
+        for _ in 0..2 {
+            read_record(&mut stream).unwrap().expect("a record");
+        }
+        stream
+    });
+
+    let started = Instant::now();
+    let report = Driver::new(addr)
+        .idle_timeout(Some(Duration::from_millis(250)))
+        .batch(vec![vec![SessionPlan::new(0, Box::new(alice(0, 1)))]])
+        .expect("an idle connection is a per-connection outcome, not a batch error");
+    assert!(
+        started.elapsed() < Duration::from_secs(30),
+        "idle teardown took {:?}",
+        started.elapsed()
+    );
+    let conn = &report.conns[0];
+    match &conn.transport_error {
+        Some(NetError::Io(e)) => {
+            assert_eq!(e.kind(), std::io::ErrorKind::TimedOut);
+            assert!(
+                e.to_string().contains("no wire activity"),
+                "unexpected message: {e}"
+            );
+        }
+        other => panic!("expected a client-side idle timeout, got {other:?}"),
+    }
+    assert_eq!(conn.failed(), 1);
+    assert!(
+        conn.sessions[0]
+            .error
+            .as_deref()
+            .unwrap()
+            .contains("before session settled"),
+        "unexpected error: {:?}",
+        conn.sessions[0].error
+    );
+    drop(server.join().unwrap());
 }
 
 // --------------------------------------------- cross-connection chaos

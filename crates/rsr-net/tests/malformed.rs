@@ -2,6 +2,10 @@
 //! out-of-contract byte stream must fail *cleanly* — a typed error or an
 //! error `DONE` status, never a panic, hang, or huge allocation.
 
+// This suite predates the unified `Driver` and deliberately keeps
+// exercising the deprecated entry points it was written against.
+#![allow(deprecated)]
+
 use rsr_core::channel::Frame;
 use rsr_core::session::{drive_channel, DriveError, Session};
 use rsr_core::transcript::Party;
@@ -200,7 +204,11 @@ impl Session for OneFrameSink {
 struct SmallFactory;
 
 impl SessionFactory for SmallFactory {
-    fn open(&self, session_id: u64) -> Option<Box<dyn rsr_net::NetSession + '_>> {
+    fn open_spec(
+        &self,
+        session_id: u64,
+        _spec: Option<&rsr_net::SessionSpec>,
+    ) -> Option<Box<dyn rsr_net::NetSession + '_>> {
         (session_id < 4)
             .then(|| Box::new(OneFrameSink { got: false }) as Box<dyn rsr_net::NetSession>)
     }

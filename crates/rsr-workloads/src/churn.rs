@@ -1,0 +1,347 @@
+//! Replayable churn traces for continuous reconciliation.
+//!
+//! A *churn trace* describes how a pair of live sets drifts between
+//! reconciliation rounds: for each round, how many inserts and deletes
+//! land on each party, plus the seed that materializes the concrete
+//! keys. Like [`crate::trace`], the format pins *intent*, not bytes —
+//! the same `(spec, rounds, seed)` triple regenerates the same trace
+//! anywhere, and the text form round-trips so a trace can be archived
+//! next to the benchmark that consumed it. One round per line, `#`
+//! comments and blanks ignored:
+//!
+//! ```text
+//! # a_ins a_del b_ins b_del seed
+//! 12 4 11 3 9838450945
+//! 10 2 13 5 2210934885
+//! ```
+//!
+//! Key materialization is deliberately deferred to replay time
+//! ([`RoundChurn::alice_keys`] / [`RoundChurn::bob_keys`]): inserts are
+//! fresh keys drawn from the round seed, deletes are sampled from the
+//! party's *current* set — which the trace cannot know in advance,
+//! because it depends on every earlier round's reconciliation.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::BTreeSet;
+use std::fmt;
+use std::io::{self, BufRead, Write};
+
+/// The shape of drift between rounds: how much, how lopsided, how
+/// delete-heavy, and whether it bursts.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ChurnSpec {
+    /// Mean mutations per round across both parties.
+    pub rate: usize,
+    /// Fraction of each round's mutations landing on Alice (`0.5` is
+    /// balanced; `1.0` makes Bob a pure follower).
+    pub skew: f64,
+    /// Fraction of each party's mutations that are deletes (the rest
+    /// are inserts).
+    pub delete_fraction: f64,
+    /// When `Some(b)`, every `b`-th round is a burst.
+    pub burst_every: Option<usize>,
+    /// Burst rounds multiply the rate by this factor.
+    pub burst_scale: f64,
+}
+
+impl ChurnSpec {
+    /// Balanced steady-state drift: even split, 25% deletes, no bursts.
+    pub fn steady(rate: usize) -> ChurnSpec {
+        ChurnSpec {
+            rate,
+            skew: 0.5,
+            delete_fraction: 0.25,
+            burst_every: None,
+            burst_scale: 1.0,
+        }
+    }
+
+    /// Steady drift with every `every`-th round tripled — the batch
+    /// import riding on top of interactive edits.
+    pub fn bursty(rate: usize, every: usize) -> ChurnSpec {
+        ChurnSpec {
+            burst_every: Some(every),
+            burst_scale: 3.0,
+            ..ChurnSpec::steady(rate)
+        }
+    }
+
+    /// The largest per-round mutation count this spec can emit — what a
+    /// continuous table's churn bound must cover (both parties' inserts
+    /// and deletes all contribute to the round's symmetric difference).
+    pub fn peak_round_ops(&self) -> usize {
+        let burst = if self.burst_every.is_some() {
+            self.burst_scale.max(1.0)
+        } else {
+            1.0
+        };
+        // sample_churn jitters each round up to +25% before bursting.
+        ((self.rate as f64) * 1.25 * burst).ceil() as usize + 2
+    }
+}
+
+/// One round of drift: mutation counts per party plus the seed that
+/// materializes keys at replay.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RoundChurn {
+    /// Keys inserted into Alice's set before this round.
+    pub a_inserts: usize,
+    /// Keys deleted from Alice's set before this round.
+    pub a_deletes: usize,
+    /// Keys inserted into Bob's set before this round.
+    pub b_inserts: usize,
+    /// Keys deleted from Bob's set before this round.
+    pub b_deletes: usize,
+    /// Seed for key materialization.
+    pub seed: u64,
+}
+
+impl RoundChurn {
+    /// Total mutations this round, both parties.
+    pub fn total_ops(&self) -> usize {
+        self.a_inserts + self.a_deletes + self.b_inserts + self.b_deletes
+    }
+
+    /// Materializes Alice's mutations against her current set: fresh
+    /// insert keys (not present, not colliding with each other) and
+    /// distinct existing delete keys. Deterministic in `(self, existing)`.
+    pub fn alice_keys(&self, existing: &BTreeSet<u64>) -> (Vec<u64>, Vec<u64>) {
+        materialize(
+            self.seed ^ 0xa11c_e000,
+            self.a_inserts,
+            self.a_deletes,
+            existing,
+        )
+    }
+
+    /// Bob's counterpart of [`RoundChurn::alice_keys`].
+    pub fn bob_keys(&self, existing: &BTreeSet<u64>) -> (Vec<u64>, Vec<u64>) {
+        materialize(
+            self.seed ^ 0xb0b_0000,
+            self.b_inserts,
+            self.b_deletes,
+            existing,
+        )
+    }
+}
+
+/// The deterministic base set both parties of a continuous pair start
+/// from: `n` distinct keys pinned by `seed`. Client and server derive
+/// the same set from the same wire parameters, so a continuous session
+/// needs no out-of-band state transfer before round 0.
+pub fn base_set(n: usize, seed: u64) -> BTreeSet<u64> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xba5e_5e70);
+    let mut set = BTreeSet::new();
+    while set.len() < n {
+        set.insert(rng.gen::<u64>());
+    }
+    set
+}
+
+fn materialize(
+    seed: u64,
+    inserts: usize,
+    deletes: usize,
+    existing: &BTreeSet<u64>,
+) -> (Vec<u64>, Vec<u64>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut fresh = Vec::with_capacity(inserts);
+    let mut taken = BTreeSet::new();
+    while fresh.len() < inserts {
+        let key = rng.gen::<u64>();
+        if !existing.contains(&key) && taken.insert(key) {
+            fresh.push(key);
+        }
+    }
+    // Deletes sample without replacement from the current set (clamped:
+    // a trace can ask for more deletes than the set still holds).
+    let mut pool: Vec<u64> = existing.iter().copied().collect();
+    let mut doomed = Vec::with_capacity(deletes.min(pool.len()));
+    for _ in 0..deletes.min(pool.len()) {
+        let idx = rng.gen_range(0..pool.len());
+        doomed.push(pool.swap_remove(idx));
+    }
+    (fresh, doomed)
+}
+
+impl fmt::Display for RoundChurn {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} {} {} {} {}",
+            self.a_inserts, self.a_deletes, self.b_inserts, self.b_deletes, self.seed
+        )
+    }
+}
+
+/// Samples a `rounds`-round churn trace deterministically from `seed`:
+/// per-round totals jitter ±25% around the spec's rate, burst rounds
+/// scale up, the skew splits each round between the parties, and the
+/// delete fraction splits each party's share.
+pub fn sample_churn(spec: &ChurnSpec, rounds: usize, seed: u64) -> Vec<RoundChurn> {
+    assert!(
+        (0.0..=1.0).contains(&spec.skew) && (0.0..=1.0).contains(&spec.delete_fraction),
+        "skew and delete_fraction must lie in [0, 1]"
+    );
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xc4a2_0000);
+    (0..rounds)
+        .map(|r| {
+            let jitter = 0.75 + rng.gen::<f64>() * 0.5;
+            let burst = spec.burst_every.is_some_and(|b| b > 0 && (r + 1) % b == 0);
+            let scale = if burst { spec.burst_scale } else { 1.0 };
+            let total = ((spec.rate as f64) * jitter * scale).round() as usize;
+            let a_share = ((total as f64) * spec.skew).round() as usize;
+            let split = |share: usize| {
+                let deletes = ((share as f64) * spec.delete_fraction).round() as usize;
+                (share - deletes, deletes)
+            };
+            let (a_inserts, a_deletes) = split(a_share);
+            let (b_inserts, b_deletes) = split(total - a_share);
+            RoundChurn {
+                a_inserts,
+                a_deletes,
+                b_inserts,
+                b_deletes,
+                seed: rng.gen(),
+            }
+        })
+        .collect()
+}
+
+/// Writes a churn trace, one round per line, with a header documenting
+/// the field order.
+pub fn write_churn<W: Write>(w: &mut W, rounds: &[RoundChurn]) -> io::Result<()> {
+    writeln!(w, "# a_ins a_del b_ins b_del seed")?;
+    for round in rounds {
+        writeln!(w, "{round}")?;
+    }
+    Ok(())
+}
+
+/// Reads a churn trace written by [`write_churn`] (or by hand). Blank
+/// lines and `#` comments are skipped; anything else that fails to
+/// parse is an `InvalidData` error naming the line.
+pub fn read_churn<R: BufRead>(r: &mut R) -> io::Result<Vec<RoundChurn>> {
+    let mut rounds = Vec::new();
+    for (lineno, line) in r.lines().enumerate() {
+        let line = line?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        rounds.push(parse_line(line).ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("churn line {}: cannot parse {line:?}", lineno + 1),
+            )
+        })?);
+    }
+    Ok(rounds)
+}
+
+fn parse_line(line: &str) -> Option<RoundChurn> {
+    let mut fields = line.split_whitespace();
+    let a_inserts = fields.next()?.parse().ok()?;
+    let a_deletes = fields.next()?.parse().ok()?;
+    let b_inserts = fields.next()?.parse().ok()?;
+    let b_deletes = fields.next()?.parse().ok()?;
+    let seed = fields.next()?.parse().ok()?;
+    if fields.next().is_some() {
+        return None;
+    }
+    Some(RoundChurn {
+        a_inserts,
+        a_deletes,
+        b_inserts,
+        b_deletes,
+        seed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_text() {
+        let rounds = sample_churn(&ChurnSpec::steady(20), 8, 42);
+        let mut buf = Vec::new();
+        write_churn(&mut buf, &rounds).unwrap();
+        assert_eq!(read_churn(&mut buf.as_slice()).unwrap(), rounds);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_rate_shaped() {
+        let spec = ChurnSpec::steady(40);
+        let a = sample_churn(&spec, 16, 7);
+        assert_eq!(a, sample_churn(&spec, 16, 7));
+        assert_ne!(a, sample_churn(&spec, 16, 8), "seed must matter");
+        for (r, round) in a.iter().enumerate() {
+            let total = round.total_ops();
+            assert!((30..=50).contains(&total), "round {r}: {total} ops");
+            assert!(total <= spec.peak_round_ops());
+        }
+    }
+
+    #[test]
+    fn bursts_fire_on_schedule_and_stay_bounded() {
+        let spec = ChurnSpec::bursty(20, 4);
+        let rounds = sample_churn(&spec, 12, 3);
+        for (r, round) in rounds.iter().enumerate() {
+            let total = round.total_ops();
+            if (r + 1) % 4 == 0 {
+                assert!(total >= 40, "burst round {r} too small: {total}");
+            } else {
+                assert!(total <= 26, "steady round {r} too big: {total}");
+            }
+            assert!(total <= spec.peak_round_ops(), "round {r} over peak");
+        }
+    }
+
+    #[test]
+    fn skew_shifts_churn_between_parties() {
+        let spec = ChurnSpec {
+            skew: 1.0,
+            ..ChurnSpec::steady(30)
+        };
+        for round in sample_churn(&spec, 6, 11) {
+            assert_eq!(round.b_inserts + round.b_deletes, 0);
+            assert!(round.a_inserts + round.a_deletes > 0);
+        }
+    }
+
+    #[test]
+    fn materialized_keys_respect_the_live_set() {
+        let existing: BTreeSet<u64> = (0..100).collect();
+        let round = RoundChurn {
+            a_inserts: 10,
+            a_deletes: 5,
+            b_inserts: 0,
+            b_deletes: 200, // more than the set holds
+            seed: 99,
+        };
+        let (ins, dels) = round.alice_keys(&existing);
+        assert_eq!(ins.len(), 10);
+        assert!(ins.iter().all(|k| !existing.contains(k)));
+        assert_eq!(dels.len(), 5);
+        assert!(dels.iter().all(|k| existing.contains(k)));
+        let distinct: BTreeSet<_> = dels.iter().collect();
+        assert_eq!(distinct.len(), 5, "deletes sample without replacement");
+        // Clamped deletes and determinism.
+        let (_, bdels) = round.bob_keys(&existing);
+        assert_eq!(bdels.len(), 100);
+        assert_eq!(round.alice_keys(&existing), round.alice_keys(&existing));
+        assert_ne!(round.alice_keys(&existing).0, round.bob_keys(&existing).0);
+    }
+
+    #[test]
+    fn malformed_lines_fail_with_the_line_number() {
+        for bad in ["1 2 3 4", "1 2 3 4 5 6", "a 2 3 4 5", "1 -2 3 4 5"] {
+            let text = format!("# ok\n{bad}\n");
+            let err = read_churn(&mut text.as_bytes()).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{bad}");
+            assert!(err.to_string().contains("line 2"), "{bad}: {err}");
+        }
+    }
+}

@@ -13,12 +13,16 @@
 //!   separation (experiments T7, T8);
 //! * [`trace`] — a line-based, seedable trace format so the same session
 //!   batch can be replayed across transports and machines;
+//! * [`churn`] — per-round insert/delete drift traces for continuous
+//!   reconciliation (rate, skew, bursts), replayable the same way;
 //! * [`stats`] — small summary-statistics helpers for the harness.
 
+pub mod churn;
 pub mod generators;
 pub mod stats;
 pub mod trace;
 
+pub use churn::{base_set, read_churn, sample_churn, write_churn, ChurnSpec, RoundChurn};
 pub use generators::{planted_emd, planted_emd_sparse, sensor_pairs, GapWorkload, Workload};
 pub use trace::{
     read_trace, sample_trace, sample_trace_with, write_trace, TraceEntry, TraceMix, TraceProtocol,

@@ -4,8 +4,9 @@
 //! a session count and a trace seed — from which both deterministically
 //! regenerate the same protocol instances (workloads and public coins),
 //! exactly as two replicas sharing a configuration would. The server
-//! holds every Bob half behind a `SessionFactory`; the client batches
-//! the Alice halves and multiplexes all of them over one connection.
+//! holds every Bob half behind a `SessionFactory`; the client runs the
+//! Alice halves through the unified [`Driver`] builder, multiplexing
+//! them over one or more connections.
 //!
 //! Run in two terminals:
 //!
@@ -20,12 +21,18 @@
 //! sides. `--conns C` on the client spreads the batch round-robin over
 //! C connections into that same reactor (pair it with `--conns C` on a
 //! `--serve --once` server so it exits after serving all C).
+//!
+//! `--rounds R` switches the client to **continuous** mode: it opens
+//! one long-lived session (`--sessions` becomes the shared base-set
+//! size), streams churn between rounds, and drives R incremental
+//! rounds under the same session id — each shipping only the delta
+//! since the last settle. The server needs no extra flag: its factory
+//! builds the resident Bob half from the wire spec alone.
 
-use robust_set_recon::net::{
-    default_shards, MultiClient, NetSession, ReconClient, ReconServer, SessionPlan,
-};
-use rsr_bench::experiments::net::{Instance, TraceFactory};
-use rsr_workloads::sample_trace;
+use robust_set_recon::core::continuous::shared;
+use robust_set_recon::net::{default_shards, ConnectedDriver, Driver, ReconServer, SessionPlan};
+use rsr_bench::experiments::net::{continuous_party_of, continuous_spec, InstanceFactory};
+use rsr_workloads::{sample_churn, sample_trace, ChurnSpec};
 use std::process::exit;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -38,6 +45,7 @@ struct Args {
     trace_seed: u64,
     shards: usize,
     conns: usize,
+    rounds: usize,
 }
 
 fn parse_args() -> Args {
@@ -49,6 +57,7 @@ fn parse_args() -> Args {
         trace_seed: 0xbea7,
         shards: default_shards(),
         conns: 1,
+        rounds: 0,
     };
     let mut it = std::env::args().skip(1);
     while let Some(arg) = it.next() {
@@ -77,11 +86,20 @@ fn parse_args() -> Args {
                     usage("--conns must be >= 1");
                 }
             }
+            "--rounds" => {
+                args.rounds = value("--rounds R").parse().unwrap_or_else(|_| usage("R"));
+                if args.rounds == 0 {
+                    usage("--rounds must be >= 1");
+                }
+            }
             other => usage(other),
         }
     }
     if args.serve.is_some() == args.connect.is_some() {
         usage("exactly one of --serve/--connect");
+    }
+    if args.rounds > 0 && args.conns > 1 {
+        usage("--rounds drives one continuous session and needs --conns 1");
     }
     args
 }
@@ -90,23 +108,39 @@ fn usage(what: &str) -> ! {
     eprintln!("net_sync: bad or missing argument: {what}");
     eprintln!(
         "usage: net_sync (--serve ADDR [--once] | --connect ADDR) \
-         [--sessions N] [--trace-seed S] [--shards N] [--conns C]"
+         [--sessions N] [--trace-seed S] [--shards N] [--conns C] [--rounds R]"
     );
     exit(2)
 }
 
-fn build_factory(sessions: usize, trace_seed: u64) -> TraceFactory {
+fn build_factory(sessions: usize, trace_seed: u64) -> InstanceFactory {
     let entries = sample_trace(sessions, trace_seed);
-    TraceFactory {
-        instances: entries.iter().map(Instance::build).collect(),
+    InstanceFactory::from_trace(&entries)
+}
+
+/// Connects the driver pool, retrying briefly — the server may still be
+/// starting when CI launches both sides back to back.
+fn connect_driver(addr: &str, conns: usize, shards: usize) -> ConnectedDriver {
+    for _ in 0..40 {
+        let attempt = Driver::new(addr)
+            .conns(conns)
+            .shards(shards)
+            .idle_timeout(Some(Duration::from_secs(60)))
+            .connect();
+        match attempt {
+            Ok(driver) => return driver,
+            Err(_) => std::thread::sleep(Duration::from_millis(250)),
+        }
     }
+    eprintln!("net_sync: cannot connect {conns} time(s) to {addr}");
+    exit(1)
 }
 
 fn main() {
     let args = parse_args();
-    let factory = build_factory(args.sessions, args.trace_seed);
 
     if let Some(addr) = args.serve {
+        let factory = build_factory(args.sessions, args.trace_seed);
         let server = ReconServer::bind(addr.as_str(), Arc::new(factory))
             .unwrap_or_else(|e| {
                 eprintln!("net_sync: cannot bind {addr}: {e}");
@@ -155,104 +189,58 @@ fn main() {
         return;
     }
 
-    let addr = args.connect.expect("checked in parse_args");
-    let t0;
-    let reports = if args.conns == 1 {
-        // The server may still be starting (CI launches it in the
-        // background): retry briefly before giving up.
-        let mut client = None;
-        for _ in 0..40 {
-            match ReconClient::connect(addr.as_str()) {
-                Ok(c) => {
-                    client = Some(c);
-                    break;
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(250)),
-            }
-        }
-        let Some(client) = client else {
-            eprintln!("net_sync: cannot connect to {addr}");
-            exit(1)
-        };
-        let client = client.with_shards(args.shards);
-        client.set_read_timeout(Some(Duration::from_secs(60))).ok();
+    let addr = args.connect.clone().expect("checked in parse_args");
+    if args.rounds > 0 {
+        run_continuous(&addr, &args);
+        return;
+    }
 
-        t0 = Instant::now();
-        let batch: Vec<(u64, Box<dyn NetSession + '_>)> = factory
-            .instances
-            .iter()
-            .enumerate()
-            .map(|(i, inst)| (i as u64, inst.alice_session()))
-            .collect();
-        vec![client.run_batch(batch).unwrap_or_else(|e| {
-            eprintln!("net_sync: batch failed: {e}");
-            exit(1)
-        })]
-    } else {
-        let mut client = None;
-        for _ in 0..40 {
-            match MultiClient::connect(addr.as_str(), args.conns) {
-                Ok(c) => {
-                    client = Some(c);
-                    break;
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(250)),
-            }
-        }
-        let Some(client) = client else {
-            eprintln!("net_sync: cannot connect {} times to {addr}", args.conns);
-            exit(1)
-        };
-        let mut client = client
-            .with_shards(args.shards)
-            .with_idle_timeout(Some(Duration::from_secs(60)));
-
-        t0 = Instant::now();
-        // Session i rides connection i % conns; one reactor drives all
-        // the connections and one executor drives all the sessions.
-        let batches: Vec<Vec<SessionPlan<'_>>> = (0..args.conns)
-            .map(|c| {
-                factory
-                    .instances
-                    .iter()
-                    .enumerate()
-                    .filter(|(i, _)| i % args.conns == c)
-                    .map(|(i, inst)| SessionPlan::new(i as u64, inst.alice_session()))
-                    .collect()
-            })
-            .collect();
-        let reports = client.run_batches(batches).unwrap_or_else(|e| {
-            eprintln!("net_sync: batch failed: {e}");
-            exit(1)
-        });
-        for (c, report) in reports.iter().enumerate() {
-            if let Some(e) = &report.transport_error {
-                eprintln!("net_sync: connection {c} failed: {e}");
-            }
-        }
-        client.finish();
-        reports
-    };
+    let factory = build_factory(args.sessions, args.trace_seed);
+    let mut driver = connect_driver(&addr, args.conns, args.shards);
+    let t0 = Instant::now();
+    // Session i rides connection i % conns; one reactor drives all the
+    // connections and one executor drives all the sessions.
+    let batches: Vec<Vec<SessionPlan<'_>>> = (0..args.conns)
+        .map(|c| {
+            factory
+                .instances
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| i % args.conns == c)
+                .map(|(i, inst)| SessionPlan::new(i as u64, inst.alice_session()))
+                .collect()
+        })
+        .collect();
+    let report = driver.batch(batches).unwrap_or_else(|e| {
+        eprintln!("net_sync: batch failed: {e}");
+        exit(1)
+    });
     let elapsed = t0.elapsed();
+    for (c, conn) in report.conns.iter().enumerate() {
+        if let Some(e) = &conn.transport_error {
+            eprintln!("net_sync: connection {c} failed: {e}");
+        }
+    }
+    driver.finish();
 
-    let total: usize = reports.iter().map(|r| r.sessions.len()).sum();
-    let completed: usize = reports.iter().map(|r| r.completed()).sum();
-    let failed: usize = reports.iter().map(|r| r.failed()).sum();
-    let payload_bits: u64 = reports.iter().map(|r| r.payload_bits()).sum();
-    let wire_out: u64 = reports.iter().map(|r| r.wire_bytes_out).sum();
-    let wire_in: u64 = reports.iter().map(|r| r.wire_bytes_in).sum();
+    let total: usize = report.conns.iter().map(|r| r.sessions.len()).sum();
+    let completed = report.completed();
+    let failed = report.failed();
+    let wire_out: u64 = report.conns.iter().map(|r| r.wire_bytes_out).sum();
+    let wire_in: u64 = report.conns.iter().map(|r| r.wire_bytes_in).sum();
     println!(
         "{} sessions multiplexed over {} connection(s) in {:.1} ms ({:.0} sessions/sec)",
         total,
-        reports.len(),
+        report.conns.len(),
         elapsed.as_secs_f64() * 1e3,
         total as f64 / elapsed.as_secs_f64(),
     );
     println!(
-        "completed {completed}/{total}; {payload_bits} payload bits in \
+        "completed {completed}/{total}; {} payload bits in \
          {wire_out}+{wire_in} wire bytes (out+in)",
+        report.payload_bits(),
     );
-    for s in reports.iter().flat_map(|r| &r.sessions).take(4) {
+    for s in report.sessions().take(4) {
         println!(
             "  session {:>3}: {:>8} bits in {} messages / {} rounds",
             s.id,
@@ -264,14 +252,96 @@ fn main() {
     if total > 4 {
         println!("  … and {} more", total - 4);
     }
-    if failed > 0 || reports.iter().any(|r| r.transport_error.is_some()) {
-        for s in reports
-            .iter()
-            .flat_map(|r| &r.sessions)
-            .filter(|s| s.error.is_some())
-        {
+    if failed > 0 || report.transport_error().is_some() {
+        for s in report.sessions().filter(|s| s.error.is_some()) {
             eprintln!("  session {}: {}", s.id, s.error.as_deref().unwrap());
         }
         exit(1);
     }
+}
+
+/// Continuous mode: one resident session, `--rounds` incremental rounds
+/// with churn streamed in between, each shipping only the delta since
+/// the last settle. Both endpoints derive the same starting party from
+/// the wire spec (`--sessions` keys seeded by `--trace-seed`), so the
+/// expected post-round union is checkable client-side every round.
+fn run_continuous(addr: &str, args: &Args) {
+    let churn = ChurnSpec {
+        skew: 1.0, // the server party only learns through settles
+        ..ChurnSpec::steady(16)
+    };
+    let spec = continuous_spec(args.sessions, churn.peak_round_ops(), args.trace_seed);
+    let party = shared(continuous_party_of(&spec));
+    let trace = sample_churn(&churn, args.rounds, args.trace_seed);
+
+    let mut driver = connect_driver(addr, 1, args.shards);
+    let t0 = Instant::now();
+    let mut expected = {
+        let p = party.lock().expect("party lock");
+        p.set().clone()
+    };
+    for (r, round) in trace.iter().enumerate() {
+        // Stream this round's churn, tracking the expected union (the
+        // server side never deletes, so client deletes resurrect).
+        let (ins, del) = round.alice_keys(&expected);
+        {
+            let mut p = party.lock().expect("party lock");
+            for &k in &ins {
+                p.insert(k).expect("insert between rounds");
+                expected.insert(k);
+            }
+            for &k in &del {
+                p.remove(k).expect("delete between rounds");
+            }
+        }
+        let plan = if r == 0 {
+            SessionPlan::open_continuous(0, spec, &party)
+        } else {
+            SessionPlan::next_round(0, &party)
+        }
+        .unwrap_or_else(|e| {
+            eprintln!("net_sync: round {r}: {e}");
+            exit(1)
+        });
+        let report = driver.batch(vec![vec![plan]]).unwrap_or_else(|e| {
+            eprintln!("net_sync: round {r} failed: {e}");
+            exit(1)
+        });
+        if report.completed() != 1 {
+            for s in report.sessions().filter(|s| s.error.is_some()) {
+                eprintln!("net_sync: round {r}: {}", s.error.as_deref().unwrap());
+            }
+            exit(1);
+        }
+        let bits = report.payload_bits();
+        let live = party.lock().expect("party lock").set().clone();
+        if live != expected {
+            eprintln!(
+                "net_sync: round {r}: settled set diverged from the expected union \
+                 ({} vs {} keys)",
+                live.len(),
+                expected.len()
+            );
+            exit(1);
+        }
+        println!(
+            "round {r}: +{} -{} churn keys, {} round bits, {} keys settled",
+            ins.len(),
+            del.len(),
+            bits,
+            live.len()
+        );
+    }
+    let elapsed = t0.elapsed();
+    driver.close_session(0, 0).unwrap_or_else(|e| {
+        eprintln!("net_sync: cannot retire the session: {e}");
+        exit(1)
+    });
+    driver.finish();
+    println!(
+        "{} continuous rounds over one session in {:.1} ms ({:.0} rounds/sec)",
+        args.rounds,
+        elapsed.as_secs_f64() * 1e3,
+        args.rounds as f64 / elapsed.as_secs_f64(),
+    );
 }

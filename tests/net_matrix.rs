@@ -5,6 +5,12 @@
 //! seeds × instance sizes — the transport may not perturb the protocol
 //! in any observable way. A final test checks the multiplexed
 //! server/client path agrees too.
+//!
+//! The batch tests deliberately stay on the deprecated
+//! `run_batch`/`run_batches` entry points: they are now thin forwarders
+//! onto the unified `Driver` engine, and these tests prove the
+//! forwarders still behave bit-for-bit.
+#![allow(deprecated)]
 
 use robust_set_recon::core::emd_protocol::{EmdProtocol, EmdProtocolConfig};
 use robust_set_recon::core::gap_protocol::{GapConfig, GapProtocol};
@@ -17,7 +23,7 @@ use robust_set_recon::net::{
     MultiClient, NetSession, ReconClient, ReconServer, SessionPlan, TcpChannel,
 };
 use robust_set_recon::workloads::{planted_emd, sample_trace, sensor_pairs};
-use rsr_bench::experiments::net::{spec_of, Instance, SpecFactory, TraceFactory};
+use rsr_bench::experiments::net::{spec_of, Instance, InstanceFactory};
 use std::net::TcpListener;
 use std::sync::Arc;
 
@@ -218,7 +224,7 @@ fn spec_negotiated_multi_connection_batches_match_in_memory() {
     let baseline: Vec<Result<u64, String>> =
         instances.iter().map(Instance::run_in_memory).collect();
 
-    let server = ReconServer::bind("127.0.0.1:0", Arc::new(SpecFactory))
+    let server = ReconServer::bind("127.0.0.1:0", Arc::new(InstanceFactory::spec_only()))
         .expect("bind")
         .with_shards(4);
     let addr = server.local_addr().expect("addr");
@@ -285,9 +291,7 @@ fn multiplexed_batch_matches_in_memory() {
     // box may have cores — so session→shard fan-out is exercised even
     // on single-core CI runners.
     let entries_list = sample_trace(12, 0x5eed);
-    let factory = Arc::new(TraceFactory {
-        instances: entries_list.iter().map(Instance::build).collect(),
-    });
+    let factory = Arc::new(InstanceFactory::from_trace(&entries_list));
     let baseline: Vec<Result<u64, String>> = factory
         .instances
         .iter()
