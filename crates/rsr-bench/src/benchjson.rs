@@ -232,6 +232,28 @@ pub fn thread_regressions(baseline: &BenchReport, fresh: &BenchReport) -> Vec<Re
         .collect()
 }
 
+/// Compares every baseline `_success_rate` metric against the fresh
+/// report and returns those that **decreased at all** — zero downward
+/// tolerance. Success rates in the gated reports are deterministic
+/// (fixed seeds, no wall-clock in any decode path), so unlike
+/// throughputs there is no noise band to tolerate: any dip is a real
+/// decoder regression. A baseline key missing from the fresh report is
+/// treated as `-∞` and always flagged; increases and fresh-only keys
+/// never flag.
+pub fn success_regressions(baseline: &BenchReport, fresh: &BenchReport) -> Vec<Regression> {
+    baseline
+        .metrics
+        .iter()
+        .filter(|(k, _)| k.ends_with("_success_rate"))
+        .map(|(key, base)| Regression {
+            key: key.clone(),
+            baseline: *base,
+            fresh: fresh.metric(key).unwrap_or(f64::NEG_INFINITY),
+        })
+        .filter(|r| r.fresh < r.baseline)
+        .collect()
+}
+
 /// Compares every baseline `_per_sec` metric against the fresh report
 /// and returns those where `fresh < baseline * (1 - tolerance)`. A
 /// baseline throughput key *missing* from the fresh report is treated
@@ -435,6 +457,28 @@ mod tests {
                 "churn_n4096_c32_round_max_ms"
             ]
         );
+    }
+
+    #[test]
+    fn success_rates_gate_with_zero_downward_tolerance() {
+        let mut baseline = BenchReport::new("iblt", true);
+        baseline.push("iblt_threshold_q3_l80_hybrid_success_rate", 0.85);
+        baseline.push("iblt_decode_hybrid_keys_per_sec", 1e6); // not this gate
+        let mut fresh = baseline.clone();
+        // Identical passes; so does an improvement.
+        assert!(success_regressions(&baseline, &fresh).is_empty());
+        fresh.metrics[0].1 = 0.90;
+        assert!(success_regressions(&baseline, &fresh).is_empty());
+        // Any decrease flags — no tolerance band.
+        fresh.metrics[0].1 = 0.8499;
+        let regs = success_regressions(&baseline, &fresh);
+        assert_eq!(regs.len(), 1);
+        assert_eq!(regs[0].key, "iblt_threshold_q3_l80_hybrid_success_rate");
+        // A dropped key fails loudly.
+        fresh.metrics.retain(|(k, _)| !k.ends_with("_success_rate"));
+        let regs = success_regressions(&baseline, &fresh);
+        assert_eq!(regs.len(), 1);
+        assert!(regs[0].fresh.is_infinite());
     }
 
     #[test]

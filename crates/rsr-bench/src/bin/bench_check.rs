@@ -12,13 +12,17 @@
 //! more than the latency tolerance (default 100% body, 300% tail, and
 //! never for sub-millisecond deltas), if any `_threads` metric increased
 //! at all (thread counts are structural — zero tolerance, no flag to
-//! loosen it), if the two files describe different benches or modes, or
+//! loosen it), if any `_success_rate` metric decreased at all (success
+//! rates are deterministic — zero downward tolerance, no flag to loosen
+//! it), if the two files describe different benches or modes, or
 //! if either file fails to parse.
 //! Improvements never fail the check; a baseline key missing from the
 //! fresh run fails loudly in both gates (a silent rename must not pass
 //! as green). Rules and rationale: docs/benchmarks.md.
 
-use rsr_bench::{latency_regressions, regressions, thread_regressions, BenchReport};
+use rsr_bench::{
+    latency_regressions, regressions, success_regressions, thread_regressions, BenchReport,
+};
 use std::process::exit;
 
 fn main() {
@@ -80,9 +84,14 @@ fn main() {
     let throughput_regs = regressions(&baseline, &fresh, tolerance);
     let latency_regs = latency_regressions(&baseline, &fresh, latency_tolerance, tail_tolerance);
     let thread_regs = thread_regressions(&baseline, &fresh);
-    if throughput_regs.is_empty() && latency_regs.is_empty() && thread_regs.is_empty() {
+    let success_regs = success_regressions(&baseline, &fresh);
+    if throughput_regs.is_empty()
+        && latency_regs.is_empty()
+        && thread_regs.is_empty()
+        && success_regs.is_empty()
+    {
         println!(
-            "ok: no throughput regression beyond {:.0}%, no latency regression beyond {:.0}% (tail {:.0}%), no thread-count increase",
+            "ok: no throughput regression beyond {:.0}%, no latency regression beyond {:.0}% (tail {:.0}%), no thread-count increase, no success-rate decrease",
             tolerance * 100.0,
             latency_tolerance * 100.0,
             tail_tolerance * 100.0
@@ -119,6 +128,21 @@ fn main() {
             );
         }
     }
+    for r in &success_regs {
+        if r.fresh.is_infinite() {
+            eprintln!(
+                "REGRESSION {fresh_path}: {} [success rate, zero tolerance]: \
+                 baseline {:.4} -> (absent from fresh report)",
+                r.key, r.baseline
+            );
+        } else {
+            eprintln!(
+                "REGRESSION {fresh_path}: {} [success rate, zero tolerance]: \
+                 baseline {:.4} -> fresh {:.4} (deterministic rates must never decrease)",
+                r.key, r.baseline, r.fresh
+            );
+        }
+    }
     for r in &latency_regs {
         let (class, tol) = if rsr_bench::benchjson::is_tail_latency_key(&r.key) {
             ("latency tail", tail_tolerance)
@@ -147,7 +171,7 @@ fn main() {
     }
     eprintln!(
         "bench_check: {} regression(s) in {fresh_path} vs baseline {baseline_path}",
-        throughput_regs.len() + thread_regs.len() + latency_regs.len()
+        throughput_regs.len() + thread_regs.len() + latency_regs.len() + success_regs.len()
     );
     exit(1);
 }

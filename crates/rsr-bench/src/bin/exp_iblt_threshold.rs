@@ -1,9 +1,23 @@
-//! Regenerates the `iblt_threshold` experiment table (see DESIGN.md index).
-//! Pass `--quick` for a reduced-trial smoke run.
+//! Regenerates the T1 IBLT decode-threshold table (peel vs hybrid; see
+//! DESIGN.md index). Pass `--quick` for a reduced-trial smoke run;
+//! `--json` additionally writes `BENCH_iblt.json` (`--json-out PATH` to
+//! redirect it) — the machine-readable report CI gates against the
+//! committed baseline with zero downward tolerance on the deterministic
+//! `_success_rate` keys (docs/benchmarks.md).
 
 fn main() {
-    println!(
-        "{}",
-        rsr_bench::experiments::iblt_threshold::run(rsr_bench::quick_flag())
-    );
+    let quick = rsr_bench::quick_flag();
+    let (mut report, mut bench) = rsr_bench::experiments::iblt_threshold::run_with_json(quick);
+    let section = rsr_bench::experiments::riblt_error::extend(&mut bench, quick);
+    report.push_str("\n\n");
+    report.push_str(&section);
+    match rsr_bench::json_out("BENCH_iblt.json") {
+        Some(path) => {
+            std::fs::write(&path, bench.to_json())
+                .unwrap_or_else(|e| panic!("cannot write {}: {e}", path.display()));
+            eprintln!("wrote {}", path.display());
+            println!("{report}");
+        }
+        None => println!("{report}"),
+    }
 }

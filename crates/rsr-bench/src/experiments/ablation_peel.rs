@@ -68,6 +68,7 @@ pub fn run(quick: bool) -> String {
                     DecodeOptions {
                         order,
                         rounding: RoundingMode::Randomized,
+                        ..DecodeOptions::default()
                     },
                 );
                 for pair in &d.inserted {
@@ -115,6 +116,7 @@ pub fn run(quick: bool) -> String {
                 DecodeOptions {
                     order: PeelOrder::BreadthFirst,
                     rounding,
+                    ..DecodeOptions::default()
                 },
             );
             for pair in &d.inserted {

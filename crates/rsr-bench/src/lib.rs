@@ -6,7 +6,7 @@
 //! a pure function `run(quick: bool) -> String` returning a markdown
 //! section, so the same code backs the per-experiment binaries (`cargo
 //! run --release -p rsr-bench --bin exp_<name>`), the `run_all` binary
-//! that regenerates the full report, and the smoke tests. Three of them
+//! that regenerates the full report, and the smoke tests. Four of them
 //! also emit machine-readable `BENCH_*.json` reports that CI gates
 //! against committed baselines (see docs/benchmarks.md).
 //!
@@ -24,7 +24,8 @@ pub mod table;
 pub use rsr_obs::hist;
 
 pub use benchjson::{
-    latency_regressions, regressions, thread_regressions, BenchReport, Regression,
+    latency_regressions, regressions, success_regressions, thread_regressions, BenchReport,
+    Regression,
 };
 pub use hist::LogHistogram;
 pub use loadgen::Arrival;

@@ -1,0 +1,317 @@
+//! Dense GF(2) linear algebra over bit-packed rows.
+//!
+//! The hybrid decoder ([`crate::iblt::DecodeMode::Hybrid`]) uses this
+//! module twice per stuck core:
+//!
+//! 1. **Basis extraction.** Each residual cell contributes the row
+//!    `key_xor ‖ check_xor` ∈ GF(2)^126. Row-reducing the cell rows
+//!    compresses `r` cells to a rank-`R` basis of the span of the
+//!    unknown key vectors `(k, checksum(k))` — the XORSAT view of the
+//!    2-core ("Tight Thresholds for Cuckoo Hashing via XORSAT"): cells
+//!    are equations, stuck keys are variables, and the span of the
+//!    equations is exactly the set of key combinations reachable by
+//!    XOR-ing cells. Enumerating the 2^R span elements (Gray-code, one
+//!    row XOR per step) and checksum-testing each finds every stuck
+//!    key whose indicator vector lies in the column space of the
+//!    incidence matrix — w.h.p. all of them for a random solvable core.
+//! 2. **Sign recovery.** Once the stuck *keys* are known, whether each
+//!    decodes positive (inserted-side) or negative (deleted-side) is a
+//!    second linear system with **known** incidence: per cell,
+//!    `Σ_k sign_k = count`; substituting `sign = 1 − 2y` makes it
+//!    `A·y = d (mod 2)` over the indicator `y_k = [sign_k = −1]`,
+//!    solved exactly by [`solve`].
+//!
+//! Rows are `Vec<u64>` words (LSB of word 0 is column 0). The matrices
+//! involved are tiny (a stuck core is small by construction — that is
+//! why it survived peeling), so clarity wins over blocking tricks; the
+//! dense row-XOR inner loop still vectorizes.
+
+/// Bits per row word.
+pub const WORD_BITS: usize = 64;
+
+/// A dense boolean matrix over GF(2) with bit-packed rows.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Gf2Matrix {
+    cols: usize,
+    words: usize,
+    rows: Vec<Vec<u64>>,
+}
+
+impl Gf2Matrix {
+    /// An empty matrix with `cols` columns.
+    pub fn new(cols: usize) -> Self {
+        Gf2Matrix {
+            cols,
+            words: cols.div_ceil(WORD_BITS).max(1),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Words per row.
+    pub fn words_per_row(&self) -> usize {
+        self.words
+    }
+
+    /// Appends a row given as packed words (missing high words are
+    /// zero). Panics if a bit beyond `cols` is set.
+    pub fn push_row_words(&mut self, words: &[u64]) {
+        assert!(words.len() <= self.words, "row wider than the matrix");
+        let mut row = vec![0u64; self.words];
+        row[..words.len()].copy_from_slice(words);
+        let spare = self.words * WORD_BITS - self.cols;
+        if spare > 0 {
+            let mask = u64::MAX >> spare;
+            assert_eq!(
+                row[self.words - 1] & !mask,
+                0,
+                "bits set beyond column {}",
+                self.cols
+            );
+        }
+        self.rows.push(row);
+    }
+
+    /// Appends a row with ones exactly at `set_cols`.
+    pub fn push_row_cols(&mut self, set_cols: &[usize]) {
+        let mut row = vec![0u64; self.words];
+        for &c in set_cols {
+            assert!(c < self.cols, "column {c} out of range");
+            row[c / WORD_BITS] |= 1u64 << (c % WORD_BITS);
+        }
+        self.rows.push(row);
+    }
+
+    /// The bit at `(row, col)`.
+    pub fn bit(&self, row: usize, col: usize) -> bool {
+        (self.rows[row][col / WORD_BITS] >> (col % WORD_BITS)) & 1 == 1
+    }
+
+    /// A copy of row `row`'s packed words.
+    pub fn row_words(&self, row: usize) -> &[u64] {
+        &self.rows[row]
+    }
+
+    /// In-place reduction to **reduced row echelon form**. Returns the
+    /// pivot column of each of the first `rank` rows; rows below the
+    /// rank come out all-zero.
+    pub fn rref(&mut self) -> Vec<usize> {
+        let mut pivots = Vec::new();
+        let mut next_row = 0;
+        for col in 0..self.cols {
+            let word = col / WORD_BITS;
+            let bit = 1u64 << (col % WORD_BITS);
+            let Some(found) = (next_row..self.rows.len()).find(|&r| self.rows[r][word] & bit != 0)
+            else {
+                continue;
+            };
+            self.rows.swap(next_row, found);
+            // Clear the pivot column from every *other* row (full
+            // reduction, not just below): each basis row then has a
+            // column where it alone is set, which is what makes the
+            // span enumeration's combinations canonical.
+            for r in 0..self.rows.len() {
+                if r != next_row && self.rows[r][word] & bit != 0 {
+                    let (dst, src) = if r < next_row {
+                        let (a, b) = self.rows.split_at_mut(next_row);
+                        (&mut a[r], &b[0])
+                    } else {
+                        let (a, b) = self.rows.split_at_mut(r);
+                        (&mut b[0], &a[next_row])
+                    };
+                    for (d, s) in dst.iter_mut().zip(src) {
+                        *d ^= *s;
+                    }
+                }
+            }
+            pivots.push(col);
+            next_row += 1;
+            if next_row == self.rows.len() {
+                break;
+            }
+        }
+        pivots
+    }
+
+    /// The rank of the matrix (leaves `self` untouched).
+    pub fn rank(&self) -> usize {
+        self.clone().rref().len()
+    }
+
+    /// The nonzero rows (call after [`Gf2Matrix::rref`] for a basis of
+    /// the row space).
+    pub fn nonzero_rows(&self) -> Vec<Vec<u64>> {
+        self.rows
+            .iter()
+            .filter(|r| r.iter().any(|&w| w != 0))
+            .cloned()
+            .collect()
+    }
+}
+
+/// Outcome of solving `A·x = b` over GF(2).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Gf2Solution {
+    /// Exactly one solution.
+    Unique(Vec<bool>),
+    /// Consistent but with `2^(cols − rank)` solutions; the system
+    /// cannot pin `x` down on its own.
+    Underdetermined {
+        /// Rank of the coefficient matrix.
+        rank: usize,
+    },
+    /// No assignment satisfies every equation.
+    Inconsistent,
+}
+
+/// Solves `A·x = b` over GF(2) by eliminating the augmented matrix
+/// `[A | b]`. `b.len()` must equal `a.num_rows()`.
+pub fn solve(a: &Gf2Matrix, b: &[bool]) -> Gf2Solution {
+    assert_eq!(a.num_rows(), b.len(), "b length must match the row count");
+    let cols = a.cols();
+    let mut aug = Gf2Matrix::new(cols + 1);
+    for (r, &rhs) in b.iter().enumerate() {
+        let mut words = a.rows[r].clone();
+        words.resize(aug.words_per_row(), 0);
+        if rhs {
+            words[cols / WORD_BITS] |= 1u64 << (cols % WORD_BITS);
+        }
+        aug.push_row_words(&words);
+    }
+    let pivots = aug.rref();
+    // A pivot in the augmented column means a row 0…0 | 1: inconsistent.
+    if pivots.last() == Some(&cols) {
+        return Gf2Solution::Inconsistent;
+    }
+    let rank = pivots.len();
+    if rank < cols {
+        return Gf2Solution::Underdetermined { rank };
+    }
+    // Full column rank in RREF: row i is the unit vector of pivot i and
+    // its augmented bit is x at that column.
+    let mut x = vec![false; cols];
+    for (i, &col) in pivots.iter().enumerate() {
+        x[col] = aug.bit(i, cols);
+    }
+    Gf2Solution::Unique(x)
+}
+
+/// Iterates the **nonzero** elements of the span of `basis` rows in
+/// Gray-code order: each step XORs exactly one basis row into the
+/// accumulator, so walking all `2^n − 1` combinations costs one row-XOR
+/// each. The hybrid decoder walks the span of the residual-cell basis
+/// and checksum-tests every element.
+pub struct SpanIter {
+    basis: Vec<Vec<u64>>,
+    acc: Vec<u64>,
+    state: u64,
+    end: u64,
+}
+
+impl SpanIter {
+    /// Starts a walk over the span of `basis` (all rows must share a
+    /// width). Panics if the basis has more than 62 rows — callers cap
+    /// the rank well below that (see `MAX_SOLVE_RANK` in `iblt`).
+    pub fn new(basis: Vec<Vec<u64>>) -> SpanIter {
+        assert!(basis.len() <= 62, "span too large to enumerate");
+        let words = basis.first().map_or(0, Vec::len);
+        assert!(basis.iter().all(|r| r.len() == words));
+        SpanIter {
+            acc: vec![0; words],
+            end: 1u64 << basis.len(),
+            basis,
+            state: 0,
+        }
+    }
+}
+
+impl Iterator for SpanIter {
+    type Item = Vec<u64>;
+
+    fn next(&mut self) -> Option<Vec<u64>> {
+        self.state += 1;
+        if self.state >= self.end {
+            return None;
+        }
+        // Gray code: combination `state ^ (state >> 1)` differs from its
+        // predecessor in exactly bit `trailing_zeros(state)`.
+        let flip = self.state.trailing_zeros() as usize;
+        for (a, b) in self.acc.iter_mut().zip(&self.basis[flip]) {
+            *a ^= *b;
+        }
+        Some(self.acc.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rref_finds_rank_and_pivots() {
+        let mut m = Gf2Matrix::new(4);
+        m.push_row_cols(&[0, 1]);
+        m.push_row_cols(&[1, 2]);
+        m.push_row_cols(&[0, 2]); // = row0 + row1
+        let pivots = m.rref();
+        assert_eq!(pivots, vec![0, 1]);
+        assert_eq!(m.nonzero_rows().len(), 2);
+    }
+
+    #[test]
+    fn solve_unique_system() {
+        // x0 + x1 = 1, x1 = 1 → x = (0, 1).
+        let mut a = Gf2Matrix::new(2);
+        a.push_row_cols(&[0, 1]);
+        a.push_row_cols(&[1]);
+        assert_eq!(
+            solve(&a, &[true, true]),
+            Gf2Solution::Unique(vec![false, true])
+        );
+    }
+
+    #[test]
+    fn solve_reports_inconsistent_and_underdetermined() {
+        let mut a = Gf2Matrix::new(2);
+        a.push_row_cols(&[0, 1]);
+        a.push_row_cols(&[0, 1]);
+        assert_eq!(solve(&a, &[true, false]), Gf2Solution::Inconsistent);
+        assert_eq!(
+            solve(&a, &[true, true]),
+            Gf2Solution::Underdetermined { rank: 1 }
+        );
+    }
+
+    #[test]
+    fn span_iter_visits_every_nonzero_combination_once() {
+        let basis = vec![vec![0b001u64], vec![0b010], vec![0b100]];
+        let mut seen: Vec<u64> = SpanIter::new(basis).map(|r| r[0]).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (1u64..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn wide_rows_pack_across_words() {
+        let mut m = Gf2Matrix::new(126);
+        m.push_row_words(&[u64::MAX, (1u64 << 62) - 1]);
+        m.push_row_cols(&[0, 64, 125]);
+        assert!(m.bit(1, 125));
+        assert_eq!(m.rank(), 2);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bits_beyond_cols_rejected() {
+        let mut m = Gf2Matrix::new(3);
+        m.push_row_words(&[0b1000]);
+    }
+}

@@ -132,6 +132,23 @@ impl Hypergraph {
         inc
     }
 
+    /// The structural purity predicate, shared by every peeling process
+    /// in this module: a vertex is *peelable* when exactly one live edge
+    /// remains on it, and that edge is what it peels. This is the
+    /// hypergraph face of the IBLT's pure-cell test
+    /// ([`CellLayout::pure_cell_sign`]): a degree-1 cell holds exactly
+    /// one key, so its count is ±1 and its checksum matches. Both
+    /// [`Hypergraph::peel`] and [`Hypergraph::error_propagation`] resolve
+    /// peelability through this one helper (they used to duplicate the
+    /// scan), and the `pure_cells_match_degree_one_vertices` regression
+    /// test pins the correspondence to the concrete table.
+    fn peelable_edge(deg: &[usize], inc: &[Vec<usize>], alive: &[bool], v: usize) -> Option<usize> {
+        if deg[v] != 1 {
+            return None;
+        }
+        inc[v].iter().copied().find(|&e| alive[e])
+    }
+
     /// Runs the (round-synchronous) peeling process: every round, all
     /// vertices of degree 1 peel their edges simultaneously. Returns the
     /// peel order and the surviving 2-core.
@@ -145,11 +162,9 @@ impl Hypergraph {
             // All currently-peelable edges (some vertex of degree 1).
             let mut batch = Vec::new();
             for v in 0..self.num_vertices {
-                if deg[v] == 1 {
-                    if let Some(&e) = inc[v].iter().find(|&&e| alive[e]) {
-                        if !batch.contains(&e) {
-                            batch.push(e);
-                        }
+                if let Some(e) = Self::peelable_edge(&deg, &inc, &alive, v) {
+                    if !batch.contains(&e) {
+                        batch.push(e);
                     }
                 }
             }
@@ -236,11 +251,8 @@ impl Hypergraph {
         let mut queue: std::collections::VecDeque<usize> =
             (0..self.num_vertices).filter(|&v| deg[v] == 1).collect();
         while let Some(v) = queue.pop_front() {
-            if deg[v] != 1 {
+            let Some(e) = Self::peelable_edge(&deg, &inc, &alive, v) else {
                 continue; // stale
-            }
-            let Some(&e) = inc[v].iter().find(|&&e| alive[e]) else {
-                continue;
             };
             alive[e] = false;
             let c_v = error[v];
@@ -376,7 +388,8 @@ mod tests {
     #[test]
     fn peel_matches_iblt_decodability() {
         // The hypergraph peels completely iff the IBLT with the same keys
-        // decodes completely (no duplicate keys involved).
+        // peel-decodes completely (no duplicate keys involved). Peel-only
+        // mode: the hypergraph models peeling, not the GF(2) solver.
         let mut rng = StdRng::seed_from_u64(53);
         for trial in 0..20 {
             let seed = 100 + trial;
@@ -387,12 +400,35 @@ mod tests {
             for &k in &keys {
                 t.insert(k);
             }
-            let d = t.decode();
+            let d = t.decode_with(crate::DecodeMode::PeelOnly);
             assert_eq!(
                 g.peel().core.is_empty(),
                 d.complete,
                 "mismatch at trial {trial}"
             );
+        }
+    }
+
+    #[test]
+    fn pure_cells_match_degree_one_vertices() {
+        // Regression for the shared purity predicate: with distinct
+        // random keys, the IBLT's pure cells are exactly the degree-1
+        // vertices of the induced hypergraph. Both sides derive cell
+        // structure from the same single-pass layout hash, so a change
+        // to the hash path that desynchronized them would trip this.
+        let mut rng = StdRng::seed_from_u64(54);
+        for trial in 0..20 {
+            let seed = 500 + trial;
+            let layout = CellLayout::new(30, 3, seed);
+            let keys: Vec<u64> = (0..18).map(|_| rng.gen()).collect();
+            let g = Hypergraph::from_layout(&layout, &keys);
+            let deg = g.degrees();
+            let degree_one: Vec<usize> = (0..g.num_vertices()).filter(|&v| deg[v] == 1).collect();
+            let mut t = crate::Iblt::new(30, 3, seed);
+            for &k in &keys {
+                t.insert(k);
+            }
+            assert_eq!(t.pure_cells(), degree_one, "trial {trial}");
         }
     }
 }

